@@ -1,0 +1,151 @@
+(* Bench harness: regenerates every table and figure of the paper
+   (Part 1), then times the implementation with Bechamel (Part 2).
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+module Experiments = Usched_experiments
+module Core = Usched_core
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Workload = Usched_model.Workload
+module Rng = Usched_prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: paper artifacts.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  let config = { Experiments.Runner.default_config with reps = 30 } in
+  Printf.printf
+    "Reproduction harness: one section per table/figure of the paper.\n\
+     (seed %d, %d repetitions per sampled point, %d domains)\n"
+    config.Experiments.Runner.seed config.Experiments.Runner.reps
+    config.Experiments.Runner.domains;
+  Experiments.Registry.run_all config
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let bench_instance ~n ~m =
+  Workload.generate
+    (Workload.Uniform { lo = 1.0; hi = 100.0 })
+    ~n ~m
+    ~alpha:(Uncertainty.alpha 2.0)
+    (Rng.create ~seed:7 ())
+
+let benches () =
+  let instance = bench_instance ~n:1000 ~m:210 in
+  let realization =
+    Realization.uniform_factor instance (Rng.create ~seed:8 ())
+  in
+  let small = bench_instance ~n:14 ~m:4 in
+  let small_actuals =
+    Realization.actuals (Realization.uniform_factor small (Rng.create ~seed:9 ()))
+  in
+  let big_weights = Instance.ests (bench_instance ~n:10_000 ~m:100) in
+  let mixed =
+    Workload.generate
+      (Workload.Uniform { lo = 1.0; hi = 10.0 })
+      ~size_spec:(Workload.Inverse 5.0) ~n:1000 ~m:210
+      ~alpha:(Uncertainty.alpha 1.5)
+      (Rng.create ~seed:10 ())
+  in
+  let mixed_realization =
+    Realization.uniform_factor mixed (Rng.create ~seed:12 ())
+  in
+  let rng = Rng.create ~seed:11 () in
+  [
+    (* Phase-1 placement algorithms (n=1000, m=210). *)
+    Test.make ~name:"phase1/lpt-no-choice (n=1k,m=210)"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.No_replication.lpt_no_choice.Core.Two_phase.phase1 instance)));
+    Test.make ~name:"phase1/ls-group k=30 (n=1k,m=210)"
+      (Staged.stage (fun () ->
+           ignore
+             ((Core.Group_replication.ls_group ~k:30).Core.Two_phase.phase1
+                instance)));
+    Test.make ~name:"phase1/sbo-split (n=1k,m=210)"
+      (Staged.stage (fun () -> ignore (Core.Sbo.split ~delta:1.0 mixed)));
+    (* Full two-phase pipelines. *)
+    Test.make ~name:"two-phase/lpt-no-restriction (n=1k,m=210)"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Two_phase.makespan Core.Full_replication.lpt_no_restriction
+                instance realization)));
+    Test.make ~name:"two-phase/ls-group k=30 (n=1k,m=210)"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Two_phase.makespan
+                (Core.Group_replication.ls_group ~k:30)
+                instance realization)));
+    Test.make ~name:"two-phase/abo delta=1 (n=1k,m=210)"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Two_phase.makespan (Core.Abo.algorithm ~delta:1.0) mixed
+                mixed_realization)));
+    Test.make ~name:"two-phase/budgeted k=3 (n=1k,m=210)"
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Two_phase.makespan (Core.Budgeted.uniform ~k:3) instance
+                realization)));
+    (* Optimum machinery. *)
+    Test.make ~name:"opt/branch-and-bound (n=14,m=4)"
+      (Staged.stage (fun () -> ignore (Core.Opt.solve ~m:4 small_actuals)));
+    Test.make ~name:"opt/dual-approx eps=1/3 (n=14,m=4)"
+      (Staged.stage (fun () ->
+           ignore (Core.Dual_approx.makespan ~m:4 small_actuals)));
+    Test.make ~name:"opt/multifit (n=10k,m=100)"
+      (Staged.stage (fun () -> ignore (Core.Multifit.makespan ~m:100 big_weights)));
+    Test.make ~name:"opt/lower-bounds (n=10k,m=100)"
+      (Staged.stage (fun () -> ignore (Core.Lower_bounds.best ~m:100 big_weights)));
+    (* Substrates. *)
+    Test.make ~name:"prng/xoshiro256 float"
+      (Staged.stage (fun () -> ignore (Rng.float rng)));
+    Test.make ~name:"workload/uniform n=1000"
+      (Staged.stage (fun () -> ignore (bench_instance ~n:1000 ~m:210)));
+  ]
+
+let run_benches () =
+  Printf.printf "\n%s\n== Bechamel micro-benchmarks (ns per run)\n%s\n"
+    (String.make 72 '=') (String.make 72 '=');
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let grouped = Test.make_grouped ~name:"usched" ~fmt:"%s %s" (benches ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun measure per_test ->
+      Printf.printf "measure: %s\n" measure;
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            let estimate =
+              match Analyze.OLS.estimates ols with
+              | Some (x :: _) -> x
+              | _ -> nan
+            in
+            (name, estimate) :: acc)
+          per_test []
+      in
+      List.iter
+        (fun (name, estimate) ->
+          Printf.printf "  %-46s %14.1f ns/run\n" name estimate)
+        (List.sort compare rows))
+    merged
+
+let () =
+  run_experiments ();
+  run_benches ();
+  Printf.printf "\nbench: done\n"

@@ -1,0 +1,219 @@
+(* usched: command-line driver for the experiment harness and a small
+   workbench over instance files (generate / solve / minimax). *)
+
+open Cmdliner
+module Experiments = Usched_experiments
+module Core = Usched_core
+module Model = Usched_model
+
+let config_term =
+  let seed =
+    Arg.(value & opt int Experiments.Runner.default_config.seed
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Master random seed.")
+  in
+  let reps =
+    Arg.(value & opt int Experiments.Runner.default_config.reps
+         & info [ "reps" ] ~docv:"N" ~doc:"Repetitions per sampled point.")
+  in
+  let domains =
+    Arg.(value & opt int Experiments.Runner.default_config.domains
+         & info [ "domains" ] ~docv:"D" ~doc:"Parallel domains for sweeps.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Reduce repetitions for a fast smoke run.")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR" ~doc:"Also dump raw series as CSV files.")
+  in
+  let build seed reps domains quick csv =
+    let config =
+      { Experiments.Runner.default_config with seed; reps; domains; csv_dir = csv }
+    in
+    if quick then Experiments.Runner.quick config else config
+  in
+  Term.(const build $ seed $ reps $ domains $ quick $ csv)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-20s %s\n" e.Experiments.Registry.id
+          e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available experiments.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let ids =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (see list).")
+  in
+  let run config ids =
+    List.iter
+      (fun id ->
+        match Experiments.Registry.find id with
+        | Some e -> e.Experiments.Registry.run config
+        | None ->
+            Printf.eprintf "unknown experiment %S; try 'usched list'\n" id;
+            exit 2)
+      ids
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one or more experiments by id.")
+    Term.(const run $ config_term $ ids)
+
+let all_cmd =
+  let run config = Experiments.Registry.run_all config in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment (all paper tables/figures).")
+    Term.(const run $ config_term)
+
+(* ---------------- workbench commands over instance files ------------- *)
+
+let workload_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "identical"; v ] -> Ok (Model.Workload.Identical (float_of_string v))
+    | [ "uniform"; lo; hi ] ->
+        Ok (Model.Workload.Uniform
+              { lo = float_of_string lo; hi = float_of_string hi })
+    | [ "exponential"; mean ] ->
+        Ok (Model.Workload.Exponential { mean = float_of_string mean })
+    | [ "pareto"; shape; scale; cap ] ->
+        Ok (Model.Workload.Pareto
+              {
+                shape = float_of_string shape;
+                scale = float_of_string scale;
+                cap = float_of_string cap;
+              })
+    | [ "bimodal"; p; short_mean; long_mean ] ->
+        Ok (Model.Workload.Bimodal
+              {
+                p_long = float_of_string p;
+                short_mean = float_of_string short_mean;
+                long_mean = float_of_string long_mean;
+              })
+    | _ ->
+        Error
+          (`Msg
+             "expected identical:V | uniform:LO:HI | exponential:MEAN | \
+              pareto:SHAPE:SCALE:CAP | bimodal:P:SHORT:LONG")
+  in
+  let print ppf spec = Format.fprintf ppf "%s" (Model.Workload.spec_name spec) in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
+let gen_cmd =
+  let spec =
+    Arg.(value & opt workload_conv (Model.Workload.Uniform { lo = 1.0; hi = 10.0 })
+         & info [ "workload" ] ~docv:"SPEC" ~doc:"Workload family, e.g. uniform:1:10.")
+  in
+  let n = Arg.(value & opt int 20 & info [ "n"; "tasks" ] ~doc:"Number of tasks.") in
+  let m = Arg.(value & opt int 4 & info [ "m"; "machines" ] ~doc:"Number of machines.") in
+  let alpha =
+    Arg.(value & opt float 1.5 & info [ "alpha" ] ~doc:"Uncertainty factor (>= 1).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let out =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Output instance file.")
+  in
+  let run spec n m alpha seed out =
+    let rng = Usched_prng.Rng.create ~seed () in
+    let instance =
+      Model.Workload.generate spec ~n ~m
+        ~alpha:(Model.Uncertainty.alpha alpha) rng
+    in
+    Model.Io.save_instance ~path:out instance;
+    Printf.printf "wrote %s (%d tasks, %d machines, alpha=%g)\n" out n m alpha
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic instance file.")
+    Term.(const run $ spec $ n $ m $ alpha $ seed $ out)
+
+let algorithm_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "lpt-no-choice" ] -> Ok Core.No_replication.lpt_no_choice
+    | [ "lpt-no-restriction" ] -> Ok Core.Full_replication.lpt_no_restriction
+    | [ "ls-no-restriction" ] -> Ok Core.Full_replication.ls_no_restriction
+    | [ "ls-group"; k ] -> Ok (Core.Group_replication.ls_group ~k:(int_of_string k))
+    | [ "lpt-group"; k ] -> Ok (Core.Group_replication.lpt_group ~k:(int_of_string k))
+    | [ "budgeted"; k ] -> Ok (Core.Budgeted.uniform ~k:(int_of_string k))
+    | [ "selective"; c ] -> Ok (Core.Selective.algorithm ~count:(int_of_string c))
+    | [ "sabo"; d ] -> Ok (Core.Sabo.algorithm ~delta:(float_of_string d))
+    | [ "abo"; d ] -> Ok (Core.Abo.algorithm ~delta:(float_of_string d))
+    | _ ->
+        Error
+          (`Msg
+             "expected lpt-no-choice | lpt-no-restriction | ls-no-restriction \
+              | ls-group:K | lpt-group:K | budgeted:K | selective:COUNT | \
+              sabo:DELTA | abo:DELTA")
+  in
+  let print ppf algo = Format.fprintf ppf "%s" algo.Core.Two_phase.name in
+  Arg.conv ~docv:"ALGO" (parse, print)
+
+let solve_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Instance file (see 'gen').")
+  in
+  let algo =
+    Arg.(value & opt algorithm_conv Core.Full_replication.lpt_no_restriction
+         & info [ "algo" ] ~docv:"ALGO" ~doc:"Two-phase algorithm to run.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Realization seed.") in
+  let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print the Gantt chart.") in
+  let run file algo seed gantt =
+    let instance = Model.Io.load_instance ~path:file in
+    let rng = Usched_prng.Rng.create ~seed () in
+    let realization = Model.Realization.log_uniform_factor instance rng in
+    let placement, schedule = Core.Two_phase.run_full algo instance realization in
+    let m = Model.Instance.m instance in
+    let lb = Core.Lower_bounds.best ~m (Model.Realization.actuals realization) in
+    Printf.printf
+      "%s on %s: C_max = %.4f (lower bound %.4f, ratio <= %.4f)\n\
+       replicas/task max %d, Mem_max %.4f\n"
+      algo.Core.Two_phase.name file
+      (Usched_desim.Schedule.makespan schedule)
+      lb
+      (Usched_desim.Schedule.makespan schedule /. lb)
+      (Core.Placement.max_replication placement)
+      (Core.Placement.memory_max placement ~sizes:(Model.Instance.sizes instance));
+    if gantt then print_string (Usched_desim.Gantt.render schedule);
+    print_string (Usched_desim.Timeline.render_stats schedule)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run a two-phase algorithm on an instance file.")
+    Term.(const run $ file $ algo $ seed $ gantt)
+
+let minimax_cmd =
+  let m = Arg.(value & opt int 3 & info [ "m"; "machines" ] ~doc:"Machines.") in
+  let n = Arg.(value & opt int 9 & info [ "n"; "tasks" ] ~doc:"Identical tasks.") in
+  let alpha = Arg.(value & opt float 2.0 & info [ "alpha" ] ~doc:"Uncertainty factor.") in
+  let run m n alpha =
+    let r = Core.Minimax.identical_minimax ~m ~n ~alpha in
+    Printf.printf
+      "exact minimax on %d identical tasks, m=%d, alpha=%g:\n\
+      \  value %.6f (limit bound %.6f, Th2 guarantee %.6f)\n\
+      \  optimal partition: %s\n"
+      n m alpha r.Core.Minimax.value
+      (Core.Guarantees.no_replication_lower_bound ~m ~alpha)
+      (Core.Guarantees.lpt_no_choice ~m ~alpha)
+      (String.concat "+"
+         (Array.to_list (Array.map string_of_int r.Core.Minimax.partition)))
+  in
+  Cmd.v
+    (Cmd.info "minimax"
+       ~doc:"Exact minimax value of the unreplicated game on identical tasks.")
+    Term.(const run $ m $ n $ alpha)
+
+let main =
+  let doc = "reproduction of 'Replicated Data Placement for Uncertain Scheduling'" in
+  Cmd.group
+    (Cmd.info "usched" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; all_cmd; gen_cmd; solve_cmd; minimax_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,88 @@
+(* Calibrating alpha from history.
+
+   The model needs a trustworthy uncertainty factor. The paper notes that
+   interval bounds can be "derived experimentally using machine learning
+   techniques" (it cites SVM-based runtime prediction). This example shows
+   the simplest honest version of that pipeline:
+
+   1. collect historical (estimate, actual) pairs from a simulated
+      predictor whose errors we do not know;
+   2. calibrate alpha as a high quantile of the observed |log error|,
+      with a safety margin;
+   3. schedule new workloads under the calibrated alpha, clamping the
+      rare out-of-interval realizations, and check how often the
+      guarantee held.
+
+   Run with: dune exec examples/alpha_calibration.exe *)
+
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Schedule = Usched_desim.Schedule
+module Core = Usched_core
+module Rng = Usched_prng.Rng
+module Dist = Usched_prng.Dist
+module Quantile = Usched_stats.Quantile
+
+(* The "true" predictor error process, unknown to the scheduler:
+   lognormal multiplicative noise. *)
+let true_error rng = Dist.lognormal rng ~mu:0.0 ~sigma:0.25
+
+let () =
+  let rng = Rng.create ~seed:99 () in
+
+  (* Step 1: history. *)
+  let history = Array.init 500 (fun _ -> true_error rng) in
+  Printf.printf "Collected %d historical actual/estimate ratios.\n"
+    (Array.length history);
+
+  (* Step 2: calibrate. An alpha that covers the q-quantile of |log
+     error| in both directions, widened by 5%%. *)
+  let abs_log = Array.map (fun r -> Float.abs (log r)) history in
+  let q99 = Quantile.quantile abs_log ~q:0.99 in
+  let alpha_value = exp q99 *. 1.05 in
+  Printf.printf "Calibrated alpha = %.3f (99th percentile of |log error| + 5%% margin).\n\n"
+    alpha_value;
+  let alpha = Uncertainty.alpha alpha_value in
+
+  (* Step 3: schedule 200 fresh workloads under the calibrated alpha. *)
+  let m = 6 in
+  let covered = ref 0 and total_tasks = ref 0 and clamped = ref 0 in
+  let worst_ratio = ref 0.0 in
+  for _ = 1 to 200 do
+    let ests = Array.init 24 (fun _ -> 1.0 +. (9.0 *. Rng.float rng)) in
+    let instance = Instance.of_ests ~m ~alpha ests in
+    (* Reality draws from the true process; out-of-interval values are
+       clamped (and counted) — the scheduler's model is only
+       approximately right. *)
+    let actuals =
+      Array.mapi
+        (fun _j est ->
+          let raw = est *. true_error rng in
+          incr total_tasks;
+          let admissible = Uncertainty.admissible alpha ~est ~actual:raw in
+          if admissible then incr covered else incr clamped;
+          Uncertainty.clamp alpha ~est raw)
+        ests
+    in
+    let realization = Realization.of_actuals instance actuals in
+    let makespan =
+      Core.Two_phase.makespan Core.Full_replication.lpt_no_restriction instance
+        realization
+    in
+    let lb = Core.Lower_bounds.best ~m actuals in
+    worst_ratio := Float.max !worst_ratio (makespan /. lb)
+  done;
+  Printf.printf
+    "Over 200 scheduled workloads:\n\
+    \  interval coverage: %.2f%% of tasks (%d clamped of %d)\n\
+    \  worst observed makespan ratio (LPT-No Restriction): %.3f\n\
+    \  guarantee at the calibrated alpha:                  %.3f\n\n"
+    (100.0 *. float_of_int !covered /. float_of_int !total_tasks)
+    !clamped !total_tasks !worst_ratio
+    (Core.Guarantees.full_replication ~m ~alpha:alpha_value);
+  Printf.printf
+    "The calibrated interval covers ~99%% of realizations, and the\n\
+     measured worst ratio sits comfortably under the theoretical\n\
+     guarantee — the paper's model is usable with learned, imperfect\n\
+     alpha bounds.\n"

@@ -1,0 +1,89 @@
+(* MapReduce-style scheduling with HDFS-like replication.
+
+   The paper's introduction points at Hadoop: block replication (default
+   factor 3) exists for fault tolerance, but the same replicas give the
+   scheduler freedom against stragglers. This example builds a
+   bimodal map-task workload (most tasks short, a few heavy), replicates
+   in groups of 3 machines, and measures how much of the straggler pain
+   the replication absorbs.
+
+   Run with: dune exec examples/mapreduce.exe *)
+
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Workload = Usched_model.Workload
+module Schedule = Usched_desim.Schedule
+module Core = Usched_core
+module Rng = Usched_prng.Rng
+module Summary = Usched_stats.Summary
+module Table = Usched_report.Table
+
+let machines = 12
+let jobs = 40
+
+let () =
+  Printf.printf
+    "MapReduce cluster: %d workers, %d jobs of 60 map tasks each.\n\
+     Task estimates come from input split sizes (alpha = 2: stragglers\n\
+     run up to 2x the estimate, fast tasks down to half).\n\
+     Groups of m/k = 3 machines mimic HDFS's 3-way block replication.\n\n"
+    machines jobs;
+  let strategies =
+    [
+      ("locality-pinned (no replication)", Core.No_replication.lpt_no_choice);
+      (* LPT-ordered group scheduling: the strong-in-practice variant of
+         the paper's LS-Group. *)
+      ("HDFS-style (LPT-Group, 3 replicas)", Core.Group_replication.lpt_group ~k:4);
+      ("fully replicated (upper bound)", Core.Full_replication.lpt_no_restriction);
+    ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("scheduler", Table.Left);
+          ("replicas", Table.Right);
+          ("mean job ratio", Table.Right);
+          ("p95 job ratio", Table.Right);
+          ("worst job ratio", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, algo) ->
+      let rng = Rng.create ~seed:1234 () in
+      let ratios = ref [] in
+      let replicas = ref 0 in
+      for _ = 1 to jobs do
+        let instance =
+          Workload.generate
+            (Workload.Bimodal { p_long = 0.15; short_mean = 2.0; long_mean = 25.0 })
+            ~n:60 ~m:machines
+            ~alpha:(Uncertainty.alpha 2.0)
+            rng
+        in
+        (* Stragglers: long tasks tend to overrun their estimates. *)
+        let realization = Realization.extremes ~p_high:0.3 instance rng in
+        let placement, schedule = Core.Two_phase.run_full algo instance realization in
+        replicas := Core.Placement.max_replication placement;
+        let lb =
+          Core.Lower_bounds.best ~m:machines (Realization.actuals realization)
+        in
+        ratios := (Schedule.makespan schedule /. lb) :: !ratios
+      done;
+      let data = Array.of_list !ratios in
+      let summary = Summary.of_array data in
+      Table.add_row table
+        [
+          name;
+          string_of_int !replicas;
+          Table.cell_float ~decimals:3 (Summary.mean summary);
+          Table.cell_float ~decimals:3 (Usched_stats.Quantile.quantile data ~q:0.95);
+          Table.cell_float ~decimals:3 (Summary.max summary);
+        ])
+    strategies;
+  print_string (Table.render table);
+  Printf.printf
+    "\nThree replicas (the HDFS default) already recover most of the gap\n\
+     between pinned execution and full replication — the tradeoff curve\n\
+     of the paper's Figure 3 in a cluster-shaped setting.\n"

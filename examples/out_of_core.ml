@@ -1,0 +1,96 @@
+(* Out-of-core sparse linear algebra: the paper's motivating scenario.
+
+   An iterative solver sweeps over matrix blocks stored out of core; a
+   block can only be processed by a machine holding its data, and
+   per-sweep runtimes are only known within an analytic factor (the paper
+   cites bounds derived from matrix dimensions). Replication is paid ONCE
+   (phase 1) and amortized over every sweep, so even expensive placement
+   pays for itself.
+
+   Run with: dune exec examples/out_of_core.exe *)
+
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Workload = Usched_model.Workload
+module Schedule = Usched_desim.Schedule
+module Core = Usched_core
+module Rng = Usched_prng.Rng
+module Summary = Usched_stats.Summary
+module Table = Usched_report.Table
+
+let sweeps = 30
+let machines = 8
+
+let () =
+  Printf.printf
+    "Out-of-core iterative solver: %d machines, %d sweeps over the same\n\
+     blocks. Block runtimes estimated from matrix structure, accurate\n\
+     within alpha = 1.5; each sweep realizes different actual times\n\
+     (cache effects, fill-in).\n\n"
+    machines sweeps;
+  let rng = Rng.create ~seed:7 () in
+  (* Blocks: heavy-tailed sizes, as in real sparse matrices. *)
+  let instance =
+    Workload.generate
+      (Workload.Pareto { shape = 1.4; scale = 2.0; cap = 60.0 })
+      ~n:64 ~m:machines
+      ~alpha:(Uncertainty.alpha 1.5)
+      rng
+  in
+  (* LPT-ordered group replication (the paper analyzes the LS-ordered
+     variant; LPT ordering is the stronger-in-practice ablation). *)
+  let strategies =
+    [
+      ("no replication (LPT-No Choice)", Core.No_replication.lpt_no_choice);
+      ("2x replication (LPT-Group k=4)", Core.Group_replication.lpt_group ~k:4);
+      ("4x replication (LPT-Group k=2)", Core.Group_replication.lpt_group ~k:2);
+      ("full replication (LPT-No Restr.)", Core.Full_replication.lpt_no_restriction);
+    ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("strategy", Table.Left);
+          ("replicas", Table.Right);
+          ("total time over sweeps", Table.Right);
+          ("mean sweep vs LB", Table.Right);
+          ("storage per machine", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, algo) ->
+      (* Phase 1 once; phase 2 re-runs each sweep with fresh actuals. *)
+      let placement = algo.Core.Two_phase.phase1 instance in
+      let sweep_rng = Rng.create ~seed:99 () in
+      let total = ref 0.0 in
+      let ratios = Summary.create () in
+      for _ = 1 to sweeps do
+        let realization = Realization.log_uniform_factor instance sweep_rng in
+        let schedule = algo.Core.Two_phase.phase2 instance placement realization in
+        let lb =
+          Core.Lower_bounds.best ~m:machines (Realization.actuals realization)
+        in
+        total := !total +. Schedule.makespan schedule;
+        Summary.add ratios (Schedule.makespan schedule /. lb)
+      done;
+      let storage =
+        Core.Placement.memory_max placement ~sizes:(Instance.sizes instance)
+      in
+      Table.add_row table
+        [
+          name;
+          string_of_int (Core.Placement.max_replication placement);
+          Table.cell_float ~decimals:1 !total;
+          Table.cell_float ~decimals:3 (Summary.mean ratios);
+          Table.cell_float ~decimals:1 storage;
+        ])
+    strategies;
+  print_string (Table.render table);
+  Printf.printf
+    "\n('mean sweep vs LB' divides each sweep's makespan by a lower bound\n\
+     on that sweep's optimum; storage counts one unit per block replica.)\n\
+     Replication keeps the solver near the optimum every sweep; the\n\
+     placement cost is paid once and amortized %d times.\n"
+    sweeps

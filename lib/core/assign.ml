@@ -1,0 +1,56 @@
+type result = { assignment : int array; loads : float array }
+
+let check_order n order =
+  if Array.length order <> n then
+    invalid_arg "Assign: order length differs from weights";
+  let seen = Array.make n false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= n || seen.(j) then
+        invalid_arg "Assign: order is not a permutation";
+      seen.(j) <- true)
+    order
+
+(* Min-heap over (load, machine id) gives O(n log m) assignment. *)
+let compare_load (la, ia) (lb, ib) =
+  match Float.compare la lb with 0 -> Int.compare ia ib | c -> c
+
+let list_assign ~m ~weights ~order =
+  if m < 1 then invalid_arg "Assign: m must be >= 1";
+  Array.iter
+    (fun w -> if w < 0.0 then invalid_arg "Assign: negative weight")
+    weights;
+  let n = Array.length weights in
+  check_order n order;
+  let heap =
+    Usched_desim.Pqueue.of_array ~compare:compare_load
+      (Array.init m (fun i -> (0.0, i)))
+  in
+  let assignment = Array.make n 0 in
+  let loads = Array.make m 0.0 in
+  Array.iter
+    (fun j ->
+      let load, i = Usched_desim.Pqueue.pop_exn heap in
+      assignment.(j) <- i;
+      let load = load +. weights.(j) in
+      loads.(i) <- load;
+      Usched_desim.Pqueue.push heap (load, i))
+    order;
+  { assignment; loads }
+
+let ls ~m ~weights =
+  list_assign ~m ~weights ~order:(Array.init (Array.length weights) (fun j -> j))
+
+let decreasing_order weights =
+  let order = Array.init (Array.length weights) (fun j -> j) in
+  Array.sort
+    (fun a b ->
+      match Float.compare weights.(b) weights.(a) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    order;
+  order
+
+let lpt ~m ~weights = list_assign ~m ~weights ~order:(decreasing_order weights)
+
+let makespan result = Array.fold_left Float.max 0.0 result.loads

@@ -1,0 +1,18 @@
+module Instance = Usched_model.Instance
+
+let full_phase1 instance =
+  Placement.full ~m:(Instance.m instance) ~n:(Instance.n instance)
+
+let lpt_no_restriction =
+  {
+    Two_phase.name = "LPT-No Restriction";
+    phase1 = full_phase1;
+    phase2 = Two_phase.lpt_order_phase2;
+  }
+
+let ls_no_restriction =
+  {
+    Two_phase.name = "LS-No Restriction";
+    phase1 = full_phase1;
+    phase2 = Two_phase.submission_order_phase2;
+  }

@@ -1,0 +1,13 @@
+(** Strategy 2: replicate everywhere ([|M_j| = m], Section 5.2).
+
+    Phase 1 copies every task's data to every machine; all scheduling
+    freedom is kept for phase 2. *)
+
+val lpt_no_restriction : Two_phase.t
+(** The paper's {b LPT-No Restriction}: online LPT by estimated times
+    (Theorem 3: [1 + (m-1)/m · α²/2]-competitive; combined with Graham's
+    argument, [min(1 + (m-1)/m · α²/2, 2 - 1/m)]). *)
+
+val ls_no_restriction : Two_phase.t
+(** Graham's online List Scheduling in submission order
+    ([2 - 1/m]-competitive regardless of estimates). *)

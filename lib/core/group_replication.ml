@@ -1,0 +1,62 @@
+module Instance = Usched_model.Instance
+
+let machine_groups ~m ~k =
+  if k < 1 || k > m then invalid_arg "Group_replication: need 1 <= k <= m";
+  let base = m / k and extra = m mod k in
+  let start = ref 0 in
+  Array.init k (fun g ->
+      let count = base + if g < extra then 1 else 0 in
+      let machines = Array.init count (fun i -> !start + i) in
+      start := !start + count;
+      machines)
+
+let group_assignment ~order ~k instance =
+  let m = Instance.m instance in
+  let groups = machine_groups ~m ~k in
+  let counts = Array.map Array.length groups in
+  let weights = Instance.ests instance in
+  let task_order =
+    match order with
+    | `Submission -> Array.init (Instance.n instance) (fun j -> j)
+    | `Lpt -> Instance.lpt_order instance
+  in
+  let loads = Array.make k 0.0 in
+  let assignment = Array.make (Instance.n instance) 0 in
+  (* Greedy: place on the group whose per-machine load after placement is
+     smallest. With k | m all groups have equal size and this is exactly
+     the paper's List Scheduling over groups. *)
+  Array.iter
+    (fun j ->
+      let best = ref 0 in
+      let best_cost = ref infinity in
+      for g = 0 to k - 1 do
+        let cost = (loads.(g) +. weights.(j)) /. float_of_int counts.(g) in
+        if cost < !best_cost then begin
+          best := g;
+          best_cost := cost
+        end
+      done;
+      assignment.(j) <- !best;
+      loads.(!best) <- loads.(!best) +. weights.(j))
+    task_order;
+  assignment
+
+let phase1 ~order ~k instance =
+  let m = Instance.m instance in
+  let groups = machine_groups ~m ~k in
+  let assignment = group_assignment ~order ~k instance in
+  Placement.of_group_assignment ~m ~groups assignment
+
+let ls_group ~k =
+  {
+    Two_phase.name = Printf.sprintf "LS-Group(k=%d)" k;
+    phase1 = phase1 ~order:`Submission ~k;
+    phase2 = Two_phase.submission_order_phase2;
+  }
+
+let lpt_group ~k =
+  {
+    Two_phase.name = Printf.sprintf "LPT-Group(k=%d)" k;
+    phase1 = phase1 ~order:`Lpt ~k;
+    phase2 = Two_phase.lpt_order_phase2;
+  }

@@ -1,0 +1,39 @@
+let check m p =
+  if m < 1 then invalid_arg "Lower_bounds: m must be >= 1";
+  Array.iter
+    (fun x -> if x < 0.0 then invalid_arg "Lower_bounds: negative time")
+    p
+
+let average ~m p =
+  check m p;
+  Array.fold_left ( +. ) 0.0 p /. float_of_int m
+
+let largest p = Array.fold_left Float.max 0.0 p
+
+let packing ~m p =
+  check m p;
+  let n = Array.length p in
+  if n <= m then 0.0
+  else begin
+    let sorted = Array.copy p in
+    Array.sort (fun a b -> Float.compare b a) sorted;
+    (* prefix.(i) = sum of the i largest tasks. *)
+    let prefix = Array.make (n + 1) 0.0 in
+    for i = 0 to n - 1 do
+      prefix.(i + 1) <- prefix.(i) +. sorted.(i)
+    done;
+    let bound = ref 0.0 in
+    let k = ref 1 in
+    while (!k * m) + 1 <= n do
+      let top = (!k * m) + 1 in
+      (* Sum of the (k+1) smallest among the top largest. *)
+      let candidate = prefix.(top) -. prefix.(top - (!k + 1)) in
+      if candidate > !bound then bound := candidate;
+      incr k
+    done;
+    !bound
+  end
+
+let best ~m p =
+  check m p;
+  Float.max (average ~m p) (Float.max (largest p) (packing ~m p))

@@ -1,0 +1,23 @@
+(** Memory accounting for the memory-aware model (Section 6).
+
+    Each replica of task [j] occupies [s_j] memory on its machine;
+    [Mem_max] is the most occupied machine. This module builds the two
+    reference schedules combined by the bi-objective algorithms — [π1]
+    (makespan-driven) and [π2] (memory-driven) — and the memory lower
+    bounds used to report approximation ratios. *)
+
+module Instance = Usched_model.Instance
+
+val pi1 : Instance.t -> Assign.result
+(** Makespan-oriented reference schedule: LPT on estimated times
+    ([ρ1 = 4/3 - 1/(3m)]). *)
+
+val pi2 : Instance.t -> Assign.result
+(** Memory-oriented reference schedule: LPT on sizes
+    ([ρ2 = 4/3 - 1/(3m)], memory being makespan-like). *)
+
+val lower_bound : m:int -> sizes:float array -> float
+(** [Mem* >= max(Σs/m, max s)]. *)
+
+val of_placement : Instance.t -> Placement.t -> float
+(** [Mem_max] of a placement under the instance's sizes. *)

@@ -1,0 +1,43 @@
+(** Exact minimax values for the no-replication game (open problem 1).
+
+    The paper's conclusion asks for better lower bounds on what any
+    unreplicated algorithm can guarantee. On the identical-task family
+    used in Theorem 1 the full game can be solved {e exactly} for finite
+    sizes, against the two-point adversary (every factor in
+    [{1/α, α}] — the adversary class used in all the paper's proofs):
+
+    - a placement of [n] identical tasks on [m] machines is, up to
+      symmetry, a partition [b_1 >= b_2 >= ... >= b_m] of [n];
+    - against a fixed partition, the worst two-point realization makes
+      some machine [i] run [h] inflated and [b_i - h] deflated tasks
+      while every other task deflates (more inflation elsewhere only
+      helps the optimum), so the adversary's value has a closed scan;
+    - the optimum of a realization with [h] highs and [n-h] lows is
+      computed exactly by branch and bound.
+
+    Minimizing over partitions yields the exact guarantee achievable by
+    {e any} phase-1 placement on that instance — a finite-size analogue
+    of Theorem 1's bound, and an upper bound on any lower-bound
+    construction restricted to this family and adversary class. *)
+
+type result = {
+  value : float;  (** The minimax competitive ratio. *)
+  partition : int array;  (** An optimal placement (tasks per machine). *)
+}
+
+val optimum_two_point : m:int -> alpha:float -> highs:int -> lows:int -> float
+(** Exact optimal makespan of [highs] tasks of length [α] and [lows]
+    tasks of length [1/α] on [m] machines. *)
+
+val partition_value : m:int -> alpha:float -> int array -> float
+(** Worst-case ratio of the given partition (tasks per machine, any
+    order) under the two-point adversary, with exact optima. Raises
+    [Invalid_argument] on negative counts or more parts than [m]. *)
+
+val identical_minimax : m:int -> n:int -> alpha:float -> result
+(** Minimum of {!partition_value} over all partitions of [n] into at
+    most [m] parts. Feasible for [n] up to a few dozen. *)
+
+val partitions : n:int -> parts:int -> int list list
+(** All partitions of [n] into at most [parts] non-increasing positive
+    parts (padded with zeros by callers as needed). Exposed for tests. *)

@@ -1,0 +1,69 @@
+let ffd_fits ~capacity ~m p =
+  let sorted = Array.copy p in
+  Array.sort (fun a b -> Float.compare b a) sorted;
+  let eps = 1e-12 *. Float.max 1.0 capacity in
+  let bins = Array.make m 0.0 in
+  let fits w =
+    let rec first i =
+      if i >= m then None
+      else if bins.(i) +. w <= capacity +. eps then Some i
+      else first (i + 1)
+    in
+    first 0
+  in
+  Array.for_all
+    (fun w ->
+      match fits w with
+      | None -> false
+      | Some i ->
+          bins.(i) <- bins.(i) +. w;
+          true)
+    sorted
+
+(* Assignment realizing a feasible FFD packing at the given capacity. *)
+let ffd_assign ~capacity ~m p =
+  let order = Assign.decreasing_order p in
+  let eps = 1e-12 *. Float.max 1.0 capacity in
+  let bins = Array.make m 0.0 in
+  let assignment = Array.make (Array.length p) 0 in
+  let ok =
+    Array.for_all
+      (fun j ->
+        let w = p.(j) in
+        let rec first i =
+          if i >= m then false
+          else if bins.(i) +. w <= capacity +. eps then begin
+            bins.(i) <- bins.(i) +. w;
+            assignment.(j) <- i;
+            true
+          end
+          else first (i + 1)
+        in
+        first 0)
+      order
+  in
+  if ok then Some { Assign.assignment; loads = bins } else None
+
+let schedule ?(iterations = 20) ~m p =
+  if m < 1 then invalid_arg "Multifit: m must be >= 1";
+  Array.iter (fun x -> if x < 0.0 then invalid_arg "Multifit: negative time") p;
+  if Array.length p = 0 then { Assign.assignment = [||]; loads = Array.make m 0.0 }
+  else begin
+    let lo = ref (Float.max (Lower_bounds.average ~m p) (Lower_bounds.largest p)) in
+    let lpt = Assign.lpt ~m ~weights:p in
+    let hi = ref (Assign.makespan lpt) in
+    let found = ref None in
+    for _ = 1 to iterations do
+      let capacity = 0.5 *. (!lo +. !hi) in
+      if ffd_fits ~capacity ~m p then begin
+        (match ffd_assign ~capacity ~m p with
+        | Some r -> found := Some r
+        | None -> ());
+        hi := capacity
+      end
+      else lo := capacity
+    done;
+    match !found with Some r -> r | None -> lpt
+  end
+
+let makespan ?iterations ~m p = Assign.makespan (schedule ?iterations ~m p)

@@ -1,0 +1,17 @@
+(** Strategy 1: no replication ([|M_j| = 1], Section 5.1).
+
+    All decisions happen in phase 1; phase 2 merely executes each task on
+    its unique machine. *)
+
+module Instance = Usched_model.Instance
+
+val lpt_assignment : Instance.t -> Assign.result
+(** LPT on the estimated times — the phase-1 rule of LPT-No Choice. *)
+
+val lpt_no_choice : Two_phase.t
+(** The paper's {b LPT-No Choice} algorithm (Theorem 2:
+    [2α²m/(2α²+m-1)]-competitive). *)
+
+val ls_no_choice : Two_phase.t
+(** Baseline variant: phase 1 uses List Scheduling in submission order
+    instead of LPT. Not analyzed in the paper; used in ablations. *)

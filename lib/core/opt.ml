@@ -1,0 +1,74 @@
+type result = { value : float; optimal : bool; nodes : int }
+
+let solve ?(node_limit = 10_000_000) ~m p =
+  if m < 1 then invalid_arg "Opt.solve: m must be >= 1";
+  Array.iter (fun x -> if x < 0.0 then invalid_arg "Opt.solve: negative time") p;
+  let n = Array.length p in
+  let sorted = Array.copy p in
+  Array.sort (fun a b -> Float.compare b a) sorted;
+  (* suffix.(t) = total work of tasks t..n-1 (still unassigned). *)
+  let suffix = Array.make (n + 1) 0.0 in
+  for t = n - 1 downto 0 do
+    suffix.(t) <- suffix.(t + 1) +. sorted.(t)
+  done;
+  let trivial_lb =
+    Float.max (Lower_bounds.average ~m sorted) (Lower_bounds.largest sorted)
+  in
+  let lb = Float.max trivial_lb (Lower_bounds.packing ~m sorted) in
+  (* Incumbent from LPT; epsilon below guards float equality on the
+     optimality test. *)
+  let best = ref (Assign.makespan (Assign.lpt ~m ~weights:sorted)) in
+  let eps = 1e-12 *. Float.max 1.0 !best in
+  let loads = Array.make m 0.0 in
+  let nodes = ref 0 in
+  let exceeded = ref false in
+  let rec branch t current_max =
+    if !exceeded then ()
+    else begin
+      incr nodes;
+      if !nodes > node_limit then exceeded := true
+      else if t = n then begin
+        if current_max < !best then best := current_max
+      end
+      else begin
+        (* Bound: even perfect balancing of the remaining work cannot
+           beat the incumbent, and the largest remaining task must land
+           on some machine (at best the least loaded one). *)
+        let min_load = Array.fold_left Float.min infinity loads in
+        let remaining_avg =
+          (Array.fold_left ( +. ) 0.0 loads +. suffix.(t)) /. float_of_int m
+        in
+        let lower =
+          Float.max current_max (Float.max remaining_avg (min_load +. sorted.(t)))
+        in
+        if lower < !best -. eps && !best > lb +. eps then begin
+          let w = sorted.(t) in
+          (* Symmetry: never try two machines with equal loads. *)
+          let tried = ref [] in
+          let rec try_machines i =
+            if i >= m || !exceeded then ()
+            else begin
+              let load = loads.(i) in
+              if (not (List.exists (fun l -> Float.equal l load) !tried))
+                 && load +. w < !best -. eps
+              then begin
+                tried := load :: !tried;
+                loads.(i) <- load +. w;
+                branch (t + 1) (Float.max current_max (load +. w));
+                loads.(i) <- load
+              end;
+              try_machines (i + 1)
+            end
+          in
+          try_machines 0
+        end
+      end
+    end
+  in
+  branch 0 0.0;
+  { value = !best; optimal = not !exceeded; nodes = !nodes }
+
+let makespan ~m p =
+  let r = solve ~m p in
+  if not r.optimal then failwith "Opt.makespan: node limit reached";
+  r.value

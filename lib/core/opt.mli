@@ -1,0 +1,28 @@
+(** Exact makespan minimization by branch and bound.
+
+    Computes the clairvoyant optimum [C*_max] appearing in every
+    competitive ratio of the paper. Intended for the small instances used
+    by the test suite and the adversary searches; for larger instances
+    use {!Lower_bounds} or {!Multifit}.
+
+    Tasks are assigned in decreasing-size order; the search prunes with
+    the average-load bound and breaks machine symmetry (identical empty
+    machines, identical loads), which solves instances up to roughly
+    [n = 30] quickly. *)
+
+type result = {
+  value : float;  (** Best makespan found. *)
+  optimal : bool;  (** Whether the search ran to completion. *)
+  nodes : int;  (** Search nodes visited. *)
+}
+
+val solve : ?node_limit:int -> m:int -> float array -> result
+(** [solve ~m p] minimizes the makespan of the [p] on [m] identical
+    machines. [node_limit] (default [10_000_000]) caps the search; when
+    hit, [optimal = false] and [value] is the best incumbent (an upper
+    bound on the optimum). Raises [Invalid_argument] if [m < 1] or a time
+    is negative. *)
+
+val makespan : m:int -> float array -> float
+(** [solve] and return the value; raises [Failure] if the node limit was
+    reached without proving optimality. *)

@@ -1,0 +1,76 @@
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+
+type t = { m : int; sets : Bitset.t array }
+
+let of_sets ~m sets =
+  Array.iteri
+    (fun j set ->
+      if Bitset.capacity set <> m then
+        invalid_arg
+          (Printf.sprintf "Placement.of_sets: task %d capacity mismatch" j);
+      if Bitset.is_empty set then
+        invalid_arg (Printf.sprintf "Placement.of_sets: task %d placed nowhere" j))
+    sets;
+  { m; sets = Array.copy sets }
+
+let singletons ~m assignment =
+  of_sets ~m (Array.map (fun i -> Bitset.singleton m i) assignment)
+
+let full ~m ~n = of_sets ~m (Array.init n (fun _ -> Bitset.full m))
+
+let of_group_assignment ~m ~groups assignment =
+  let group_sets =
+    Array.map (fun machines -> Bitset.of_list m (Array.to_list machines)) groups
+  in
+  of_sets ~m (Array.map (fun g -> group_sets.(g)) assignment)
+
+let n t = Array.length t.sets
+let m t = t.m
+let set t j = t.sets.(j)
+let sets t = Array.copy t.sets
+let allowed t ~task ~machine = Bitset.mem t.sets.(task) machine
+let replication t j = Bitset.cardinal t.sets.(j)
+
+let max_replication t =
+  Array.fold_left (fun acc set -> Stdlib.max acc (Bitset.cardinal set)) 0 t.sets
+
+let total_replicas t =
+  Array.fold_left (fun acc set -> acc + Bitset.cardinal set) 0 t.sets
+
+let memory_loads t ~sizes =
+  if Array.length sizes <> Array.length t.sets then
+    invalid_arg "Placement.memory_loads: sizes length mismatch";
+  let loads = Array.make t.m 0.0 in
+  Array.iteri
+    (fun j set ->
+      Bitset.iter (fun i -> loads.(i) <- loads.(i) +. sizes.(j)) set)
+    t.sets;
+  loads
+
+let memory_max t ~sizes =
+  Array.fold_left Float.max 0.0 (memory_loads t ~sizes)
+
+let without_machine t i =
+  if i < 0 || i >= t.m then invalid_arg "Placement.without_machine: machine id";
+  let exception Lost in
+  try
+    let sets =
+      Array.map
+        (fun set ->
+          let set = Bitset.copy set in
+          Bitset.remove set i;
+          if Bitset.is_empty set then raise Lost;
+          set)
+        t.sets
+    in
+    Some { m = t.m; sets }
+  with Lost -> None
+
+let survives_any_failure t =
+  let all = Array.init t.m (fun i -> i) in
+  Array.for_all (fun i -> without_machine t i <> None) all
+
+let pp ppf t =
+  Format.fprintf ppf "placement(n=%d, m=%d, max_replication=%d)" (n t) t.m
+    (max_replication t)

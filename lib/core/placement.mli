@@ -1,0 +1,70 @@
+(** Placements: the output of phase 1.
+
+    A placement gives, for every task [j], the set of machines [M_j] whose
+    local storage holds a replica of the task's input data. Phase 2 may
+    execute a task only on a machine in its set. *)
+
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+
+type t
+
+val of_sets : m:int -> Bitset.t array -> t
+(** Wraps explicit machine sets. Raises [Invalid_argument] if any set is
+    empty or has a capacity other than [m]. The array is copied (sets are
+    shared). *)
+
+val singletons : m:int -> int array -> t
+(** From a phase-1 assignment: task [j] placed only on machine
+    [assignment.(j)] (the [|M_j| = 1] regime). *)
+
+val full : m:int -> n:int -> t
+(** Every task on every machine (the [|M_j| = m] regime). *)
+
+val of_group_assignment : m:int -> groups:int array array -> int array -> t
+(** [of_group_assignment ~m ~groups assignment]: task [j] is replicated on
+    all machines of [groups.(assignment.(j))] (the [|M_j| = m/k]
+    regime). *)
+
+val n : t -> int
+val m : t -> int
+val set : t -> int -> Bitset.t
+(** The machine set of a task (shared, do not mutate). *)
+
+val sets : t -> Bitset.t array
+(** Fresh array of the (shared) per-task sets — the representation used
+    by the desim engine. *)
+
+val allowed : t -> task:int -> machine:int -> bool
+
+val replication : t -> int -> int
+(** [|M_j|] of a task. *)
+
+val max_replication : t -> int
+(** The paper's replication bound [k = max_j |M_j|]. *)
+
+val total_replicas : t -> int
+(** Sum over tasks of [|M_j|]: the global storage cost in replica count. *)
+
+val memory_loads : t -> sizes:float array -> float array
+(** [Mem_i = Σ_{j : i ∈ M_j} s_j] for every machine — each replica
+    occupies memory on its machine (memory-aware model). *)
+
+val memory_max : t -> sizes:float array -> float
+(** [Mem_max = max_i Mem_i]. *)
+
+val without_machine : t -> int -> t option
+(** [without_machine t i] is the placement after machine [i] fails: [i]
+    is removed from every task's machine set (the data on the lost disk
+    is gone). [None] if some task kept its data only on [i] — the
+    workload can no longer complete. The machine count is unchanged;
+    the failed machine simply holds nothing. This is the fault-tolerance
+    reading of replication from the paper's introduction (HDFS keeps
+    replicas to survive exactly this event). *)
+
+val survives_any_failure : t -> bool
+(** Whether every single-machine failure leaves the workload completable
+    (every task has at least two replicas, or [m = 1] trivially never
+    survives). *)
+
+val pp : Format.formatter -> t -> unit

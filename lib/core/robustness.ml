@@ -1,0 +1,44 @@
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Schedule = Usched_desim.Schedule
+module Summary = Usched_stats.Summary
+module Rng = Usched_prng.Rng
+
+type profile = {
+  degradation : Summary.t;
+  ratio : Summary.t;
+  worst_ratio : float;
+}
+
+let profile ?(samples = 100) ~realize ~rng algo instance =
+  let placement = algo.Two_phase.phase1 instance in
+  let run realization = algo.Two_phase.phase2 instance placement realization in
+  let baseline = Schedule.makespan (run (Realization.exact instance)) in
+  let degradation = Summary.create () and ratio = Summary.create () in
+  for _ = 1 to samples do
+    let realization = realize instance rng in
+    let makespan = Schedule.makespan (run realization) in
+    Summary.add degradation (makespan /. baseline);
+    let lb =
+      Lower_bounds.best ~m:(Instance.m instance) (Realization.actuals realization)
+    in
+    Summary.add ratio (makespan /. lb)
+  done;
+  { degradation; ratio; worst_ratio = Summary.max ratio }
+
+let price_of_robustness ?(samples = 100) ~realize ~rng ~baseline algo instance =
+  let placement = algo.Two_phase.phase1 instance in
+  let baseline_placement = baseline.Two_phase.phase1 instance in
+  let total = ref 0.0 in
+  for _ = 1 to samples do
+    let realization = realize instance rng in
+    let ours =
+      Schedule.makespan (algo.Two_phase.phase2 instance placement realization)
+    in
+    let theirs =
+      Schedule.makespan
+        (baseline.Two_phase.phase2 instance baseline_placement realization)
+    in
+    total := !total +. (ours /. theirs)
+  done;
+  !total /. float_of_int samples

@@ -1,0 +1,45 @@
+(** Robustness measures for two-phase algorithms.
+
+    The related-work section contrasts the paper's worst-case analysis
+    with sensitivity-based robustness metrics (Canon & Jeannot). This
+    module provides those complementary measures so experiments can
+    report both: how much a fixed placement's makespan degrades across
+    sampled realizations, relative to (a) the undisturbed run and (b)
+    the clairvoyant optimum of each realization. *)
+
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+
+type profile = {
+  degradation : Usched_stats.Summary.t;
+      (** [C_max(realization) / C_max(estimates exact)] across samples —
+          sensitivity of the committed placement to perturbations. *)
+  ratio : Usched_stats.Summary.t;
+      (** [C_max(realization) / LB(realization)] across samples — an
+          upper bound on the per-realization competitive ratio. *)
+  worst_ratio : float;
+}
+
+val profile :
+  ?samples:int ->
+  realize:(Instance.t -> Usched_prng.Rng.t -> Realization.t) ->
+  rng:Usched_prng.Rng.t ->
+  Two_phase.t ->
+  Instance.t ->
+  profile
+(** [profile ~samples ~realize ~rng algo instance] commits phase 1 once
+    and replays phase 2 against [samples] sampled realizations (default
+    100). *)
+
+val price_of_robustness :
+  ?samples:int ->
+  realize:(Instance.t -> Usched_prng.Rng.t -> Realization.t) ->
+  rng:Usched_prng.Rng.t ->
+  baseline:Two_phase.t ->
+  Two_phase.t ->
+  Instance.t ->
+  float
+(** Mean ratio between the algorithm's and the baseline's makespans over
+    shared realizations: below 1 means the algorithm is more robust than
+    the baseline on this instance. Both algorithms see the exact same
+    realization sequence. *)

@@ -1,0 +1,17 @@
+(** The SABO_Δ algorithm (static asymmetric bi-objective, Section 6.1).
+
+    Phase 1 applies the {!Sbo} split and pins every task to the machine
+    its side of the split dictates — no replication. Phase 2 executes the
+    static assignment. Guarantees (Theorems 5-6):
+    [(1+Δ)·α²·ρ1] on makespan and [(1+1/Δ)·ρ2] on memory. *)
+
+module Instance = Usched_model.Instance
+
+val algorithm : delta:float -> Two_phase.t
+(** The two-phase SABO_Δ algorithm. *)
+
+val placement : delta:float -> Instance.t -> Placement.t
+(** Its phase-1 placement (singletons), exposed for memory accounting. *)
+
+val split : delta:float -> Instance.t -> Sbo.split
+(** The underlying SBO split (same as {!Sbo.split}). *)

@@ -1,0 +1,40 @@
+module Instance = Usched_model.Instance
+
+type split = {
+  delta : float;
+  time_intensive : bool array;
+  pi1 : Assign.result;
+  pi2 : Assign.result;
+  c_pi1 : float;
+  mem_pi2 : float;
+}
+
+let split ~delta instance =
+  if not (delta > 0.0) then invalid_arg "Sbo.split: delta must be > 0";
+  let pi1 = Memory.pi1 instance in
+  let pi2 = Memory.pi2 instance in
+  let c_pi1 = Assign.makespan pi1 in
+  let mem_pi2 = Assign.makespan pi2 in
+  let time_intensive =
+    Array.init (Instance.n instance) (fun j ->
+        if mem_pi2 <= 0.0 then true
+        else
+          let time_demand = Instance.est instance j /. c_pi1 in
+          let mem_demand = Instance.size instance j /. mem_pi2 in
+          time_demand > delta *. mem_demand)
+  in
+  { delta; time_intensive; pi1; pi2; c_pi1; mem_pi2 }
+
+let assignment s =
+  Array.mapi
+    (fun j in_s1 ->
+      if in_s1 then s.pi1.Assign.assignment.(j) else s.pi2.Assign.assignment.(j))
+    s.time_intensive
+
+let tasks_where predicate s =
+  let acc = ref [] in
+  Array.iteri (fun j in_s1 -> if predicate in_s1 then acc := j :: !acc) s.time_intensive;
+  List.rev !acc
+
+let s1_tasks s = tasks_where (fun in_s1 -> in_s1) s
+let s2_tasks s = tasks_where (fun in_s1 -> not in_s1) s

@@ -1,0 +1,32 @@
+(** The SBO_Δ split (from the paper's reference [IPDPS 2008]).
+
+    SBO_Δ combines a makespan-approximated schedule [π1] and a
+    memory-approximated schedule [π2]: a task follows [π2] when its
+    processing-time demand (relative to [π1]'s makespan) is at most [Δ]
+    times its memory demand (relative to [π2]'s memory), and follows [π1]
+    otherwise. Both SABO_Δ and ABO_Δ reuse this classification of tasks
+    into the time-intensive set [S1] and the memory-intensive set [S2]. *)
+
+module Instance = Usched_model.Instance
+
+type split = {
+  delta : float;
+  time_intensive : bool array;  (** [true] = task in [S1] (follows π1). *)
+  pi1 : Assign.result;
+  pi2 : Assign.result;
+  c_pi1 : float;  (** Estimated makespan of π1 ([C̃^π1_max]). *)
+  mem_pi2 : float;  (** Memory of the most occupied machine under π2. *)
+}
+
+val split : delta:float -> Instance.t -> split
+(** Classify every task. A task [j] joins [S2] iff
+    [p̃_j / C̃^π1 <= Δ · s_j / Mem^π2]. If every task has zero size the
+    memory objective is trivial and everything joins [S1]. Raises
+    [Invalid_argument] if [delta <= 0]. *)
+
+val assignment : split -> int array
+(** The combined SBO_Δ assignment: [π2]'s machine for [S2] tasks, [π1]'s
+    machine for [S1] tasks. *)
+
+val s1_tasks : split -> int list
+val s2_tasks : split -> int list

@@ -1,0 +1,61 @@
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Schedule = Usched_desim.Schedule
+
+type t = Realization.t list
+
+let sample ~count ~realize ~rng instance =
+  if count < 1 then invalid_arg "Scenarios.sample: count < 1";
+  List.init count (fun _ -> realize instance rng)
+
+type evaluation = {
+  algorithm : Two_phase.t;
+  worst : float;
+  mean : float;
+  per_scenario : float array;
+}
+
+let evaluate algorithm instance scenarios =
+  if scenarios = [] then invalid_arg "Scenarios.evaluate: empty scenario set";
+  let placement = algorithm.Two_phase.phase1 instance in
+  let per_scenario =
+    Array.of_list
+      (List.map
+         (fun realization ->
+           Schedule.makespan
+             (algorithm.Two_phase.phase2 instance placement realization))
+         scenarios)
+  in
+  let worst = Array.fold_left Float.max neg_infinity per_scenario in
+  let mean =
+    Array.fold_left ( +. ) 0.0 per_scenario
+    /. float_of_int (Array.length per_scenario)
+  in
+  { algorithm; worst; mean; per_scenario }
+
+type criterion = Minimize_worst | Minimize_mean
+
+let score criterion evaluation =
+  match criterion with
+  | Minimize_worst -> evaluation.worst
+  | Minimize_mean -> evaluation.mean
+
+let select criterion ~portfolio instance scenarios =
+  match portfolio with
+  | [] -> invalid_arg "Scenarios.select: empty portfolio"
+  | first :: rest ->
+      List.fold_left
+        (fun best algorithm ->
+          let candidate = evaluate algorithm instance scenarios in
+          if score criterion candidate < score criterion best then candidate
+          else best)
+        (evaluate first instance scenarios)
+        rest
+
+let default_portfolio ~m =
+  let divisors =
+    List.filter (fun k -> k > 1 && k < m && m mod k = 0) (List.init m (fun i -> i + 1))
+  in
+  [ No_replication.lpt_no_choice ]
+  @ List.map (fun k -> Group_replication.ls_group ~k) divisors
+  @ [ Budgeted.uniform ~k:(Stdlib.max 2 (m / 2)); Full_replication.lpt_no_restriction ]

@@ -1,0 +1,51 @@
+(** Scenario-based robust selection (related-work bridge).
+
+    The robust-scheduling literature the paper builds on (Daniels &
+    Kouvelis; Canon & Jeannot) structures uncertainty as a finite set of
+    {e scenarios}. This module provides that complementary machinery on
+    top of the two-phase framework: sample a scenario set once, evaluate
+    any algorithm's committed placement against every scenario, and pick
+    from a portfolio of algorithms the one with the best worst-case (or
+    best average) makespan over the set.
+
+    This is decision support, not a new guarantee: the paper's theorems
+    bound all realizations; scenario selection tunes the knobs (k, Δ,
+    replication counts) for the realizations one actually expects. *)
+
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+
+type t = Realization.t list
+(** A non-empty scenario set over one instance. *)
+
+val sample :
+  count:int ->
+  realize:(Instance.t -> Usched_prng.Rng.t -> Realization.t) ->
+  rng:Usched_prng.Rng.t ->
+  Instance.t ->
+  t
+(** [count] independent scenario draws. Raises [Invalid_argument] if
+    [count < 1]. *)
+
+type evaluation = {
+  algorithm : Two_phase.t;
+  worst : float;  (** Worst makespan over the set. *)
+  mean : float;
+  per_scenario : float array;
+}
+
+val evaluate : Two_phase.t -> Instance.t -> t -> evaluation
+(** Commit phase 1 once, replay phase 2 on every scenario. *)
+
+type criterion = Minimize_worst | Minimize_mean
+
+val select :
+  criterion -> portfolio:Two_phase.t list -> Instance.t -> t -> evaluation
+(** Evaluate every portfolio member and return the best under the
+    criterion (ties broken by portfolio order). Raises
+    [Invalid_argument] on an empty portfolio or empty scenario set. *)
+
+val default_portfolio : m:int -> Two_phase.t list
+(** A sensible spread over the paper's strategies: no replication,
+    groups at several k (divisors of [m]), budgeted overlap, and full
+    replication. *)

@@ -1,0 +1,25 @@
+module Instance = Usched_model.Instance
+module Bitset = Usched_model.Bitset
+
+let placement ~count instance =
+  let m = Instance.m instance and n = Instance.n instance in
+  let count = Stdlib.max 0 (Stdlib.min n count) in
+  let order = Instance.lpt_order instance in
+  let replicated = Array.make n false in
+  for rank = 0 to count - 1 do
+    replicated.(order.(rank)) <- true
+  done;
+  let lpt = No_replication.lpt_assignment instance in
+  let sets =
+    Array.init n (fun j ->
+        if replicated.(j) then Bitset.full m
+        else Bitset.singleton m lpt.Assign.assignment.(j))
+  in
+  Placement.of_sets ~m sets
+
+let algorithm ~count =
+  {
+    Two_phase.name = Printf.sprintf "Selective(top=%d)" count;
+    phase1 = (fun instance -> placement ~count instance);
+    phase2 = Two_phase.lpt_order_phase2;
+  }

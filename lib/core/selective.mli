@@ -1,0 +1,19 @@
+(** Selective replication (the paper's future-work cost model).
+
+    The conclusion suggests replicating "only some critical tasks" to
+    limit memory usage. This extension replicates the [count] largest
+    estimated tasks everywhere and pins the rest with LPT — the critical
+    tasks are exactly the ones whose misestimation hurts the makespan
+    most, while the memory overhead stays [count · s] instead of
+    [n · s]. *)
+
+module Instance = Usched_model.Instance
+
+val placement : count:int -> Instance.t -> Placement.t
+(** Full sets for the [count] largest estimates, LPT singletons for the
+    others. [count] is clamped to [0..n]. *)
+
+val algorithm : count:int -> Two_phase.t
+(** Two-phase algorithm with the above placement and online LPT in phase
+    2. [count = 0] degenerates to LPT-No Choice; [count >= n] to LPT-No
+    Restriction. *)

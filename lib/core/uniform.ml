@@ -1,0 +1,121 @@
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Schedule = Usched_desim.Schedule
+module Engine = Usched_desim.Engine
+
+let check_speeds ~m speeds =
+  if Array.length speeds <> m then
+    invalid_arg "Uniform: speeds length differs from machine count";
+  Array.iter
+    (fun s ->
+      if not (Float.is_finite s && s > 0.0) then
+        invalid_arg "Uniform: speeds must be finite and > 0")
+    speeds
+
+let lpt_assignment ~speeds instance =
+  let m = Instance.m instance in
+  check_speeds ~m speeds;
+  let finish = Array.make m 0.0 in
+  let assignment = Array.make (Instance.n instance) 0 in
+  Array.iter
+    (fun j ->
+      let est = Instance.est instance j in
+      let best = ref 0 in
+      let best_finish = ref infinity in
+      for i = 0 to m - 1 do
+        let candidate = finish.(i) +. (est /. speeds.(i)) in
+        if candidate < !best_finish then begin
+          best := i;
+          best_finish := candidate
+        end
+      done;
+      assignment.(j) <- !best;
+      finish.(!best) <- !best_finish)
+    (Instance.lpt_order instance);
+  { Assign.assignment; loads = finish }
+
+let lower_bound ~speeds p =
+  let m = Array.length speeds in
+  check_speeds ~m speeds;
+  Array.iter
+    (fun x -> if x < 0.0 then invalid_arg "Uniform.lower_bound: negative time")
+    p;
+  let sorted_p = Array.copy p in
+  Array.sort (fun a b -> Float.compare b a) sorted_p;
+  let sorted_s = Array.copy speeds in
+  Array.sort (fun a b -> Float.compare b a) sorted_s;
+  let bound = ref 0.0 in
+  let work = ref 0.0 and speed = ref 0.0 in
+  for k = 0 to Stdlib.min m (Array.length p) - 1 do
+    work := !work +. sorted_p.(k);
+    speed := !speed +. sorted_s.(k);
+    (* The k+1 largest tasks can at best share the k+1 fastest machines. *)
+    if !speed > 0.0 then bound := Float.max !bound (!work /. !speed)
+  done;
+  (* All the work on all the machines. *)
+  let total = Array.fold_left ( +. ) 0.0 p in
+  let total_speed = Array.fold_left ( +. ) 0.0 speeds in
+  Float.max !bound (total /. total_speed)
+
+let engine_phase2 ~speeds ~order instance placement realization =
+  Engine.run ~speeds instance realization
+    ~placement:(Placement.sets placement)
+    ~order:(order instance)
+
+let lpt_no_choice ~speeds =
+  {
+    Two_phase.name = "Uniform LPT-No Choice";
+    phase1 =
+      (fun instance ->
+        Placement.singletons ~m:(Instance.m instance)
+          (lpt_assignment ~speeds instance).Assign.assignment);
+    phase2 = engine_phase2 ~speeds ~order:Instance.lpt_order;
+  }
+
+let lpt_no_restriction ~speeds =
+  {
+    Two_phase.name = "Uniform LPT-No Restriction";
+    phase1 =
+      (fun instance ->
+        check_speeds ~m:(Instance.m instance) speeds;
+        Placement.full ~m:(Instance.m instance) ~n:(Instance.n instance));
+    phase2 = engine_phase2 ~speeds ~order:Instance.lpt_order;
+  }
+
+let ls_group ~speeds ~k =
+  {
+    Two_phase.name = Printf.sprintf "Uniform LS-Group(k=%d)" k;
+    phase1 =
+      (fun instance ->
+        let m = Instance.m instance in
+        check_speeds ~m speeds;
+        let groups = Group_replication.machine_groups ~m ~k in
+        let group_speed =
+          Array.map
+            (fun machines ->
+              Array.fold_left (fun acc i -> acc +. speeds.(i)) 0.0 machines)
+            groups
+        in
+        (* Greedy over groups: place each task where its estimated
+           finish (group load / group speed) stays smallest. *)
+        let loads = Array.make k 0.0 in
+        let assignment = Array.make (Instance.n instance) 0 in
+        Array.iteri
+          (fun j _ ->
+            let est = Instance.est instance j in
+            let best = ref 0 and best_cost = ref infinity in
+            for g = 0 to k - 1 do
+              let cost = (loads.(g) +. est) /. group_speed.(g) in
+              if cost < !best_cost then begin
+                best := g;
+                best_cost := cost
+              end
+            done;
+            assignment.(j) <- !best;
+            loads.(!best) <- loads.(!best) +. est)
+          (Instance.tasks instance);
+        Placement.of_group_assignment ~m ~groups assignment);
+    phase2 =
+      engine_phase2 ~speeds ~order:(fun inst ->
+          Array.init (Instance.n inst) (fun j -> j));
+  }

@@ -1,0 +1,50 @@
+(** Uniform (related) machines: heterogeneity as an extension.
+
+    The paper studies identical machines; real clusters (its MapReduce
+    motivation) mix fast and slow nodes, and machine heterogeneity is one
+    of the reasons estimates miss. This extension gives every machine a
+    speed [s_i] — a task with processing requirement [p] occupies machine
+    [i] for [p / s_i] — and ports the paper's two-phase pipeline:
+
+    - phase 1: earliest-completion-time LPT on the estimates (the
+      uniform-machines analogue of Graham's LPT);
+    - phase 2: the desim engine with speeds — an idle machine grabs the
+      highest-priority eligible task, so faster machines naturally serve
+      more work.
+
+    No competitive-ratio theorems are claimed here (the paper's proofs
+    are for identical machines); the [hetero] experiment measures the
+    ratios empirically against {!lower_bound}. *)
+
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Schedule = Usched_desim.Schedule
+
+val check_speeds : m:int -> float array -> unit
+(** Raises [Invalid_argument] unless there are exactly [m] strictly
+    positive finite speeds. *)
+
+val lpt_assignment : speeds:float array -> Instance.t -> Assign.result
+(** Offline ECT-LPT on estimates: tasks in decreasing estimate order,
+    each to the machine that would finish it earliest. [loads] are
+    per-machine {e finish times} (work divided by speed). *)
+
+val lower_bound : speeds:float array -> float array -> float
+(** Sound lower bound on the optimal uniform-machines makespan:
+    max over [k] of (sum of the [k] largest tasks) / (sum of the [k]
+    largest speeds), with [k] up to [m] — for [k = m] this is total work
+    over total speed; for [k = 1] the largest task on the fastest
+    machine. *)
+
+val lpt_no_choice : speeds:float array -> Two_phase.t
+(** Strategy 1 on uniform machines: ECT-LPT placement, pinned
+    execution. *)
+
+val lpt_no_restriction : speeds:float array -> Two_phase.t
+(** Strategy 2 on uniform machines: replicate everywhere, online LPT
+    with speeds. *)
+
+val ls_group : speeds:float array -> k:int -> Two_phase.t
+(** Strategy 3 on uniform machines: contiguous machine groups, phase-1
+    greedy over groups weighted by group speed, online LS inside groups
+    with speeds. *)

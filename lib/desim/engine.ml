@@ -1,0 +1,110 @@
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+
+type event =
+  | Started of { time : float; machine : int; task : int }
+  | Completed of { time : float; machine : int; task : int }
+
+let check_inputs ?speeds instance ~placement ~order =
+  let n = Instance.n instance and m = Instance.m instance in
+  (match speeds with
+  | None -> ()
+  | Some s ->
+      if Array.length s <> m then
+        invalid_arg "Engine.run: speeds length differs from machine count";
+      Array.iter
+        (fun v ->
+          if not (v > 0.0) then invalid_arg "Engine.run: speeds must be > 0")
+        s);
+  if Array.length placement <> n then
+    invalid_arg "Engine.run: placement length differs from instance";
+  Array.iteri
+    (fun j set ->
+      if Bitset.capacity set <> m then
+        invalid_arg (Printf.sprintf "Engine.run: placement of task %d has wrong capacity" j);
+      if Bitset.is_empty set then
+        invalid_arg (Printf.sprintf "Engine.run: task %d is placed nowhere" j))
+    placement;
+  if Array.length order <> n then
+    invalid_arg "Engine.run: order length differs from instance";
+  let seen = Array.make n false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= n || seen.(j) then
+        invalid_arg "Engine.run: order is not a permutation of task ids";
+      seen.(j) <- true)
+    order
+
+(* Events are (idle time, machine id); the id breaks ties deterministically. *)
+let compare_idle (ta, ia) (tb, ib) =
+  match Float.compare ta tb with 0 -> Int.compare ia ib | c -> c
+
+let run_internal ?speeds instance realization ~placement ~order ~emit =
+  check_inputs ?speeds instance ~placement ~order;
+  let n = Instance.n instance and m = Instance.m instance in
+  let speed_of i = match speeds with None -> 1.0 | Some s -> s.(i) in
+  let scheduled = Array.make n false in
+  let entries =
+    Array.make n { Schedule.machine = 0; start = 0.0; finish = 0.0 }
+  in
+  let remaining = ref n in
+  (* cursor.(i): every order position before it is permanently unavailable
+     to machine i (already scheduled, or data not on i) — eligibility never
+     grows, so cursors only move forward and the total scan is O(m*n). *)
+  let cursor = Array.make m 0 in
+  let queue = Pqueue.create ~compare:compare_idle () in
+  for i = 0 to m - 1 do
+    Pqueue.push queue (0.0, i)
+  done;
+  let find_task i =
+    (* The scan is contiguous from the cursor: every skipped position is
+       permanently unavailable to i, and the found position becomes
+       scheduled, so the cursor always lands just past the last visited
+       position. *)
+    let rec scan pos =
+      if pos >= n then None
+      else begin
+        cursor.(i) <- pos + 1;
+        let j = order.(pos) in
+        if (not scheduled.(j)) && Bitset.mem placement.(j) i then Some j
+        else scan (pos + 1)
+      end
+    in
+    scan cursor.(i)
+  in
+  let rec loop () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some (time, i) ->
+        (match find_task i with
+        | None -> () (* machine i retires: nothing it holds remains *)
+        | Some j ->
+            let finish = time +. (Realization.actual realization j /. speed_of i) in
+            entries.(j) <- { Schedule.machine = i; start = time; finish };
+            scheduled.(j) <- true;
+            remaining := !remaining - 1;
+            emit (Started { time; machine = i; task = j });
+            emit (Completed { time = finish; machine = i; task = j });
+            Pqueue.push queue (finish, i));
+        loop ()
+  in
+  loop ();
+  if !remaining > 0 then failwith "Engine.run: unschedulable tasks remain";
+  Schedule.make ~m entries
+
+let run ?speeds instance realization ~placement ~order =
+  run_internal ?speeds instance realization ~placement ~order ~emit:(fun _ -> ())
+
+let run_traced ?speeds instance realization ~placement ~order =
+  let events = ref [] in
+  let schedule =
+    run_internal ?speeds instance realization ~placement ~order
+      ~emit:(fun e -> events := e :: !events)
+  in
+  let time_of = function Started { time; _ } | Completed { time; _ } -> time in
+  let chronological =
+    List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b))
+      (List.rev !events)
+  in
+  (schedule, chronological)

@@ -1,0 +1,52 @@
+(** The phase-2 execution engine.
+
+    Every online policy in the paper is an instance of {e
+    eligibility-restricted list scheduling}: tasks carry a fixed priority
+    order, and whenever a machine becomes idle it starts the
+    highest-priority unscheduled task whose data it holds. The engine
+    simulates this with a machine-idle event queue; actual processing
+    times drive the clock (they are only "revealed" through completion
+    events, exactly the semi-clairvoyant model of the paper).
+
+    Instances of this engine:
+    - LPT-No Restriction: full placement, order = estimates descending;
+    - Graham LS: full placement, order = submission order;
+    - LS-Group phase 2: group placement, order = phase-1 group assignment
+      order;
+    - static strategies: singleton placements (the order is irrelevant).
+
+    Determinism: simultaneous idle machines are served in increasing
+    machine id; the task order breaks all other ties. *)
+
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+
+type event =
+  | Started of { time : float; machine : int; task : int }
+  | Completed of { time : float; machine : int; task : int }
+
+val run :
+  ?speeds:float array ->
+  Instance.t ->
+  Realization.t ->
+  placement:Bitset.t array ->
+  order:int array ->
+  Schedule.t
+(** Simulate to completion. [speeds] (default all 1.0) gives each
+    machine a speed: a task with actual processing requirement [p]
+    occupies machine [i] for [p / speeds.(i)] — the uniform (related)
+    machines extension. Raises [Invalid_argument] when [placement] or
+    [order] is malformed (wrong length, empty machine set, order not a
+    permutation), when [speeds] has the wrong length or a non-positive
+    entry, and [Failure] if some task can never be scheduled (impossible
+    for well-formed inputs). *)
+
+val run_traced :
+  ?speeds:float array ->
+  Instance.t ->
+  Realization.t ->
+  placement:Bitset.t array ->
+  order:int array ->
+  Schedule.t * event list
+(** Like {!run}, also returning the chronological event log. *)

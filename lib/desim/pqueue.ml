@@ -1,0 +1,79 @@
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create ~compare () = { compare; data = [||]; size = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t x =
+  if t.size = Array.length t.data then begin
+    let capacity = Stdlib.max 8 (2 * Array.length t.data) in
+    let data = Array.make capacity x in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.compare t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && t.compare t.data.(left) t.data.(!smallest) < 0 then
+    smallest := left;
+  if right < t.size && t.compare t.data.(right) t.data.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let root = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some root
+  end
+
+let pop_exn t =
+  match pop t with
+  | Some x -> x
+  | None -> invalid_arg "Pqueue.pop_exn: empty heap"
+
+let of_array ~compare a =
+  let t = { compare; data = Array.copy a; size = Array.length a } in
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+let drain t =
+  let rec loop acc = match pop t with None -> List.rev acc | Some x -> loop (x :: acc) in
+  loop []

@@ -1,0 +1,111 @@
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+
+type entry = { machine : int; start : float; finish : float }
+
+type t = { m : int; entries : entry array }
+
+let make ~m entries =
+  Array.iteri
+    (fun j e ->
+      if e.machine < 0 || e.machine >= m then
+        invalid_arg (Printf.sprintf "Schedule.make: task %d on machine %d" j e.machine);
+      if e.start < 0.0 || e.finish < e.start then
+        invalid_arg (Printf.sprintf "Schedule.make: task %d has bad times" j))
+    entries;
+  { m; entries = Array.copy entries }
+
+let n t = Array.length t.entries
+let m t = t.m
+let entry t j = t.entries.(j)
+let machine_of t j = t.entries.(j).machine
+
+let makespan t = Array.fold_left (fun acc e -> Float.max acc e.finish) 0.0 t.entries
+
+let loads t =
+  let loads = Array.make t.m 0.0 in
+  Array.iter
+    (fun e -> loads.(e.machine) <- loads.(e.machine) +. (e.finish -. e.start))
+    t.entries;
+  loads
+
+let machine_tasks t i =
+  let tasks = ref [] in
+  Array.iteri (fun j e -> if e.machine = i then tasks := j :: !tasks) t.entries;
+  List.sort
+    (fun a b -> Float.compare t.entries.(a).start t.entries.(b).start)
+    !tasks
+
+let assignment t = Array.map (fun e -> e.machine) t.entries
+
+let of_assignment ~m ~durations assignment =
+  if Array.length durations <> Array.length assignment then
+    invalid_arg "Schedule.of_assignment: length mismatch";
+  let next_free = Array.make m 0.0 in
+  let entries =
+    Array.mapi
+      (fun j machine ->
+        let start = next_free.(machine) in
+        let finish = start +. durations.(j) in
+        next_free.(machine) <- finish;
+        { machine; start; finish })
+      assignment
+  in
+  make ~m entries
+
+type violation =
+  | Overlap of { machine : int; task_a : int; task_b : int }
+  | Wrong_duration of { task : int; expected : float; got : float }
+  | Not_allowed of { task : int; machine : int }
+
+let validate ?placement ?speeds instance realization t =
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  let tolerance = 1e-9 *. Float.max 1.0 (makespan t) in
+  let speed_of i = match speeds with None -> 1.0 | Some s -> s.(i) in
+  (* Durations must match the realized actual times (scaled by machine
+     speed on uniform machines). *)
+  Array.iteri
+    (fun j e ->
+      let expected = Realization.actual realization j /. speed_of e.machine in
+      let got = e.finish -. e.start in
+      if Float.abs (expected -. got) > tolerance then
+        push (Wrong_duration { task = j; expected; got }))
+    t.entries;
+  (* Data locality: each task ran where its data was placed. *)
+  (match placement with
+  | None -> ()
+  | Some sets ->
+      Array.iteri
+        (fun j e ->
+          if not (Bitset.mem sets.(j) e.machine) then
+            push (Not_allowed { task = j; machine = e.machine }))
+        t.entries);
+  (* No two tasks overlap on one machine. *)
+  for i = 0 to t.m - 1 do
+    let tasks = machine_tasks t i in
+    let rec check = function
+      | a :: (b :: _ as rest) ->
+          if t.entries.(a).finish > t.entries.(b).start +. tolerance then
+            push (Overlap { machine = i; task_a = a; task_b = b });
+          check rest
+      | _ -> ()
+    in
+    check tasks
+  done;
+  ignore instance;
+  List.rev !violations
+
+let pp_violation ppf = function
+  | Overlap { machine; task_a; task_b } ->
+      Format.fprintf ppf "overlap on machine %d between tasks %d and %d" machine
+        task_a task_b
+  | Wrong_duration { task; expected; got } ->
+      Format.fprintf ppf "task %d ran for %g instead of %g" task got expected
+  | Not_allowed { task; machine } ->
+      Format.fprintf ppf "task %d executed on machine %d without its data" task
+        machine
+
+let pp ppf t =
+  Format.fprintf ppf "schedule(n=%d, m=%d, makespan=%g)" (n t) t.m (makespan t)

@@ -1,0 +1,62 @@
+(** Completed schedules and their quality measures.
+
+    The output of phase 2: for every task, the machine that executed it and
+    its start/finish times. Provides the makespan [C_max], per-machine
+    loads, and a validator that re-checks every structural property the
+    engine is supposed to guarantee (used heavily by the test suite). *)
+
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+
+type entry = { machine : int; start : float; finish : float }
+
+type t
+
+val make : m:int -> entry array -> t
+(** [make ~m entries] wraps per-task entries. Raises [Invalid_argument] on
+    negative times, [finish < start], or machines outside [0, m). *)
+
+val n : t -> int
+val m : t -> int
+
+val entry : t -> int -> entry
+(** Entry of a task id. *)
+
+val machine_of : t -> int -> int
+val makespan : t -> float
+
+val loads : t -> float array
+(** Total busy time per machine. *)
+
+val machine_tasks : t -> int -> int list
+(** Tasks run by a machine, in increasing start order. *)
+
+val assignment : t -> int array
+(** Per-task machine, as a fresh array. *)
+
+val of_assignment : m:int -> durations:float array -> int array -> t
+(** Build the schedule that runs each task on its assigned machine
+    back-to-back in task-id order — the canonical schedule of a static
+    (phase-1-only) assignment. *)
+
+type violation =
+  | Overlap of { machine : int; task_a : int; task_b : int }
+  | Wrong_duration of { task : int; expected : float; got : float }
+  | Not_allowed of { task : int; machine : int }
+
+val validate :
+  ?placement:Bitset.t array ->
+  ?speeds:float array ->
+  Instance.t ->
+  Realization.t ->
+  t ->
+  violation list
+(** All structural violations of the schedule w.r.t. the realization and
+    (optionally) a placement: task durations must equal actual times
+    (divided by the executing machine's speed when [speeds] is given),
+    tasks on one machine must not overlap, and each task must run on a
+    machine holding its data. Empty list = valid. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+type machine_stats = {
+  machine : int;
+  busy : float;
+  finish : float;
+  tasks : int;
+  idle_before_finish : float;
+}
+
+let machine_stats schedule =
+  Array.init (Schedule.m schedule) (fun i ->
+      let tasks = Schedule.machine_tasks schedule i in
+      let busy, finish =
+        List.fold_left
+          (fun (busy, finish) task ->
+            let e = Schedule.entry schedule task in
+            ( busy +. (e.Schedule.finish -. e.Schedule.start),
+              Float.max finish e.Schedule.finish ))
+          (0.0, 0.0) tasks
+      in
+      {
+        machine = i;
+        busy;
+        finish;
+        tasks = List.length tasks;
+        idle_before_finish = finish -. busy;
+      })
+
+let utilization schedule =
+  let horizon = Schedule.makespan schedule in
+  if horizon <= 0.0 then 0.0
+  else begin
+    let stats = machine_stats schedule in
+    let busy = Array.fold_left (fun acc s -> acc +. s.busy) 0.0 stats in
+    busy /. (float_of_int (Schedule.m schedule) *. horizon)
+  end
+
+let render_events events =
+  let buffer = Buffer.create 256 in
+  List.iter
+    (fun event ->
+      let line =
+        match event with
+        | Engine.Started { time; machine; task } ->
+            Printf.sprintf "t=%-10.4f m%-3d start    task %d\n" time machine task
+        | Engine.Completed { time; machine; task } ->
+            Printf.sprintf "t=%-10.4f m%-3d complete task %d\n" time machine task
+      in
+      Buffer.add_string buffer line)
+    events;
+  Buffer.contents buffer
+
+let render_stats schedule =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer "machine  tasks      busy    finish      idle\n";
+  Array.iter
+    (fun s ->
+      Buffer.add_string buffer
+        (Printf.sprintf "m%-7d %5d %9.3f %9.3f %9.3f\n" s.machine s.tasks s.busy
+           s.finish s.idle_before_finish))
+    (machine_stats schedule);
+  Buffer.add_string buffer
+    (Printf.sprintf "utilization: %.1f%% of m * makespan\n"
+       (100.0 *. utilization schedule));
+  Buffer.contents buffer

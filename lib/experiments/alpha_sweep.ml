@@ -1,0 +1,96 @@
+module Instance = Usched_model.Instance
+module Uncertainty = Usched_model.Uncertainty
+module Workload = Usched_model.Workload
+module Core = Usched_core
+module Table = Usched_report.Table
+module Plot = Usched_report.Ascii_plot
+module Rng = Usched_prng.Rng
+
+let worst_over_instances config algo instances =
+  List.fold_left
+    (fun acc instance ->
+      Float.max acc (Runner.adversarial_ratio config algo instance))
+    neg_infinity instances
+
+let instances_at config ~m ~alpha =
+  List.map
+    (fun (i, n) ->
+      Workload.generate
+        (if i = 0 then Workload.Identical 1.0
+         else Workload.Uniform { lo = 1.0; hi = 5.0 })
+        ~n ~m
+        ~alpha:(Uncertainty.alpha alpha)
+        (Rng.create ~seed:(config.Runner.seed + i) ()))
+    [ (0, 12); (1, 10); (2, 12) ]
+
+let run config =
+  Runner.print_section
+    "Alpha sweep -- from offline (alpha=1) toward non-clairvoyant (alpha large)";
+  let m = 4 in
+  let alphas = [ 1.0; 1.1; 1.25; 1.5; 1.75; 2.0; 2.5; 3.0; 4.0 ] in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("alpha", Table.Right);
+          ("no-repl worst", Table.Right);
+          ("no-repl Th2", Table.Right);
+          ("full-repl worst", Table.Right);
+          ("full-repl bound", Table.Right);
+          ("Th1 impossibility", Table.Right);
+        ]
+  in
+  let measured_nc = ref [] and measured_fr = ref [] in
+  let csv_rows = ref [] in
+  List.iter
+    (fun alpha ->
+      let instances = instances_at config ~m ~alpha in
+      let no_repl =
+        worst_over_instances config Core.No_replication.lpt_no_choice instances
+      in
+      let full_repl =
+        worst_over_instances config Core.Full_replication.lpt_no_restriction
+          instances
+      in
+      measured_nc := (alpha, no_repl) :: !measured_nc;
+      measured_fr := (alpha, full_repl) :: !measured_fr;
+      csv_rows :=
+        [
+          Printf.sprintf "%.4f" alpha;
+          Printf.sprintf "%.6f" no_repl;
+          Printf.sprintf "%.6f" (Core.Guarantees.lpt_no_choice ~m ~alpha);
+          Printf.sprintf "%.6f" full_repl;
+          Printf.sprintf "%.6f" (Core.Guarantees.full_replication ~m ~alpha);
+          Printf.sprintf "%.6f"
+            (Core.Guarantees.no_replication_lower_bound ~m ~alpha);
+        ]
+        :: !csv_rows;
+      Table.add_row table
+        [
+          Table.cell_float ~decimals:2 alpha;
+          Table.cell_float no_repl;
+          Table.cell_float (Core.Guarantees.lpt_no_choice ~m ~alpha);
+          Table.cell_float full_repl;
+          Table.cell_float (Core.Guarantees.full_replication ~m ~alpha);
+          Table.cell_float (Core.Guarantees.no_replication_lower_bound ~m ~alpha);
+        ])
+    alphas;
+  print_string (Table.render table);
+  Runner.maybe_csv config ~name:"alpha_sweep"
+    ~header:
+      [ "alpha"; "no_repl_worst"; "th2"; "full_repl_worst"; "full_bound"; "th1" ]
+    (List.rev !csv_rows);
+  let to_points l = Array.of_list (List.rev_map (fun (x, y) -> (x, y)) l) in
+  print_string
+    (Plot.plot ~width:64 ~height:16 ~x_label:"alpha" ~y_label:"worst ratio"
+       ~title:(Printf.sprintf "Measured worst adversarial ratios, m=%d" m)
+       [
+         { Plot.label = "no replication"; glyph = 'n'; points = to_points !measured_nc };
+         { Plot.label = "full replication"; glyph = 'f'; points = to_points !measured_fr };
+       ]);
+  Printf.printf
+    "Reading: at alpha=1 both match the offline LPT behaviour; the\n\
+     unreplicated curve grows with alpha (toward the alpha^2-style\n\
+     impossibility) while full replication saturates near Graham's\n\
+     2 - 1/m — the boundary the conclusion asks about is where the two\n\
+     measured curves separate.\n"

@@ -1,0 +1,11 @@
+(** Where is the uncertainty boundary? (conclusion's open problem)
+
+    The paper observes that for small [α] the problem behaves like the
+    offline one, and for large [α] like the non-clairvoyant online one,
+    and asks where the transition lies. This experiment sweeps [α] and
+    measures, for each strategy, the worst adversarial ratio on small
+    instances (exact optimum) next to the theoretical guarantee —
+    exposing where the measured curves leave the offline regime and
+    where they saturate at the online (2 - 1/m)-style behaviour. *)
+
+val run : Runner.config -> unit

@@ -1,0 +1,10 @@
+(** Replication policies at equal cost (beyond-paper ablation).
+
+    The paper fixes one policy per replication level (groups); its
+    conclusion asks whether "more general replication policies" help.
+    This ablation compares three policies that spend the same number of
+    replicas per task — disjoint groups (LS-Group), overlapping
+    least-loaded sets (Budgeted), and all-or-nothing selective
+    replication — plus the memory-budget policy across budgets. *)
+
+val run : Runner.config -> unit

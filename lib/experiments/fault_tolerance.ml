@@ -1,0 +1,98 @@
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Workload = Usched_model.Workload
+module Schedule = Usched_desim.Schedule
+module Engine = Usched_desim.Engine
+module Core = Usched_core
+module Table = Usched_report.Table
+module Rng = Usched_prng.Rng
+module Summary = Usched_stats.Summary
+
+(* Run phase 2 on the placement left after machine [failed] is lost.
+   None when some task's data lived only there. *)
+let run_degraded instance realization placement failed =
+  match Core.Placement.without_machine placement failed with
+  | None -> None
+  | Some degraded ->
+      let order = Instance.lpt_order instance in
+      Some
+        (Engine.run instance realization
+           ~placement:(Core.Placement.sets degraded)
+           ~order)
+
+let run config =
+  Runner.print_section
+    "Fault tolerance -- one machine fails after data placement";
+  let m = 6 and alpha = 1.5 and n = 30 in
+  Printf.printf
+    "m=%d machines, n=%d tasks, alpha=%g. After phase 1 commits, machine 0\n\
+     fails (its data is lost); survivors run phase 2 online.\n\n"
+    m n alpha;
+  let strategies =
+    [
+      ("no replication", Core.No_replication.lpt_no_choice);
+      ("LS-Group k=3 (2 replicas)", Core.Group_replication.ls_group ~k:3);
+      ("Budgeted k=2", Core.Budgeted.uniform ~k:2);
+      ("full replication", Core.Full_replication.lpt_no_restriction);
+    ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("strategy", Table.Left);
+          ("survives any failure", Table.Left);
+          ("completed runs", Table.Right);
+          ("mean degradation", Table.Right);
+          ("worst degradation", Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, algo) ->
+      let rng = Rng.create ~seed:config.Runner.seed () in
+      let completed = ref 0 and attempts = ref 0 in
+      let degradation = Summary.create () in
+      let survives = ref true in
+      for _ = 1 to Stdlib.max 10 config.Runner.reps do
+        incr attempts;
+        let instance =
+          Workload.generate
+            (Workload.Uniform { lo = 1.0; hi = 10.0 })
+            ~n ~m
+            ~alpha:(Uncertainty.alpha alpha)
+            rng
+        in
+        let realization = Realization.log_uniform_factor instance rng in
+        let placement = algo.Core.Two_phase.phase1 instance in
+        survives := !survives && Core.Placement.survives_any_failure placement;
+        let healthy =
+          Schedule.makespan
+            (algo.Core.Two_phase.phase2 instance placement realization)
+        in
+        match run_degraded instance realization placement 0 with
+        | None -> ()
+        | Some schedule ->
+            incr completed;
+            Summary.add degradation (Schedule.makespan schedule /. healthy)
+      done;
+      Table.add_row table
+        [
+          name;
+          (if !survives then "yes" else "no");
+          Printf.sprintf "%d/%d" !completed !attempts;
+          (if Summary.count degradation = 0 then "-"
+           else Table.cell_float (Summary.mean degradation));
+          (if Summary.count degradation = 0 then "-"
+           else Table.cell_float (Summary.max degradation));
+        ])
+    strategies;
+  print_string (Table.render table);
+  Printf.printf
+    "\nDegradation is C_max(after failure) / C_max(healthy); with m=%d\n\
+     machines the work of the lost machine spreads over %d survivors, so\n\
+     ~%.2f is the natural floor. Replication buys completion AND keeps\n\
+     the slowdown near that floor — without it, any single failure\n\
+     strands data (the paper's Hadoop motivation).\n"
+    m (m - 1)
+    (float_of_int m /. float_of_int (m - 1))

@@ -1,0 +1,12 @@
+(** Fault tolerance: the introduction's motivation, measured.
+
+    The paper motivates data replication with Hadoop's fault-tolerance
+    replicas ("most Hadoop systems replicate the data for the purpose of
+    tolerating hardware faults") and argues the same replicas buy
+    scheduling freedom. This experiment closes the loop in the other
+    direction: for each replication strategy, fail one machine after
+    phase 1 and measure (a) whether the workload can complete at all and
+    (b) the makespan degradation when it can — on top of the usual
+    processing-time uncertainty. *)
+
+val run : Runner.config -> unit

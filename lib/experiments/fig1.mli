@@ -1,0 +1,14 @@
+(** Figure 1 / Theorem 1: the lower-bound adversary for [|M_j| = 1].
+
+    Reproduces the paper's construction: [λm] identical unit-estimate
+    tasks, placement by LPT-No Choice, then the adversary inflates the
+    most loaded machine by [α] and deflates the rest. Prints the online
+    vs. offline-optimal Gantt of the [λ = 3, m = 6] illustration and a
+    table of measured ratios converging to the theoretical bound
+    [α²m/(α²+m-1)] as [λ] grows. *)
+
+val theoretical_ratio_at_lambda : m:int -> alpha:float -> lambda:int -> float
+(** The pre-limit ratio from the proof:
+    [α²mλ / (λ(α²+m-1) + m(α²+1))]. *)
+
+val run : Runner.config -> unit

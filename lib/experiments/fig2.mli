@@ -1,0 +1,7 @@
+(** Figure 2: replication in groups, illustrated ([m = 6], [k = 2]).
+
+    Runs LS-Group's two phases on a small instance and prints the phase-1
+    data placement (which group holds each task's replicas) and the
+    phase-2 Gantt chart, mirroring the paper's illustration. *)
+
+val run : Runner.config -> unit

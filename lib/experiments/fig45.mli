@@ -1,0 +1,13 @@
+(** Figures 4 and 5: example schedules of SABO_Δ and ABO_Δ.
+
+    A small instance mixing processing-time-intensive and
+    memory-intensive tasks is pushed through both memory-aware
+    algorithms; the output shows the SBO split (S1 vs S2), the phase-1
+    placements, the phase-2 Gantt, and the resulting (makespan, memory)
+    pair — the paper's two illustrations, plus the numbers behind them. *)
+
+val example_instance : unit -> Usched_model.Instance.t
+(** The shared demonstration instance: m = 4, eight tasks, half
+    time-heavy, half memory-heavy, alpha = 1.3. *)
+
+val run : Runner.config -> unit

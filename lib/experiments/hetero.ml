@@ -1,0 +1,76 @@
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Workload = Usched_model.Workload
+module Schedule = Usched_desim.Schedule
+module Core = Usched_core
+module Table = Usched_report.Table
+module Rng = Usched_prng.Rng
+module Summary = Usched_stats.Summary
+
+let run config =
+  Runner.print_section
+    "Heterogeneous machines -- replication vs slow nodes (extension)";
+  let m = 8 in
+  (* Two fast nodes, four standard, two half-speed stragglers. *)
+  let speeds = [| 2.0; 2.0; 1.0; 1.0; 1.0; 1.0; 0.5; 0.5 |] in
+  Printf.printf "m=%d machines with speeds [%s], n=48 tasks.\n\n" m
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%g") speeds)));
+  let strategies alpha =
+    ignore alpha;
+    [
+      ("no replication (ECT-LPT)", Core.Uniform.lpt_no_choice ~speeds);
+      ("groups of 2 (k=4)", Core.Uniform.ls_group ~speeds ~k:4);
+      ("full replication", Core.Uniform.lpt_no_restriction ~speeds);
+    ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("alpha", Table.Right);
+          ("strategy", Table.Left);
+          ("mean ratio vs LB", Table.Right);
+          ("worst ratio vs LB", Table.Right);
+        ]
+  in
+  List.iter
+    (fun alpha ->
+      List.iter
+        (fun (name, algo) ->
+          let rng = Rng.create ~seed:config.Runner.seed () in
+          let summary = Summary.create () in
+          for _ = 1 to Stdlib.max 10 config.Runner.reps do
+            let instance =
+              Workload.generate
+                (Workload.Uniform { lo = 1.0; hi = 10.0 })
+                ~n:48 ~m
+                ~alpha:(Uncertainty.alpha alpha)
+                rng
+            in
+            let realization =
+              if alpha > 1.0 then Realization.log_uniform_factor instance rng
+              else Realization.exact instance
+            in
+            let schedule = Core.Two_phase.run algo instance realization in
+            let lb =
+              Core.Uniform.lower_bound ~speeds (Realization.actuals realization)
+            in
+            Summary.add summary (Schedule.makespan schedule /. lb)
+          done;
+          Table.add_row table
+            [
+              Table.cell_float ~decimals:1 alpha;
+              name;
+              Table.cell_float (Summary.mean summary);
+              Table.cell_float (Summary.max summary);
+            ])
+        (strategies alpha))
+    [ 1.0; 2.0 ];
+  print_string (Table.render table);
+  Printf.printf
+    "\n(Ratios are against the uniform-machines lower bound, so they are\n\
+     pessimistic. Pinned placement suffers twice — estimates mislead it\n\
+     AND a task stuck on a 0.5x node cannot move; replication absorbs\n\
+     both effects, and the gap widens with alpha.)\n"

@@ -1,0 +1,10 @@
+(** Heterogeneous (uniform) machines: replication vs slow nodes.
+
+    Extension experiment: the same replication strategies on a cluster
+    whose machines differ in speed (the realistic MapReduce setting of
+    the paper's introduction). Measures makespan ratios against the
+    uniform-machines lower bound, with and without processing-time
+    uncertainty, showing that replication pays twice — against bad
+    estimates and against slow nodes. *)
+
+val run : Runner.config -> unit

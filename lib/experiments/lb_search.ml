@@ -1,0 +1,55 @@
+module Core = Usched_core
+module Table = Usched_report.Table
+
+let one_setting ~m ~alpha =
+  Printf.printf "\n--- m=%d, alpha=%g ---\n" m alpha;
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("lambda", Table.Right);
+          ("n", Table.Right);
+          ("proof ratio (Th1 argument)", Table.Right);
+          ("exact minimax (this work)", Table.Right);
+          ("optimal partition", Table.Left);
+        ]
+  in
+  List.iter
+    (fun lambda ->
+      let n = lambda * m in
+      let r = Core.Minimax.identical_minimax ~m ~n ~alpha in
+      Table.add_row table
+        [
+          string_of_int lambda;
+          string_of_int n;
+          Table.cell_float
+            (Fig1.theoretical_ratio_at_lambda ~m ~alpha ~lambda);
+          Table.cell_float r.Core.Minimax.value;
+          String.concat "+"
+            (Array.to_list (Array.map string_of_int r.Core.Minimax.partition));
+        ])
+    [ 1; 2; 3; 4; 5 ];
+  print_string (Table.render table);
+  Printf.printf
+    "limit bound alpha^2*m/(alpha^2+m-1) = %.4f; LPT-No Choice guarantee = %.4f\n"
+    (Core.Guarantees.no_replication_lower_bound ~m ~alpha)
+    (Core.Guarantees.lpt_no_choice ~m ~alpha)
+
+let run _config =
+  Runner.print_section
+    "Lower-bound search -- exact minimax on the Theorem-1 family";
+  Printf.printf
+    "For each size, 'exact minimax' is min over placements of the worst\n\
+     two-point adversarial ratio (exact optima): no unreplicated\n\
+     algorithm can do better on this instance, and the balanced\n\
+     placement achieves it. The paper's proof ratio is what Theorem 1's\n\
+     relaxations certify at the same size.\n";
+  one_setting ~m:2 ~alpha:2.0;
+  one_setting ~m:3 ~alpha:1.5;
+  one_setting ~m:4 ~alpha:2.0;
+  Printf.printf
+    "\nReading: the exact minimax exceeds the finite-lambda proof ratio\n\
+     substantially at small sizes (the proof's ceiling relaxations are\n\
+     loose there) and both converge toward the alpha^2m/(alpha^2+m-1)\n\
+     limit — so on this family the paper's bound is asymptotically\n\
+     right, and stronger finite-size lower bounds exist.\n"

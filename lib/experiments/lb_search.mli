@@ -1,0 +1,17 @@
+(** Lower-bound search (conclusion, open problem 1).
+
+    Solves the no-replication placement game exactly on the Theorem-1
+    instance family (identical tasks, two-point adversary) and compares
+    three quantities at each size:
+
+    - the paper's finite-λ proof ratio (what Theorem 1's argument gives
+      before taking λ to infinity);
+    - the exact minimax value (the best ratio any placement can
+      guarantee on this family against two-point adversaries);
+    - the limit bound α²m/(α²+m−1) and the LPT-No Choice guarantee.
+
+    The gap between the proof ratio and the exact minimax shows how much
+    room the paper's lower-bound argument leaves at finite sizes — the
+    quantitative version of "better lower bounds might help". *)
+
+val run : Runner.config -> unit

@@ -1,0 +1,10 @@
+(** Portfolio selection over scenario sets (extension).
+
+    Practical decision support built on the paper's algorithms: for each
+    workload family, sample a scenario set of plausible realizations and
+    pick, from a portfolio spanning the paper's replication spectrum,
+    the strategy with the best worst-case (and best average) makespan.
+    Shows that the right replication level is workload-dependent — and
+    that the scenario machinery identifies it automatically. *)
+
+val run : Runner.config -> unit

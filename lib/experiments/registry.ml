@@ -1,0 +1,98 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : Runner.config -> unit;
+}
+
+let all =
+  [
+    {
+      id = "fig1";
+      title = "Figure 1: Theorem-1 adversary, online vs offline optimal";
+      run = Fig1.run;
+    };
+    {
+      id = "fig2";
+      title = "Figure 2: replication in groups (m=6, k=2)";
+      run = Fig2.run;
+    };
+    {
+      id = "tab1";
+      title = "Table 1: replication-bound model guarantees";
+      run = Table1.run;
+    };
+    {
+      id = "fig3";
+      title = "Figure 3: ratio-replication tradeoff (m=210)";
+      run = Fig3.run;
+    };
+    {
+      id = "fig45";
+      title = "Figures 4-5: SABO/ABO example schedules";
+      run = Fig45.run;
+    };
+    {
+      id = "tab2";
+      title = "Table 2: memory-aware guarantees (SABO, ABO)";
+      run = Table2.run;
+    };
+    {
+      id = "fig6";
+      title = "Figure 6: memory-makespan tradeoff";
+      run = Fig6.run;
+    };
+    {
+      id = "ablation-phase2";
+      title = "Ablation: LS vs LPT order in group replication";
+      run = Ablations.phase2_order;
+    };
+    {
+      id = "ablation-adversary";
+      title = "Ablation: adversary strength";
+      run = Ablations.adversary_strength;
+    };
+    {
+      id = "ablation-selective";
+      title = "Ablation: selective replication";
+      run = Ablations.selective_replication;
+    };
+    {
+      id = "ablation-budget";
+      title = "Ablation: replication policies at equal cost";
+      run = Budget_ablation.run;
+    };
+    {
+      id = "ablation-errors";
+      title = "Ablation: iid vs clustered vs biased estimation errors";
+      run = Ablations.correlated_errors;
+    };
+    {
+      id = "alpha-sweep";
+      title = "Alpha sweep: offline-to-online boundary (open problem)";
+      run = Alpha_sweep.run;
+    };
+    {
+      id = "fault-tolerance";
+      title = "Fault tolerance: machine failure after placement";
+      run = Fault_tolerance.run;
+    };
+    {
+      id = "hetero";
+      title = "Heterogeneous machines: replication vs slow nodes";
+      run = Hetero.run;
+    };
+    {
+      id = "lb-search";
+      title = "Exact minimax lower bounds on the Theorem-1 family";
+      run = Lb_search.run;
+    };
+    {
+      id = "portfolio";
+      title = "Portfolio selection over scenario sets";
+      run = Portfolio.run;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all config = List.iter (fun e -> e.run config) all

@@ -1,0 +1,17 @@
+(** The experiment registry: every paper artifact by id.
+
+    Binds experiment ids (as documented in DESIGN.md) to their runners so
+    the CLI and the bench harness share one source of truth. *)
+
+type experiment = {
+  id : string;
+  title : string;
+  run : Runner.config -> unit;
+}
+
+val all : experiment list
+(** Paper artifacts first (fig1, fig2, tab1, fig3, fig45, tab2, fig6),
+    then the ablations. *)
+
+val find : string -> experiment option
+val run_all : Runner.config -> unit

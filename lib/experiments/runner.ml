@@ -1,0 +1,115 @@
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Workload = Usched_model.Workload
+module Uncertainty = Usched_model.Uncertainty
+module Schedule = Usched_desim.Schedule
+module Core = Usched_core
+module Rng = Usched_prng.Rng
+module Summary = Usched_stats.Summary
+module Pool = Usched_parallel.Pool
+
+type config = {
+  seed : int;
+  reps : int;
+  domains : int;
+  exact_n : int;
+  csv_dir : string option;
+}
+
+let default_config =
+  {
+    seed = 42;
+    reps = 50;
+    domains = Pool.recommended_domains ();
+    exact_n = 16;
+    csv_dir = None;
+  }
+
+let maybe_csv config ~name ~header rows =
+  match config.csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (name ^ ".csv") in
+      Usched_report.Csv.write_file ~path ~header rows;
+      Printf.printf "[csv] wrote %s\n" path
+
+let quick config = { config with reps = Stdlib.min config.reps 5 }
+
+let opt_estimate config ~m actuals =
+  if Array.length actuals <= config.exact_n then begin
+    let result = Core.Opt.solve ~node_limit:2_000_000 ~m actuals in
+    if result.Core.Opt.optimal then (result.Core.Opt.value, true)
+    else (Core.Lower_bounds.best ~m actuals, false)
+  end
+  else (Core.Lower_bounds.best ~m actuals, false)
+
+let ratio config algo instance realization =
+  let makespan = Core.Two_phase.makespan algo instance realization in
+  let opt, _ =
+    opt_estimate config ~m:(Instance.m instance) (Realization.actuals realization)
+  in
+  makespan /. opt
+
+type sweep_result = {
+  summary : Summary.t;
+  worst : float;
+  exact_opt : bool;
+}
+
+let random_sweep config ~algo ~spec ~realize ~n ~m ~alpha =
+  let alpha_v = Uncertainty.alpha alpha in
+  (* Derive one independent stream per repetition up front so results do
+     not depend on the parallel execution order. *)
+  let master = Rng.create ~seed:config.seed () in
+  let streams = Array.init config.reps (fun _ -> Rng.split master) in
+  let run rep =
+    let rng = streams.(rep) in
+    let instance = Workload.generate spec ~n ~m ~alpha:alpha_v rng in
+    let realization = realize instance rng in
+    let makespan = Core.Two_phase.makespan algo instance realization in
+    let opt, exact =
+      opt_estimate config ~m (Realization.actuals realization)
+    in
+    (makespan /. opt, exact)
+  in
+  let results = Pool.parallel_init ~domains:config.domains config.reps run in
+  let summary = Summary.create () in
+  Array.iter (fun (r, _) -> Summary.add summary r) results;
+  {
+    summary;
+    worst = Summary.max summary;
+    exact_opt = Array.for_all snd results;
+  }
+
+let adversarial_ratio config algo instance =
+  let placement = algo.Core.Two_phase.phase1 instance in
+  let run realization =
+    algo.Core.Two_phase.phase2 instance placement realization
+  in
+  let opt actuals = fst (opt_estimate config ~m:(Instance.m instance) actuals) in
+  let candidates =
+    ref
+      [
+        Core.Adversary.theorem1 instance placement;
+        Core.Adversary.greedy_flip ~run ~opt instance;
+      ]
+  in
+  for machine = 0 to Stdlib.min 7 (Instance.m instance - 1) do
+    candidates := Core.Adversary.inflate_machine machine instance placement :: !candidates
+  done;
+  let best =
+    List.fold_left
+      (fun acc realization ->
+        Float.max acc (Core.Adversary.ratio ~run ~opt realization))
+      neg_infinity !candidates
+  in
+  if Instance.n instance <= 12 then begin
+    let _, exhaustive_ratio = Core.Adversary.exhaustive ~run ~opt instance in
+    Float.max best exhaustive_ratio
+  end
+  else best
+
+let print_section title =
+  let rule = String.make 72 '=' in
+  Printf.printf "\n%s\n== %s\n%s\n%!" rule title rule

@@ -1,0 +1,69 @@
+(** Shared machinery for the experiment harness.
+
+    Ratio measurement with a sound optimum estimate (exact branch and
+    bound below a size threshold, lower bounds above), randomized sweeps
+    over workloads and realization models, and worst-case searches that
+    combine all adversaries. *)
+
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Core = Usched_core
+
+type config = {
+  seed : int;  (** Master seed; every sub-experiment derives from it. *)
+  reps : int;  (** Repetitions per sampled point. *)
+  domains : int;  (** Domains for parallel sweeps. *)
+  exact_n : int;  (** Use exact B&B optimum up to this many tasks. *)
+  csv_dir : string option;
+      (** When set, experiments also dump their raw series as CSV files
+          into this directory (created if missing). *)
+}
+
+val default_config : config
+(** [seed = 42], [reps = 50], one domain per core (capped), exact optimum
+    up to 16 tasks, no CSV output. *)
+
+val maybe_csv :
+  config -> name:string -> header:string list -> string list list -> unit
+(** Write [<csv_dir>/<name>.csv] when [csv_dir] is set; otherwise do
+    nothing. Creates the directory on first use. *)
+
+val quick : config -> config
+(** Same config with [reps] reduced for smoke tests. *)
+
+val opt_estimate : config -> m:int -> float array -> float * bool
+(** A lower bound on (or exact value of) the optimal makespan of the
+    realized times, and whether it is exact. Measured ratios divide by
+    this, so they upper-bound the true competitive ratio. *)
+
+val ratio :
+  config -> Core.Two_phase.t -> Instance.t -> Realization.t -> float
+(** [C_max / opt_estimate] for one run. *)
+
+type sweep_result = {
+  summary : Usched_stats.Summary.t;  (** Distribution of measured ratios. *)
+  worst : float;  (** Largest ratio seen. *)
+  exact_opt : bool;  (** Whether every optimum was exact. *)
+}
+
+val random_sweep :
+  config ->
+  algo:Core.Two_phase.t ->
+  spec:Usched_model.Workload.spec ->
+  realize:(Instance.t -> Usched_prng.Rng.t -> Realization.t) ->
+  n:int ->
+  m:int ->
+  alpha:float ->
+  sweep_result
+(** [reps] independent (instance, realization) draws, ratios summarized.
+    Runs on [config.domains] domains. *)
+
+val adversarial_ratio :
+  config -> Core.Two_phase.t -> Instance.t -> float
+(** Worst ratio over the implemented adversaries (Theorem-1 inflation,
+    per-machine inflation, greedy flips; exhaustive when [n] is small
+    enough). The phase-1 placement is computed once; every adversary then
+    chooses a realization against it, as in the paper's model. *)
+
+val print_section : string -> unit
+(** Banner printed before each experiment block. *)

@@ -1,0 +1,11 @@
+(** Table 1: summary of the replication-bound model's guarantees.
+
+    Evaluates each of the paper's four bounds (Theorems 1-4 plus Graham's
+    [2 - 1/m]) over a grid of [(m, α)], and confronts each algorithm's
+    guarantee with the worst measured ratio found by adversarial search
+    on small instances — checking both that no measurement exceeds its
+    guarantee and that the no-replication measurements exceed the
+    Theorem-1 impossibility bound's implication (no algorithm can do
+    better). *)
+
+val run : Runner.config -> unit

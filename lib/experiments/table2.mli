@@ -1,0 +1,8 @@
+(** Table 2: guarantees of the memory-aware algorithms.
+
+    Evaluates SABO_Δ's and ABO_Δ's bi-objective guarantees (Theorems 5-8)
+    over a grid of Δ, and measures actual (makespan ratio, memory ratio)
+    pairs on random instances with anti-correlated sizes — checking every
+    measurement against its guarantee. *)
+
+val run : Runner.config -> unit

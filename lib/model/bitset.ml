@@ -1,0 +1,101 @@
+(* Words are OCaml native ints used as 62-bit vectors (the top bit of the
+   63-bit int is left unused to keep all arithmetic positive). *)
+let bits_per_word = 62
+
+type t = { len : int; words : int array }
+
+let word_count len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create: negative capacity";
+  { len; words = Array.make (word_count len) 0 }
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitset: element out of range"
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let full len =
+  let t = create len in
+  for i = 0 to len - 1 do
+    add t i
+  done;
+  t
+
+let singleton len i =
+  let t = create len in
+  add t i;
+  t
+
+let of_list len l =
+  let t = create len in
+  List.iter (add t) l;
+  t
+
+let capacity t = t.len
+
+let copy t = { len = t.len; words = Array.copy t.words }
+
+let popcount word =
+  let rec loop acc w = if w = 0 then acc else loop (acc + (w land 1)) (w lsr 1) in
+  loop 0 word
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    if mem t i then f i
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc i -> i :: acc) [] t)
+
+let choose t =
+  let exception Found of int in
+  try
+    iter (fun i -> raise (Found i)) t;
+    raise Not_found
+  with Found i -> i
+
+let check_same_capacity a b =
+  if a.len <> b.len then invalid_arg "Bitset: capacity mismatch"
+
+let union a b =
+  check_same_capacity a b;
+  { len = a.len; words = Array.map2 ( lor ) a.words b.words }
+
+let inter a b =
+  check_same_capacity a b;
+  { len = a.len; words = Array.map2 ( land ) a.words b.words }
+
+let equal a b = a.len = b.len && a.words = b.words
+
+let subset a b =
+  check_same_capacity a b;
+  Array.for_all2 (fun wa wb -> wa land lnot wb = 0) a.words b.words
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (to_list t)

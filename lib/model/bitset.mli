@@ -1,0 +1,55 @@
+(** Fixed-capacity bit sets over [0 .. len-1].
+
+    Machine sets [M_j] (the set of machines holding a replica of task [j])
+    are the central combinatorial object of the paper; this compact
+    representation makes placements with hundreds of machines cheap to
+    store per task and fast to query in the phase-2 engine. *)
+
+type t
+(** A mutable set of integers in [[0, capacity t)]. *)
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n] ([n >= 0]). *)
+
+val full : int -> t
+(** [full n] contains every element of [[0, n)]. *)
+
+val singleton : int -> int -> t
+(** [singleton n i] has capacity [n] and contains exactly [i]. *)
+
+val of_list : int -> int list -> t
+(** Set with capacity [n] containing the listed elements. *)
+
+val capacity : t -> int
+(** Capacity fixed at creation. *)
+
+val copy : t -> t
+
+val add : t -> int -> unit
+(** Raises [Invalid_argument] when out of range. *)
+
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Visit members in increasing order. *)
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val to_list : t -> int list
+
+val choose : t -> int
+(** Smallest member. Raises [Not_found] on the empty set. *)
+
+val union : t -> t -> t
+(** Functional union of two sets of equal capacity. *)
+
+val inter : t -> t -> t
+(** Functional intersection of two sets of equal capacity. *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [{0, 3, 5}]. *)

@@ -1,0 +1,52 @@
+type t = { m : int; alpha : Uncertainty.alpha; tasks : Task.t array }
+
+let make ~m ~alpha tasks =
+  if m < 1 then invalid_arg "Instance.make: need at least one machine";
+  Array.iteri
+    (fun i task ->
+      if Task.id task <> i then
+        invalid_arg "Instance.make: task ids must be 0..n-1 in order")
+    tasks;
+  { m; alpha; tasks = Array.copy tasks }
+
+let of_ests ~m ~alpha ?sizes ests =
+  let n = Array.length ests in
+  (match sizes with
+  | Some s when Array.length s <> n ->
+      invalid_arg "Instance.of_ests: sizes length mismatch"
+  | _ -> ());
+  let size_of i = match sizes with None -> 1.0 | Some s -> s.(i) in
+  let tasks =
+    Array.init n (fun i -> Task.make ~id:i ~est:ests.(i) ~size:(size_of i) ())
+  in
+  make ~m ~alpha tasks
+
+let n t = Array.length t.tasks
+let m t = t.m
+let alpha t = t.alpha
+let alpha_value t = Uncertainty.to_float t.alpha
+let tasks t = Array.copy t.tasks
+let task t j = t.tasks.(j)
+let est t j = Task.est t.tasks.(j)
+let size t j = Task.size t.tasks.(j)
+let ests t = Array.map Task.est t.tasks
+let sizes t = Array.map Task.size t.tasks
+
+let total_est t = Array.fold_left (fun acc task -> acc +. Task.est task) 0.0 t.tasks
+
+let max_est t =
+  Array.fold_left (fun acc task -> Float.max acc (Task.est task)) 0.0 t.tasks
+
+let total_size t =
+  Array.fold_left (fun acc task -> acc +. Task.size task) 0.0 t.tasks
+
+let max_size t =
+  Array.fold_left (fun acc task -> Float.max acc (Task.size task)) 0.0 t.tasks
+
+let lpt_order t =
+  let order = Array.init (n t) (fun j -> j) in
+  Array.sort (fun a b -> Task.compare_est_desc t.tasks.(a) t.tasks.(b)) order;
+  order
+
+let pp ppf t =
+  Format.fprintf ppf "instance(n=%d, m=%d, %a)" (n t) t.m Uncertainty.pp t.alpha

@@ -1,0 +1,49 @@
+(** A problem instance: tasks, machine count, uncertainty factor.
+
+    This is the complete offline input of phase 1 (the paper's
+    [p̃_j, m, α]). Task ids always equal their array index, which the rest
+    of the system relies on. *)
+
+type t
+
+val make : m:int -> alpha:Uncertainty.alpha -> Task.t array -> t
+(** Validates and builds an instance. Raises [Invalid_argument] if
+    [m < 1] or task ids are not exactly [0 .. n-1] in order. The task
+    array is copied. *)
+
+val of_ests : m:int -> alpha:Uncertainty.alpha -> ?sizes:float array -> float array -> t
+(** Convenience constructor from raw estimate values (and optional sizes;
+    defaults to all-1). Ids are assigned in order. *)
+
+val n : t -> int
+(** Number of tasks. *)
+
+val m : t -> int
+(** Number of machines. *)
+
+val alpha : t -> Uncertainty.alpha
+val alpha_value : t -> float
+(** [alpha] as a float, for formulas. *)
+
+val tasks : t -> Task.t array
+(** A copy of the task array. *)
+
+val task : t -> int -> Task.t
+val est : t -> int -> float
+val size : t -> int -> float
+
+val ests : t -> float array
+(** Fresh array of all estimates, indexed by task id. *)
+
+val sizes : t -> float array
+
+val total_est : t -> float
+val max_est : t -> float
+val total_size : t -> float
+val max_size : t -> float
+
+val lpt_order : t -> int array
+(** Task ids sorted by decreasing estimate (ties by id) — the order used
+    by every LPT-based algorithm of the paper. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** Plain-text persistence of instances and realizations.
+
+    Experiments can save generated workloads and adversarial realizations
+    to CSV-like files and reload them later, so any single run is
+    shareable and replayable. Format (header line included):
+
+    {v
+    # usched-instance m=<m> alpha=<alpha>
+    id,est,size
+    0,9.5,1
+    ...
+    v}
+
+    Realizations append an [actual] column and reference the instance
+    parameters in the header. *)
+
+val instance_to_string : Instance.t -> string
+val instance_of_string : string -> Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save_instance : path:string -> Instance.t -> unit
+val load_instance : path:string -> Instance.t
+
+val realization_to_string : Realization.t -> string
+val realization_of_string : string -> Realization.t
+(** Rebuilds both the instance and its actual times; validates
+    admissibility via [Realization.of_actuals]. *)
+
+val save_realization : path:string -> Realization.t -> unit
+val load_realization : path:string -> Realization.t

@@ -1,0 +1,78 @@
+type t = { instance : Instance.t; actuals : float array }
+
+let of_actuals instance actuals =
+  if Array.length actuals <> Instance.n instance then
+    invalid_arg "Realization.of_actuals: length mismatch";
+  let alpha = Instance.alpha instance in
+  Array.iteri
+    (fun j actual ->
+      if not (Uncertainty.admissible alpha ~est:(Instance.est instance j) ~actual)
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Realization.of_actuals: task %d actual %g violates the alpha \
+              interval of estimate %g"
+             j actual (Instance.est instance j)))
+    actuals;
+  { instance; actuals = Array.copy actuals }
+
+let of_factors instance factors =
+  if Array.length factors <> Instance.n instance then
+    invalid_arg "Realization.of_factors: length mismatch";
+  of_actuals instance
+    (Array.mapi (fun j f -> f *. Instance.est instance j) factors)
+
+let exact instance = of_actuals instance (Instance.ests instance)
+
+let actual t j = t.actuals.(j)
+let actuals t = Array.copy t.actuals
+let total t = Array.fold_left ( +. ) 0.0 t.actuals
+let max_actual t = Array.fold_left Float.max 0.0 t.actuals
+let instance t = t.instance
+
+let random_factors instance draw rng =
+  let a = Instance.alpha_value instance in
+  Array.init (Instance.n instance) (fun _ -> draw a rng)
+
+let uniform_factor instance rng =
+  of_factors instance
+    (random_factors instance
+       (fun a rng -> Usched_prng.Rng.float_range rng ~lo:(1.0 /. a) ~hi:a)
+       rng)
+
+let log_uniform_factor instance rng =
+  of_factors instance
+    (random_factors instance
+       (fun a rng ->
+         if a = 1.0 then 1.0
+         else Usched_prng.Dist.log_uniform rng ~lo:(1.0 /. a) ~hi:a)
+       rng)
+
+let extremes ~p_high instance rng =
+  if p_high < 0.0 || p_high > 1.0 then
+    invalid_arg "Realization.extremes: p_high out of [0, 1]";
+  of_factors instance
+    (random_factors instance
+       (fun a rng -> if Usched_prng.Rng.bernoulli rng ~p:p_high then a else 1.0 /. a)
+       rng)
+
+let biased ~factor instance =
+  let a = Instance.alpha_value instance in
+  if factor < (1.0 /. a) -. 1e-12 || factor > a +. 1e-12 then
+    invalid_arg "Realization.biased: factor outside [1/alpha, alpha]";
+  of_factors instance (Array.make (Instance.n instance) factor)
+
+let clustered ~clusters instance rng =
+  if clusters < 1 then invalid_arg "Realization.clustered: clusters < 1";
+  let a = Instance.alpha_value instance in
+  let cluster_factor =
+    Array.init clusters (fun _ ->
+        if a = 1.0 then 1.0
+        else Usched_prng.Dist.log_uniform rng ~lo:(1.0 /. a) ~hi:a)
+  in
+  of_factors instance
+    (Array.init (Instance.n instance) (fun j -> cluster_factor.(j mod clusters)))
+
+let pp ppf t =
+  Format.fprintf ppf "realization(n=%d, total=%g)" (Array.length t.actuals)
+    (total t)

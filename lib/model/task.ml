@@ -1,0 +1,20 @@
+type t = { id : int; est : float; size : float }
+
+let make ~id ~est ?(size = 1.0) () =
+  if id < 0 then invalid_arg "Task.make: negative id";
+  if not (est > 0.0) then invalid_arg "Task.make: estimate must be > 0";
+  if size < 0.0 then invalid_arg "Task.make: negative size";
+  { id; est; size }
+
+let id t = t.id
+let est t = t.est
+let size t = t.size
+
+let compare_est_desc a b =
+  match Float.compare b.est a.est with 0 -> Int.compare a.id b.id | c -> c
+
+let compare_id a b = Int.compare a.id b.id
+
+let equal a b = a.id = b.id && a.est = b.est && a.size = b.size
+
+let pp ppf t = Format.fprintf ppf "task#%d(est=%g, size=%g)" t.id t.est t.size

@@ -1,0 +1,26 @@
+(** Tasks (jobs) of the scheduling problem.
+
+    A task carries the information the scheduler knows {e offline}: an
+    estimated processing time [est] (written [p̃_j] in the paper) and a
+    memory size [size] (written [s_j], used by the memory-aware model).
+    The actual processing time is part of a {!Realization}, never of the
+    task itself, mirroring the paper's information model. *)
+
+type t = { id : int; est : float; size : float }
+
+val make : id:int -> est:float -> ?size:float -> unit -> t
+(** [make ~id ~est ~size ()] builds a task. [size] defaults to [1.0].
+    Raises [Invalid_argument] if [est <= 0], [size < 0] or [id < 0]. *)
+
+val id : t -> int
+val est : t -> float
+val size : t -> float
+
+val compare_est_desc : t -> t -> int
+(** Orders by decreasing estimate, ties broken by increasing id — the LPT
+    order used throughout the paper. *)
+
+val compare_id : t -> t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** The bounded multiplicative uncertainty model of the paper.
+
+    The scheduler knows an estimate [p̃_j] and a factor [α >= 1] such that
+    the actual time satisfies [p̃_j/α <= p_j <= α·p̃_j] (Equation 1 of the
+    paper). This module makes [α] an abstract validated type so an invalid
+    factor can never enter an instance. *)
+
+type alpha
+(** An uncertainty factor, guaranteed [>= 1]. *)
+
+val alpha : float -> alpha
+(** Validates and wraps a factor. Raises [Invalid_argument] when [< 1]
+    or not finite. *)
+
+val alpha_exact : alpha
+(** [α = 1]: estimates are exact (the classical offline problem). *)
+
+val to_float : alpha -> float
+
+val interval : alpha -> est:float -> float * float
+(** [(p̃/α, α·p̃)], the admissible range of the actual time. *)
+
+val admissible : alpha -> est:float -> actual:float -> bool
+(** Whether an actual time is consistent with Equation 1 (with a 1e-9
+    relative tolerance for float round-off). *)
+
+val clamp : alpha -> est:float -> float -> float
+(** Project a value onto the admissible interval. *)
+
+val pp : Format.formatter -> alpha -> unit

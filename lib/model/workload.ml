@@ -1,0 +1,99 @@
+module Rng = Usched_prng.Rng
+module Dist = Usched_prng.Dist
+
+type spec =
+  | Identical of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { shape : float; scale : float; cap : float }
+  | Bimodal of { p_long : float; short_mean : float; long_mean : float }
+  | Lpt_adversarial of { m : int }
+
+type size_spec =
+  | Unit_sizes
+  | Proportional of float
+  | Inverse of float
+  | Uniform_sizes of { lo : float; hi : float }
+
+let draw_est spec rng =
+  match spec with
+  | Identical v ->
+      if v <= 0.0 then invalid_arg "Workload: identical estimate must be > 0";
+      v
+  | Uniform { lo; hi } ->
+      if lo <= 0.0 || lo > hi then invalid_arg "Workload: bad uniform range";
+      Dist.uniform rng ~lo ~hi
+  | Exponential { mean } ->
+      (* Shift away from zero: estimates must be strictly positive. *)
+      Float.max 1e-9 (Dist.exponential rng ~mean)
+  | Pareto { shape; scale; cap } ->
+      if cap < scale then invalid_arg "Workload: pareto cap below scale";
+      Float.min cap (Dist.pareto rng ~shape ~scale)
+  | Bimodal { p_long; short_mean; long_mean } ->
+      Float.max 1e-9
+        (Dist.bimodal rng ~p_long
+           ~short:(fun rng -> Dist.exponential rng ~mean:short_mean)
+           ~long:(fun rng -> Dist.exponential rng ~mean:long_mean))
+  | Lpt_adversarial _ -> assert false (* handled structurally in [generate] *)
+
+let draw_size size_spec ~est rng =
+  match size_spec with
+  | Unit_sizes -> 1.0
+  | Proportional c ->
+      if c <= 0.0 then invalid_arg "Workload: proportionality must be > 0";
+      c *. est
+  | Inverse c ->
+      if c <= 0.0 then invalid_arg "Workload: inverse factor must be > 0";
+      c /. est
+  | Uniform_sizes { lo; hi } ->
+      if lo < 0.0 || lo > hi then invalid_arg "Workload: bad size range";
+      Dist.uniform rng ~lo ~hi
+
+(* The classical LPT lower-bound family: three tasks of each length
+   2m-1, 2m-2, ..., m+1 would overshoot; the standard instance is
+   2 tasks of each length in {2m-1, ..., m+1} plus one task of length m
+   ... there are several variants; we use the textbook one:
+   tasks {2m-1, 2m-1, 2m-2, 2m-2, ..., m+1, m+1, m, m, m}. *)
+let lpt_adversarial_ests m =
+  if m < 2 then invalid_arg "Workload: LPT adversarial family needs m >= 2";
+  let pairs =
+    List.concat_map
+      (fun v -> [ float_of_int v; float_of_int v ])
+      (List.init (m - 1) (fun i -> (2 * m) - 1 - i))
+  in
+  Array.of_list (pairs @ [ float_of_int m; float_of_int m; float_of_int m ])
+
+let generate spec ?(size_spec = Unit_sizes) ~n ~m ~alpha rng =
+  if n < 0 then invalid_arg "Workload.generate: negative n";
+  let ests =
+    match spec with
+    | Lpt_adversarial { m = m' } -> lpt_adversarial_ests m'
+    | _ -> Array.init n (fun _ -> draw_est spec rng)
+  in
+  let sizes = Array.map (fun est -> draw_size size_spec ~est rng) ests in
+  Instance.of_ests ~m ~alpha ~sizes ests
+
+let spec_name = function
+  | Identical _ -> "identical"
+  | Uniform _ -> "uniform"
+  | Exponential _ -> "exponential"
+  | Pareto _ -> "pareto"
+  | Bimodal _ -> "bimodal"
+  | Lpt_adversarial _ -> "lpt-adversarial"
+
+let size_spec_name = function
+  | Unit_sizes -> "unit"
+  | Proportional _ -> "proportional"
+  | Inverse _ -> "inverse"
+  | Uniform_sizes _ -> "uniform"
+
+let standard_suite ~m =
+  [
+    ("identical", Identical 1.0);
+    ("uniform", Uniform { lo = 1.0; hi = 100.0 });
+    ("exponential", Exponential { mean = 10.0 });
+    ("pareto", Pareto { shape = 1.5; scale = 1.0; cap = 1000.0 });
+    ( "bimodal",
+      Bimodal { p_long = 0.1; short_mean = 1.0; long_mean = 50.0 } );
+    ("lpt-adversarial", Lpt_adversarial { m });
+  ]

@@ -1,0 +1,50 @@
+(** Synthetic workload generators.
+
+    The paper motivates the model with out-of-core sparse linear algebra
+    and Hadoop/MapReduce workloads; these generators produce the estimate
+    and size mixes characteristic of those settings, plus the structured
+    instances used in the paper's proofs (equal tasks, LPT worst cases).
+
+    A {!spec} describes the distribution of estimated processing times; a
+    {!size_spec} describes the memory sizes relative to the estimates.
+    Generation is deterministic given the {!Usched_prng.Rng.t}. *)
+
+type spec =
+  | Identical of float  (** Every task has this estimate (Theorem 1's instance). *)
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Pareto of { shape : float; scale : float; cap : float }
+      (** Heavy-tailed, truncated at [cap] to keep instances finite. *)
+  | Bimodal of { p_long : float; short_mean : float; long_mean : float }
+      (** Exponential short tasks with a fraction of long stragglers. *)
+  | Lpt_adversarial of { m : int }
+      (** The classical instance on which LPT attains 4/3 - 1/(3m):
+          tasks 2m-1..m+1 duplicated plus m tasks of length m
+          (scaled to floats). The [n] argument of {!generate} is ignored
+          in favour of the canonical 2m+1 tasks. *)
+
+type size_spec =
+  | Unit_sizes  (** Every task has size 1. *)
+  | Proportional of float  (** [size = c * est]: big tasks have big data. *)
+  | Inverse of float
+      (** [size = c / est]: small tasks have big data — the adversarial mix
+          for memory-aware scheduling. *)
+  | Uniform_sizes of { lo : float; hi : float }  (** Independent of estimates. *)
+
+val generate :
+  spec ->
+  ?size_spec:size_spec ->
+  n:int ->
+  m:int ->
+  alpha:Uncertainty.alpha ->
+  Usched_prng.Rng.t ->
+  Instance.t
+(** Build an instance of [n] tasks on [m] machines. Raises
+    [Invalid_argument] on nonsensical parameters ([n < 0], bad
+    distribution parameters). *)
+
+val spec_name : spec -> string
+val size_spec_name : size_spec -> string
+
+val standard_suite : m:int -> (string * spec) list
+(** The named workload families exercised by the experiment harness. *)

@@ -1,0 +1,46 @@
+let recommended_domains () =
+  Stdlib.min 8 (Stdlib.max 1 (Domain.recommended_domain_count () - 1))
+
+let parallel_init ~domains n f =
+  if domains < 1 then invalid_arg "Pool.parallel_init: domains < 1";
+  if n < 0 then invalid_arg "Pool.parallel_init: negative n";
+  if n = 0 then [||]
+  else if domains = 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let chunk = Stdlib.max 1 (n / (domains * 4)) in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n && Atomic.get error = None then begin
+          let stop = Stdlib.min n (start + chunk) in
+          (try
+             for i = start to stop - 1 do
+               results.(i) <- Some (f i)
+             done
+           with e -> ignore (Atomic.compare_and_set error None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      Array.init (Stdlib.min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> failwith "Pool.parallel_init: missing result")
+      results
+  end
+
+let parallel_map ~domains f a =
+  parallel_init ~domains (Array.length a) (fun i -> f a.(i))
+
+let parallel_for ~domains n f =
+  ignore (parallel_init ~domains n (fun i -> f i))

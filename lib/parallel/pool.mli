@@ -1,0 +1,27 @@
+(** Chunked parallel iteration over OCaml 5 domains.
+
+    Experiment sweeps (hundreds of independent instance × realization
+    runs) are embarrassingly parallel; this module fans them out over
+    domains with a simple static chunking, which is the right shape for
+    uniform workloads on a laptop-scale machine. All work functions must
+    be pure or operate on disjoint state — nothing here synchronizes
+    user data.
+
+    [domains = 1] degenerates to sequential execution with no domain
+    spawned, so library code can use these unconditionally. *)
+
+val recommended_domains : unit -> int
+(** [max 1 (cpu cores - 1)], capped at 8. *)
+
+val parallel_init : domains:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_init ~domains n f] is [Array.init n f] computed with up to
+    [domains] domains. [f] runs on arbitrary domains in arbitrary order.
+    Exceptions in [f] are re-raised (one representative). Raises
+    [Invalid_argument] if [domains < 1] or [n < 0]. *)
+
+val parallel_map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with the same contract as {!parallel_init}. *)
+
+val parallel_for : domains:int -> int -> (int -> unit) -> unit
+(** Parallel side-effecting loop over [0 .. n-1]; the callback must touch
+    only index-disjoint state. *)

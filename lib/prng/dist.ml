@@ -1,0 +1,36 @@
+let uniform rng ~lo ~hi = Rng.float_range rng ~lo ~hi
+
+let log_uniform rng ~lo ~hi =
+  if lo <= 0.0 || lo > hi then invalid_arg "Dist.log_uniform: need 0 < lo <= hi";
+  exp (Rng.float_range rng ~lo:(log lo) ~hi:(log hi))
+
+let exponential rng ~mean =
+  if mean <= 0.0 then invalid_arg "Dist.exponential: mean <= 0";
+  let u = 1.0 -. Rng.float rng in
+  -.mean *. log u
+
+let pareto rng ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Dist.pareto: parameters must be > 0";
+  let u = 1.0 -. Rng.float rng in
+  scale /. (u ** (1.0 /. shape))
+
+let normal rng ~mu ~sigma =
+  let u1 = 1.0 -. Rng.float rng in
+  let u2 = Rng.float rng in
+  let r = sqrt (-2.0 *. log u1) in
+  mu +. (sigma *. r *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mu ~sigma)
+
+let bimodal rng ~p_long ~short ~long =
+  if Rng.bernoulli rng ~p:p_long then long rng else short rng
+
+let truncated sampler ~lo ~hi rng =
+  if lo > hi then invalid_arg "Dist.truncated: lo > hi";
+  let rec attempt k =
+    if k >= 1_000_000 then Float.min hi (Float.max lo (sampler rng))
+    else
+      let x = sampler rng in
+      if x >= lo && x <= hi then x else attempt (k + 1)
+  in
+  attempt 0

@@ -1,0 +1,35 @@
+(** Random distributions over a {!Rng.t} source.
+
+    These samplers cover the workload families used across the paper's
+    experiments: short-range uniform workloads, memoryless (exponential)
+    service times, heavy-tailed (Pareto, lognormal) task mixes typical of
+    MapReduce traces, and bimodal short/long mixes that stress list
+    scheduling. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on [[lo, hi)]. *)
+
+val log_uniform : Rng.t -> lo:float -> hi:float -> float
+(** Log-uniform on [[lo, hi)]: uniform in the exponent. Requires
+    [0 < lo <= hi]. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** Exponential with the given mean ([mean > 0]). *)
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** Pareto with minimum [scale] and tail index [shape] (both [> 0]).
+    Heavy-tailed for [shape <= 2]. *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian via the Box-Muller transform. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** [exp] of a Gaussian with parameters [mu], [sigma]. *)
+
+val bimodal :
+  Rng.t -> p_long:float -> short:(Rng.t -> float) -> long:(Rng.t -> float) -> float
+(** With probability [p_long] sample from [long], otherwise from [short]. *)
+
+val truncated : (Rng.t -> float) -> lo:float -> hi:float -> Rng.t -> float
+(** Rejection-sample the given sampler into [[lo, hi]]. Gives up after 10^6
+    rejections and clamps, so it always terminates. *)

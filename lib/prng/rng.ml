@@ -1,0 +1,73 @@
+type backend =
+  | Xoshiro of Xoshiro256.t
+  | Splitmix of Splitmix64.t
+
+type t = { backend : backend }
+
+let create ?(seed = 0x5EED) () =
+  { backend = Xoshiro (Xoshiro256.create (Int64.of_int seed)) }
+
+let of_xoshiro x = { backend = Xoshiro x }
+let of_splitmix s = { backend = Splitmix s }
+
+let copy t =
+  match t.backend with
+  | Xoshiro x -> { backend = Xoshiro (Xoshiro256.copy x) }
+  | Splitmix s -> { backend = Splitmix (Splitmix64.copy s) }
+
+let int64 t =
+  match t.backend with
+  | Xoshiro x -> Xoshiro256.next x
+  | Splitmix s -> Splitmix64.next s
+
+let split t =
+  match t.backend with
+  | Xoshiro x ->
+      let child = Xoshiro256.copy x in
+      Xoshiro256.jump child;
+      (* Also advance the parent so repeated splits yield distinct streams. *)
+      ignore (Xoshiro256.next x);
+      { backend = Xoshiro (Xoshiro256.create (Xoshiro256.next child)) }
+  | Splitmix s -> { backend = Splitmix (Splitmix64.split s) }
+
+let float t =
+  match t.backend with
+  | Xoshiro x -> Xoshiro256.next_float x
+  | Splitmix s -> Splitmix64.next_float s
+
+let float_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.float_range: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection sampling over the top bits to avoid modulo bias. *)
+  let mask =
+    let rec grow m = if m >= bound - 1 then m else grow ((m * 2) + 1) in
+    grow 1
+  in
+  let rec draw () =
+    let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 2) land mask in
+    if bits < bound then bits else draw ()
+  in
+  draw ()
+
+let int_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_range: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t ~p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

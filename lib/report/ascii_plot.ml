@@ -1,0 +1,77 @@
+type series = { label : string; glyph : char; points : (float * float) array }
+
+let bounds series_list =
+  let xmin = ref infinity and xmax = ref neg_infinity in
+  let ymin = ref infinity and ymax = ref neg_infinity in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun (x, y) ->
+          if x < !xmin then xmin := x;
+          if x > !xmax then xmax := x;
+          if y < !ymin then ymin := y;
+          if y > !ymax then ymax := y)
+        s.points)
+    series_list;
+  let widen lo hi =
+    if !lo > !hi then (0.0, 1.0)
+    else if !lo = !hi then (!lo -. 0.5, !hi +. 0.5)
+    else
+      let pad = 0.02 *. (!hi -. !lo) in
+      (!lo -. pad, !hi +. pad)
+  in
+  let x0, x1 = widen xmin xmax and y0, y1 = widen ymin ymax in
+  (x0, x1, y0, y1)
+
+let plot ?(width = 64) ?(height = 20) ?(x_label = "x") ?(y_label = "y")
+    ?(title = "") series_list =
+  if List.for_all (fun s -> Array.length s.points = 0) series_list then
+    "(no data to plot)\n"
+  else begin
+    let x0, x1, y0, y1 = bounds series_list in
+    let canvas = Array.init height (fun _ -> Bytes.make width ' ') in
+    let col_of x =
+      int_of_float (Float.round ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1)))
+    in
+    let row_of y =
+      (height - 1)
+      - int_of_float
+          (Float.round ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1)))
+    in
+    List.iter
+      (fun s ->
+        Array.iter
+          (fun (x, y) ->
+            let c = col_of x and r = row_of y in
+            if c >= 0 && c < width && r >= 0 && r < height then
+              Bytes.set canvas.(r) c s.glyph)
+          s.points)
+      series_list;
+    let buffer = Buffer.create ((width + 16) * (height + 6)) in
+    if title <> "" then Buffer.add_string buffer (title ^ "\n");
+    Buffer.add_string buffer (Printf.sprintf "%s\n" y_label);
+    Array.iteri
+      (fun r row ->
+        let y_here =
+          y1 -. (float_of_int r /. float_of_int (height - 1) *. (y1 -. y0))
+        in
+        let tick =
+          if r = 0 || r = height - 1 || r = (height - 1) / 2 then
+            Printf.sprintf "%10.4g |" y_here
+          else Printf.sprintf "%10s |" ""
+        in
+        Buffer.add_string buffer (tick ^ Bytes.to_string row ^ "\n"))
+      canvas;
+    Buffer.add_string buffer
+      (Printf.sprintf "%10s +%s\n" "" (String.make width '-'));
+    Buffer.add_string buffer
+      (Printf.sprintf "%10s  %-10.4g%*s%10.4g  (%s)\n" "" x0
+         (Stdlib.max 1 (width - 20))
+         "" x1 x_label);
+    List.iter
+      (fun s ->
+        if Array.length s.points > 0 then
+          Buffer.add_string buffer (Printf.sprintf "  %c = %s\n" s.glyph s.label))
+      series_list;
+    Buffer.contents buffer
+  end

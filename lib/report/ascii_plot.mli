@@ -1,0 +1,22 @@
+(** ASCII line/scatter plots.
+
+    Regenerates the paper's figures (ratio-replication curves of Figure 3,
+    memory-makespan tradeoffs of Figure 6) as terminal graphics: multiple
+    series share one canvas, each drawn with its own glyph, with axis
+    labels and a legend. *)
+
+type series = { label : string; glyph : char; points : (float * float) array }
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?title:string ->
+  series list ->
+  string
+(** Render all series on a shared canvas (default 64x20). Axis ranges are
+    the bounding box of all points, padded slightly. Series later in the
+    list overdraw earlier ones on collisions. Degenerate ranges (all x or
+    all y equal) are widened to unit span. An empty series list yields a
+    message string rather than an error. *)

@@ -1,0 +1,23 @@
+module Rng = Usched_prng.Rng
+
+type interval = { lo : float; hi : float; point : float }
+
+let interval ?(resamples = 1000) ?(confidence = 0.95) ~statistic ~rng data =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Bootstrap.interval: empty data";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Bootstrap.interval: confidence out of (0, 1)";
+  if resamples < 1 then invalid_arg "Bootstrap.interval: resamples < 1";
+  let stats =
+    Array.init resamples (fun _ ->
+        let resample = Array.init n (fun _ -> data.(Rng.int rng n)) in
+        statistic resample)
+  in
+  let tail = (1.0 -. confidence) /. 2.0 in
+  let lo = Quantile.quantile stats ~q:tail in
+  let hi = Quantile.quantile stats ~q:(1.0 -. tail) in
+  { lo; hi; point = statistic data }
+
+let mean_interval ?resamples ?confidence ~rng data =
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  interval ?resamples ?confidence ~statistic:mean ~rng data

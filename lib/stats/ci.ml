@@ -1,0 +1,25 @@
+type interval = { lo : float; hi : float; half_width : float }
+
+let z_value confidence =
+  match confidence with
+  | 0.90 -> 1.6449
+  | 0.95 -> 1.9600
+  | 0.99 -> 2.5758
+  | _ -> invalid_arg "Ci.z_value: supported levels are 0.90, 0.95, 0.99"
+
+(* Multiplicative widening approximating t_{n-1}/z for small n. *)
+let small_sample_factor n =
+  if n >= 30 then 1.0
+  else
+    (* t/z ratio is roughly 1 + 1/(2(n-1)) + ... ; this simple surrogate is
+       within a few percent of the exact ratio for n >= 5. *)
+    1.0 +. (1.5 /. float_of_int (n - 1))
+
+let mean_ci ?(confidence = 0.95) summary =
+  let n = Summary.count summary in
+  if n < 2 then invalid_arg "Ci.mean_ci: need at least 2 observations";
+  let z = z_value confidence in
+  let se = Summary.stddev summary /. sqrt (float_of_int n) in
+  let half_width = z *. se *. small_sample_factor n in
+  let mean = Summary.mean summary in
+  { lo = mean -. half_width; hi = mean +. half_width; half_width }

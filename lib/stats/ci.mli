@@ -1,0 +1,18 @@
+(** Confidence intervals for sample means.
+
+    Normal-approximation intervals, adequate for the experiment repetition
+    counts used in this repository (dozens to thousands of repetitions).
+    For tiny samples the half-width is widened with a small-sample
+    correction factor approximating the Student t quantile. *)
+
+type interval = { lo : float; hi : float; half_width : float }
+
+val mean_ci : ?confidence:float -> Summary.t -> interval
+(** [mean_ci ~confidence s] is a confidence interval for the population
+    mean from summary [s]. [confidence] is one of the supported levels
+    0.90, 0.95 (default) or 0.99. Raises [Invalid_argument] on other
+    levels or on summaries with fewer than 2 observations. *)
+
+val z_value : float -> float
+(** Standard normal two-sided critical value for a supported confidence
+    level. *)

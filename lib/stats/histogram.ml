@@ -1,0 +1,41 @@
+type t = { lo : float; hi : float; counts : int array }
+
+let create ?(bins = 10) ~lo ~hi data =
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  if lo >= hi then invalid_arg "Histogram.create: lo >= hi";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let bin_of x =
+    let i = int_of_float ((x -. lo) /. width) in
+    if i < 0 then 0 else if i >= bins then bins - 1 else i
+  in
+  Array.iter (fun x -> counts.(bin_of x) <- counts.(bin_of x) + 1) data;
+  { lo; hi; counts }
+
+let of_data ?(bins = 10) data =
+  if Array.length data = 0 then create ~bins ~lo:0.0 ~hi:1.0 data
+  else begin
+    let lo = Array.fold_left Float.min infinity data in
+    let hi = Array.fold_left Float.max neg_infinity data in
+    let hi = if hi > lo then hi else lo +. 1.0 in
+    create ~bins ~lo ~hi data
+  end
+
+let bins t = Array.length t.counts
+let counts t = Array.copy t.counts
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let bin_range t i =
+  let n = bins t in
+  if i < 0 || i >= n then invalid_arg "Histogram.bin_range: index";
+  let width = (t.hi -. t.lo) /. float_of_int n in
+  (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+let pp ppf t =
+  let widest = Array.fold_left Stdlib.max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_range t i in
+      let bar = String.make (c * 40 / widest) '#' in
+      Format.fprintf ppf "[%10.4g, %10.4g) %6d %s@." lo hi c bar)
+    t.counts

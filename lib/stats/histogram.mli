@@ -1,0 +1,27 @@
+(** Fixed-bin histograms with a terminal rendering.
+
+    Used by experiment reports to show the empirical distribution of
+    measured competitive ratios. *)
+
+type t
+(** An immutable histogram over [[lo, hi]] with equal-width bins. *)
+
+val create : ?bins:int -> lo:float -> hi:float -> float array -> t
+(** [create ~bins ~lo ~hi data] counts each datum into one of [bins]
+    equal-width bins (default 10). Data outside [[lo, hi]] land in the
+    first/last bin. Raises [Invalid_argument] if [bins <= 0] or
+    [lo >= hi]. *)
+
+val of_data : ?bins:int -> float array -> t
+(** Like {!create} with [lo]/[hi] taken from the data (empty data yields
+    the range [[0, 1]]). *)
+
+val bins : t -> int
+val counts : t -> int array
+val total : t -> int
+
+val bin_range : t -> int -> float * float
+(** Inclusive-exclusive range covered by bin [i]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line bar rendering. *)

@@ -1,0 +1,37 @@
+let interpolate sorted q =
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let check_input a q =
+  if Array.length a = 0 then invalid_arg "Quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Quantile: q out of [0, 1]"
+
+let quantile a ~q =
+  check_input a q;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  interpolate sorted q
+
+let quantiles a ~qs =
+  if Array.length a = 0 then invalid_arg "Quantile: empty sample";
+  Array.iter (fun q -> check_input a q) qs;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Array.map (fun q -> interpolate sorted q) qs
+
+let median a = quantile a ~q:0.5
+
+let quartiles a =
+  match quantiles a ~qs:[| 0.25; 0.5; 0.75 |] with
+  | [| q1; q2; q3 |] -> (q1, q2, q3)
+  | _ -> assert false
+
+let iqr a =
+  let q1, _, q3 = quartiles a in
+  q3 -. q1

@@ -1,0 +1,27 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let ols ~xs ~ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Regression.ols: length mismatch";
+  if n < 2 then invalid_arg "Regression.ols: need at least 2 points";
+  let fn = float_of_int n in
+  let sum = Array.fold_left ( +. ) 0.0 in
+  let mean_x = sum xs /. fn and mean_y = sum ys /. fn in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mean_x and dy = ys.(i) -. mean_y in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 then invalid_arg "Regression.ols: degenerate x values";
+  let slope = !sxy /. !sxx in
+  let intercept = mean_y -. (slope *. mean_x) in
+  let r2 = if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy) in
+  { slope; intercept; r2 }
+
+let predict fit x = (fit.slope *. x) +. fit.intercept
+
+let crossover a b =
+  if Float.abs (a.slope -. b.slope) < 1e-12 then None
+  else Some ((b.intercept -. a.intercept) /. (a.slope -. b.slope))

@@ -1,0 +1,18 @@
+(** Ordinary least squares on paired samples.
+
+    Used to detect crossover points between guarantee curves and to check
+    scaling trends in benchmarks. *)
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val ols : xs:float array -> ys:float array -> fit
+(** Least-squares line through the points. Raises [Invalid_argument] if
+    the arrays differ in length or contain fewer than 2 points, or if all
+    x values coincide. *)
+
+val predict : fit -> float -> float
+(** Evaluate the fitted line. *)
+
+val crossover : fit -> fit -> float option
+(** X coordinate where two fitted lines intersect, if their slopes
+    differ. *)

@@ -1,0 +1,48 @@
+(** Online descriptive statistics (Welford's algorithm).
+
+    Accumulates count, mean, variance, min and max in a single pass with
+    numerically stable updates. Used by experiment runners to summarize
+    measured ratios across many random repetitions. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** An empty accumulator. *)
+
+val add : t -> float -> unit
+(** Fold one observation in. *)
+
+val add_array : t -> float array -> unit
+(** Fold every element of the array in. *)
+
+val count : t -> int
+(** Number of observations so far. *)
+
+val mean : t -> float
+(** Arithmetic mean; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] for fewer than two observations. *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
+val min : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val sum : t -> float
+(** Sum of all observations. *)
+
+val merge : t -> t -> t
+(** [merge a b] summarizes the union of both observation streams
+    (parallel-reduction friendly). Neither input is mutated. *)
+
+val of_array : float array -> t
+(** Summary of an array in one call. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering. *)

@@ -1,0 +1,153 @@
+(* Unit and property tests for the Bitset substrate. *)
+
+module Bitset = Usched_model.Bitset
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+let empty_properties () =
+  let s = Bitset.create 100 in
+  checki "cardinal" 0 (Bitset.cardinal s);
+  checkb "is_empty" true (Bitset.is_empty s);
+  check_list "to_list" [] (Bitset.to_list s);
+  checki "capacity" 100 (Bitset.capacity s)
+
+let add_mem_remove () =
+  let s = Bitset.create 100 in
+  Bitset.add s 0;
+  Bitset.add s 61;
+  Bitset.add s 62;
+  Bitset.add s 99;
+  checkb "mem 0" true (Bitset.mem s 0);
+  checkb "mem 61 (word boundary)" true (Bitset.mem s 61);
+  checkb "mem 62 (next word)" true (Bitset.mem s 62);
+  checkb "mem 99" true (Bitset.mem s 99);
+  checkb "not mem 50" false (Bitset.mem s 50);
+  checki "cardinal" 4 (Bitset.cardinal s);
+  Bitset.remove s 61;
+  checkb "removed" false (Bitset.mem s 61);
+  checki "cardinal after remove" 3 (Bitset.cardinal s)
+
+let add_idempotent () =
+  let s = Bitset.create 10 in
+  Bitset.add s 3;
+  Bitset.add s 3;
+  checki "no double count" 1 (Bitset.cardinal s)
+
+let out_of_range_rejected () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "add 10" (Invalid_argument "Bitset: element out of range")
+    (fun () -> Bitset.add s 10);
+  Alcotest.check_raises "mem -1" (Invalid_argument "Bitset: element out of range")
+    (fun () -> ignore (Bitset.mem s (-1)))
+
+let full_and_singleton () =
+  let f = Bitset.full 70 in
+  checki "full cardinal" 70 (Bitset.cardinal f);
+  checkb "full mem" true (Bitset.mem f 69);
+  let s = Bitset.singleton 70 42 in
+  checki "singleton cardinal" 1 (Bitset.cardinal s);
+  check_list "singleton member" [ 42 ] (Bitset.to_list s);
+  checki "choose" 42 (Bitset.choose s)
+
+let choose_empty_raises () =
+  Alcotest.check_raises "choose empty" Not_found (fun () ->
+      ignore (Bitset.choose (Bitset.create 5)))
+
+let iter_ascending () =
+  let s = Bitset.of_list 200 [ 150; 3; 77; 0; 199 ] in
+  check_list "ascending order" [ 0; 3; 77; 150; 199 ] (Bitset.to_list s)
+
+let fold_sums () =
+  let s = Bitset.of_list 10 [ 1; 2; 3 ] in
+  checki "fold" 6 (Bitset.fold ( + ) 0 s)
+
+let union_inter () =
+  let a = Bitset.of_list 128 [ 1; 64; 100 ] in
+  let b = Bitset.of_list 128 [ 64; 100; 2 ] in
+  check_list "union" [ 1; 2; 64; 100 ] (Bitset.to_list (Bitset.union a b));
+  check_list "inter" [ 64; 100 ] (Bitset.to_list (Bitset.inter a b))
+
+let capacity_mismatch_rejected () =
+  let a = Bitset.create 10 and b = Bitset.create 20 in
+  Alcotest.check_raises "union mismatch"
+    (Invalid_argument "Bitset: capacity mismatch") (fun () ->
+      ignore (Bitset.union a b))
+
+let subset_equal () =
+  let a = Bitset.of_list 64 [ 1; 2 ] in
+  let b = Bitset.of_list 64 [ 1; 2; 3 ] in
+  checkb "a subset b" true (Bitset.subset a b);
+  checkb "b not subset a" false (Bitset.subset b a);
+  checkb "equal self" true (Bitset.equal a a);
+  checkb "not equal" false (Bitset.equal a b)
+
+let copy_is_independent () =
+  let a = Bitset.of_list 10 [ 1 ] in
+  let b = Bitset.copy a in
+  Bitset.add b 2;
+  checkb "original untouched" false (Bitset.mem a 2);
+  checkb "copy updated" true (Bitset.mem b 2)
+
+let pp_renders () =
+  let s = Bitset.of_list 10 [ 0; 3; 5 ] in
+  Alcotest.(check string) "pp" "{0, 3, 5}" (Format.asprintf "%a" Bitset.pp s)
+
+(* Property tests: Bitset behaves exactly like a reference set of ints. *)
+let prop_matches_reference =
+  QCheck.Test.make ~name:"bitset matches reference model" ~count:200
+    QCheck.(pair (int_bound 300) (small_list (int_bound 500)))
+    (fun (capacity, raw_ops) ->
+      let capacity = capacity + 1 in
+      let ops = List.map (fun x -> x mod capacity) raw_ops in
+      let s = Bitset.create capacity in
+      let reference = Hashtbl.create 16 in
+      List.iteri
+        (fun i x ->
+          if i mod 3 = 2 then begin
+            Bitset.remove s x;
+            Hashtbl.remove reference x
+          end
+          else begin
+            Bitset.add s x;
+            Hashtbl.replace reference x ()
+          end)
+        ops;
+      let expected =
+        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) reference [])
+      in
+      Bitset.to_list s = expected
+      && Bitset.cardinal s = List.length expected)
+
+let prop_union_cardinality =
+  QCheck.Test.make ~name:"inclusion-exclusion for union/inter" ~count:200
+    QCheck.(pair (small_list (int_bound 99)) (small_list (int_bound 99)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 100 xs and b = Bitset.of_list 100 ys in
+      Bitset.cardinal (Bitset.union a b) + Bitset.cardinal (Bitset.inter a b)
+      = Bitset.cardinal a + Bitset.cardinal b)
+
+let () =
+  Alcotest.run "bitset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick empty_properties;
+          Alcotest.test_case "add/mem/remove" `Quick add_mem_remove;
+          Alcotest.test_case "add idempotent" `Quick add_idempotent;
+          Alcotest.test_case "range checks" `Quick out_of_range_rejected;
+          Alcotest.test_case "full and singleton" `Quick full_and_singleton;
+          Alcotest.test_case "choose empty" `Quick choose_empty_raises;
+          Alcotest.test_case "iteration order" `Quick iter_ascending;
+          Alcotest.test_case "fold" `Quick fold_sums;
+          Alcotest.test_case "union/inter" `Quick union_inter;
+          Alcotest.test_case "capacity mismatch" `Quick capacity_mismatch_rejected;
+          Alcotest.test_case "subset/equal" `Quick subset_equal;
+          Alcotest.test_case "copy independence" `Quick copy_is_independent;
+          Alcotest.test_case "pretty printing" `Quick pp_renders;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_matches_reference; prop_union_cardinality ] );
+    ]

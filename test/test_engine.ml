@@ -1,0 +1,299 @@
+(* Unit and property tests for the phase-2 execution engine. *)
+
+module Engine = Usched_desim.Engine
+module Schedule = Usched_desim.Schedule
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Rng = Usched_prng.Rng
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let submission_order n = Array.init n (fun j -> j)
+
+let instance_of ests =
+  Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact ests
+
+let graham_ls_example () =
+  (* 4 tasks (3,3,2,2) on 2 machines, submission order: t0->m0, t1->m1,
+     then at time 3 both idle, t2->m0, t3->m1. Makespan 5. *)
+  let instance = instance_of [| 3.0; 3.0; 2.0; 2.0 |] in
+  let realization = Realization.exact instance in
+  let placement = Array.init 4 (fun _ -> Bitset.full 2) in
+  let s = Engine.run instance realization ~placement ~order:(submission_order 4) in
+  close "makespan" 5.0 (Schedule.makespan s);
+  Alcotest.(check (array int)) "round robin by idleness" [| 0; 1; 0; 1 |]
+    (Schedule.assignment s)
+
+let online_lpt_order () =
+  (* Order by decreasing estimate changes who goes first. *)
+  let instance = instance_of [| 1.0; 5.0; 3.0 |] in
+  let realization = Realization.exact instance in
+  let placement = Array.init 3 (fun _ -> Bitset.full 2) in
+  let order = [| 1; 2; 0 |] in
+  let s = Engine.run instance realization ~placement ~order in
+  Alcotest.(check int) "longest first on machine 0" 0 (Schedule.machine_of s 1);
+  Alcotest.(check int) "second on machine 1" 1 (Schedule.machine_of s 2);
+  (* Machine 1 (busy 3.0) frees before machine 0 (busy 5.0). *)
+  Alcotest.(check int) "third to first idle" 1 (Schedule.machine_of s 0);
+  close "makespan" 5.0 (Schedule.makespan s)
+
+let respects_singleton_placement () =
+  let instance = instance_of [| 1.0; 1.0; 1.0; 1.0 |] in
+  let realization = Realization.exact instance in
+  (* All pinned to machine 1. *)
+  let placement = Array.init 4 (fun _ -> Bitset.singleton 2 1) in
+  let s = Engine.run instance realization ~placement ~order:(submission_order 4) in
+  close "serialized" 4.0 (Schedule.makespan s);
+  Array.iteri
+    (fun j _ -> Alcotest.(check int) "on machine 1" 1 (Schedule.machine_of s j))
+    (Instance.tasks instance)
+
+let respects_group_placement () =
+  let instance =
+    Instance.of_ests ~m:4 ~alpha:Uncertainty.alpha_exact
+      [| 2.0; 2.0; 2.0; 2.0; 2.0; 2.0 |]
+  in
+  let realization = Realization.exact instance in
+  let g0 = Bitset.of_list 4 [ 0; 1 ] and g1 = Bitset.of_list 4 [ 2; 3 ] in
+  let placement = [| g0; g0; g0; g1; g1; g1 |] in
+  let s = Engine.run instance realization ~placement ~order:(submission_order 6) in
+  List.iter
+    (fun j ->
+      checkb "group 0 tasks stay in group 0" true (Schedule.machine_of s j < 2))
+    [ 0; 1; 2 ];
+  List.iter
+    (fun j ->
+      checkb "group 1 tasks stay in group 1" true (Schedule.machine_of s j >= 2))
+    [ 3; 4; 5 ];
+  close "balanced inside groups" 4.0 (Schedule.makespan s)
+
+let semi_clairvoyance () =
+  (* Actual times differ from estimates; dispatch happens at *actual* idle
+     times: t0 est 4 actual 1 on m0, t1 est 3 actual 6 on m1; the third
+     task must go to m0, which frees first in reality. *)
+  let instance =
+    Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 4.0) [| 4.0; 3.0; 1.0 |]
+  in
+  let realization = Realization.of_actuals instance [| 1.0; 6.0; 1.0 |] in
+  let placement = Array.init 3 (fun _ -> Bitset.full 2) in
+  let order = [| 0; 1; 2 |] in
+  let s = Engine.run instance realization ~placement ~order in
+  Alcotest.(check int) "third task follows actual idleness" 0
+    (Schedule.machine_of s 2);
+  close "makespan" 6.0 (Schedule.makespan s)
+
+let deterministic_tie_breaking () =
+  let instance = instance_of [| 1.0; 1.0 |] in
+  let realization = Realization.exact instance in
+  let placement = Array.init 2 (fun _ -> Bitset.full 2) in
+  let s = Engine.run instance realization ~placement ~order:(submission_order 2) in
+  (* Both machines idle at 0; lower machine id serves the first task. *)
+  Alcotest.(check int) "task 0 on machine 0" 0 (Schedule.machine_of s 0);
+  Alcotest.(check int) "task 1 on machine 1" 1 (Schedule.machine_of s 1)
+
+let rejects_empty_placement () =
+  let instance = instance_of [| 1.0 |] in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.create 2 |] in
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Engine.run: task 0 is placed nowhere") (fun () ->
+      ignore (Engine.run instance realization ~placement ~order:[| 0 |]))
+
+let rejects_bad_order () =
+  let instance = instance_of [| 1.0; 1.0 |] in
+  let realization = Realization.exact instance in
+  let placement = Array.init 2 (fun _ -> Bitset.full 2) in
+  Alcotest.check_raises "duplicate order"
+    (Invalid_argument "Engine.run: order is not a permutation of task ids")
+    (fun () -> ignore (Engine.run instance realization ~placement ~order:[| 0; 0 |]))
+
+let rejects_wrong_capacity () =
+  let instance = instance_of [| 1.0 |] in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.full 3 |] in
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Engine.run: placement of task 0 has wrong capacity")
+    (fun () -> ignore (Engine.run instance realization ~placement ~order:[| 0 |]))
+
+let trace_is_chronological_and_complete () =
+  let instance = instance_of [| 2.0; 1.0; 1.0 |] in
+  let realization = Realization.exact instance in
+  let placement = Array.init 3 (fun _ -> Bitset.full 2) in
+  let _, events =
+    Engine.run_traced instance realization ~placement ~order:(submission_order 3)
+  in
+  let times =
+    List.map
+      (function
+        | Engine.Started { time; _ } | Engine.Completed { time; _ } -> time)
+      events
+  in
+  Alcotest.(check int) "2 events per task" 6 (List.length events);
+  checkb "sorted by time" true (List.sort Float.compare times = times)
+
+let no_idle_while_work_eligible () =
+  (* Graham's property: when every task is eligible everywhere, no machine
+     idles while unscheduled tasks remain. Check via start times: task
+     start <= sum of all previous finish "gaps" — simpler: every start
+     time equals some earlier finish time or 0. *)
+  let rng = Rng.create ~seed:9 () in
+  for _ = 1 to 20 do
+    let n = 5 + Rng.int rng 20 in
+    let ests = Array.init n (fun _ -> 0.5 +. Rng.float rng) in
+    let instance = Instance.of_ests ~m:3 ~alpha:Uncertainty.alpha_exact ests in
+    let realization = Realization.exact instance in
+    let placement = Array.init n (fun _ -> Bitset.full 3) in
+    let s = Engine.run instance realization ~placement ~order:(submission_order n) in
+    (* List scheduling bound must hold. *)
+    let total = Array.fold_left ( +. ) 0.0 ests in
+    let pmax = Array.fold_left Float.max 0.0 ests in
+    checkb "LS bound" true
+      (Schedule.makespan s <= (total /. 3.0) +. (2.0 /. 3.0 *. pmax) +. 1e-9)
+  done
+
+let stress_large_instance () =
+  (* 100k tasks on 64 machines, full replication: the cursor-based scan
+     must stay near O(m*n). Checks completion and the LS bound. *)
+  let n = 100_000 and m = 64 in
+  let rng = Rng.create ~seed:77 () in
+  let ests = Array.init n (fun _ -> 0.1 +. Rng.float rng) in
+  let instance = Instance.of_ests ~m ~alpha:Uncertainty.alpha_exact ests in
+  let realization = Realization.exact instance in
+  let placement = Array.init n (fun _ -> Bitset.full m) in
+  let started = Unix.gettimeofday () in
+  let s = Engine.run instance realization ~placement ~order:(submission_order n) in
+  let elapsed = Unix.gettimeofday () -. started in
+  let total = Array.fold_left ( +. ) 0.0 ests in
+  let pmax = Array.fold_left Float.max 0.0 ests in
+  checkb "LS bound at scale" true
+    (Schedule.makespan s
+    <= (total /. float_of_int m) +. ((float_of_int (m - 1) /. float_of_int m) *. pmax) +. 1e-6);
+  checkb "finishes in reasonable time" true (elapsed < 30.0)
+
+let stress_group_placement () =
+  (* 50k tasks in 8 groups: per-machine cursors skip foreign-group tasks
+     permanently, so this must not be quadratic either. *)
+  let n = 50_000 and m = 32 in
+  let rng = Rng.create ~seed:78 () in
+  let ests = Array.init n (fun _ -> 0.1 +. Rng.float rng) in
+  let instance = Instance.of_ests ~m ~alpha:Uncertainty.alpha_exact ests in
+  let realization = Realization.exact instance in
+  let group_sets =
+    Array.init 8 (fun g -> Bitset.of_list m (List.init 4 (fun i -> (4 * g) + i)))
+  in
+  let placement = Array.init n (fun j -> group_sets.(j mod 8)) in
+  let started = Unix.gettimeofday () in
+  let s = Engine.run instance realization ~placement ~order:(submission_order n) in
+  let elapsed = Unix.gettimeofday () -. started in
+  Alcotest.(check int) "all tasks scheduled" n (Schedule.n s);
+  checkb "finishes in reasonable time" true (elapsed < 30.0)
+
+let prop_valid_schedules =
+  QCheck.Test.make ~name:"engine output always validates" ~count:200
+    QCheck.(
+      triple (int_range 1 6)
+        (list_of_size Gen.(int_range 1 25) (float_range 0.1 10.0))
+        (int_bound 1000))
+    (fun (m, ests, seed) ->
+      let n = List.length ests in
+      let instance =
+        Instance.of_ests ~m ~alpha:(Uncertainty.alpha 2.0) (Array.of_list ests)
+      in
+      let rng = Rng.create ~seed ()  in
+      let realization = Realization.uniform_factor instance rng in
+      (* Random placement: each task gets a random nonempty machine set. *)
+      let placement =
+        Array.init n (fun _ ->
+            let set = Bitset.create m in
+            Bitset.add set (Rng.int rng m);
+            for i = 0 to m - 1 do
+              if Rng.bernoulli rng ~p:0.3 then Bitset.add set i
+            done;
+            set)
+      in
+      let order = Array.init n (fun j -> j) in
+      Rng.shuffle rng order;
+      let s = Engine.run instance realization ~placement ~order in
+      Schedule.validate ~placement instance realization s = []
+      && Schedule.n s = n)
+
+let prop_trace_matches_schedule =
+  QCheck.Test.make ~name:"trace events agree with the schedule" ~count:150
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(int_range 1 15) (float_range 0.1 5.0)))
+    (fun (m, ests) ->
+      let n = List.length ests in
+      let instance =
+        Instance.of_ests ~m ~alpha:Uncertainty.alpha_exact (Array.of_list ests)
+      in
+      let realization = Realization.exact instance in
+      let placement = Array.init n (fun _ -> Bitset.full m) in
+      let schedule, events =
+        Engine.run_traced instance realization ~placement
+          ~order:(Array.init n (fun j -> j))
+      in
+      List.for_all
+        (fun event ->
+          match event with
+          | Engine.Started { time; machine; task } ->
+              let e = Schedule.entry schedule task in
+              e.Schedule.machine = machine
+              && Float.abs (e.Schedule.start -. time) < 1e-12
+          | Engine.Completed { time; machine; task } ->
+              let e = Schedule.entry schedule task in
+              e.Schedule.machine = machine
+              && Float.abs (e.Schedule.finish -. time) < 1e-12)
+        events
+      && List.length events = 2 * n)
+
+let prop_makespan_is_max_load =
+  QCheck.Test.make ~name:"makespan equals max machine load (no idle gaps)"
+    ~count:200
+    QCheck.(pair (int_range 1 5) (list_of_size Gen.(int_range 1 20) (float_range 0.1 5.0)))
+    (fun (m, ests) ->
+      let n = List.length ests in
+      let instance =
+        Instance.of_ests ~m ~alpha:Uncertainty.alpha_exact (Array.of_list ests)
+      in
+      let realization = Realization.exact instance in
+      let placement = Array.init n (fun _ -> Bitset.full m) in
+      let s =
+        Engine.run instance realization ~placement
+          ~order:(Array.init n (fun j -> j))
+      in
+      let max_load = Array.fold_left Float.max 0.0 (Schedule.loads s) in
+      Float.abs (Schedule.makespan s -. max_load) < 1e-9)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "Graham LS example" `Quick graham_ls_example;
+          Alcotest.test_case "online LPT order" `Quick online_lpt_order;
+          Alcotest.test_case "singleton placement" `Quick respects_singleton_placement;
+          Alcotest.test_case "group placement" `Quick respects_group_placement;
+          Alcotest.test_case "semi-clairvoyance" `Quick semi_clairvoyance;
+          Alcotest.test_case "tie breaking" `Quick deterministic_tie_breaking;
+          Alcotest.test_case "rejects empty placement" `Quick rejects_empty_placement;
+          Alcotest.test_case "rejects bad order" `Quick rejects_bad_order;
+          Alcotest.test_case "rejects wrong capacity" `Quick rejects_wrong_capacity;
+          Alcotest.test_case "trace" `Quick trace_is_chronological_and_complete;
+          Alcotest.test_case "LS bound sanity" `Quick no_idle_while_work_eligible;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "100k tasks full replication" `Slow
+            stress_large_instance;
+          Alcotest.test_case "50k tasks in groups" `Slow stress_group_placement;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_valid_schedules;
+            prop_makespan_is_max_load;
+            prop_trace_matches_schedule;
+          ] );
+    ]

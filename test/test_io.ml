@@ -1,0 +1,164 @@
+(* Tests for instance/realization persistence. *)
+
+module Io = Usched_model.Io
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Workload = Usched_model.Workload
+module Rng = Usched_prng.Rng
+
+let checkb = Alcotest.(check bool)
+
+let sample_instance () =
+  Instance.of_ests ~m:3
+    ~alpha:(Uncertainty.alpha 1.75)
+    ~sizes:[| 1.0; 2.5; 0.25 |]
+    [| 4.0; 3.5; 0.125 |]
+
+let same_instance a b =
+  Instance.n a = Instance.n b
+  && Instance.m a = Instance.m b
+  && Instance.alpha_value a = Instance.alpha_value b
+  && Instance.ests a = Instance.ests b
+  && Instance.sizes a = Instance.sizes b
+
+let instance_round_trip () =
+  let inst = sample_instance () in
+  let back = Io.instance_of_string (Io.instance_to_string inst) in
+  checkb "round trip preserves everything" true (same_instance inst back)
+
+let instance_round_trip_exact_floats () =
+  (* Awkward float values must survive exactly (printed with %.17g). *)
+  let inst =
+    Instance.of_ests ~m:2
+      ~alpha:(Uncertainty.alpha (1.0 +. Float.epsilon))
+      [| Float.pi; 1.0 /. 3.0 |]
+  in
+  let back = Io.instance_of_string (Io.instance_to_string inst) in
+  checkb "bit-exact floats" true (same_instance inst back)
+
+let realization_round_trip () =
+  let inst = sample_instance () in
+  let rng = Rng.create ~seed:3 () in
+  let realization = Realization.uniform_factor inst rng in
+  let back = Io.realization_of_string (Io.realization_to_string realization) in
+  checkb "instance preserved" true
+    (same_instance inst (Realization.instance back));
+  Alcotest.(check (array (float 0.0))) "actuals preserved"
+    (Realization.actuals realization)
+    (Realization.actuals back)
+
+let file_round_trip () =
+  let inst = sample_instance () in
+  let path = Filename.temp_file "usched" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.save_instance ~path inst;
+      checkb "file round trip" true (same_instance inst (Io.load_instance ~path)))
+
+let generated_workloads_round_trip () =
+  let rng = Rng.create ~seed:4 () in
+  List.iter
+    (fun (_, spec) ->
+      let inst =
+        Workload.generate spec ~n:25 ~m:5 ~alpha:(Uncertainty.alpha 1.5) rng
+      in
+      let back = Io.instance_of_string (Io.instance_to_string inst) in
+      checkb (Workload.spec_name spec) true (same_instance inst back))
+    (Workload.standard_suite ~m:5)
+
+let rejects_wrong_kind () =
+  let inst = sample_instance () in
+  checkb "instance parser rejects realization file" true
+    (try
+       ignore (Io.instance_of_string (Io.realization_to_string (Realization.exact inst)));
+       false
+     with Failure _ -> true)
+
+let rejects_malformed_rows () =
+  let bad = "# usched-instance m=2 alpha=1.5\nid,est,size\n0,oops,1\n" in
+  checkb "bad float" true
+    (try
+       ignore (Io.instance_of_string bad);
+       false
+     with Failure _ -> true);
+  let missing = "# usched-instance m=2 alpha=1.5\nid,est,size\n0,1\n" in
+  checkb "missing field" true
+    (try
+       ignore (Io.instance_of_string missing);
+       false
+     with Failure _ -> true)
+
+let rejects_missing_header_field () =
+  let no_alpha = "# usched-instance m=2\nid,est,size\n" in
+  checkb "missing alpha" true
+    (try
+       ignore (Io.instance_of_string no_alpha);
+       false
+     with Failure _ -> true)
+
+let rejects_inadmissible_actuals () =
+  (* A tampered realization file whose actual violates the alpha bound
+     must be rejected by the underlying validation. *)
+  let bad =
+    "# usched-realization m=2 alpha=1.5\nid,est,size,actual\n0,4,1,40\n"
+  in
+  checkb "inadmissible actual" true
+    (try
+       ignore (Io.realization_of_string bad);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_random_round_trip =
+  QCheck.Test.make ~name:"random instances round trip bit-exactly" ~count:150
+    QCheck.(
+      triple (int_range 1 6)
+        (list_of_size Gen.(int_range 1 25) (float_range 0.001 1e6))
+        (float_range 1.0 10.0))
+    (fun (m, ests, alpha) ->
+      let ests = Array.of_list ests in
+      let inst = Instance.of_ests ~m ~alpha:(Uncertainty.alpha alpha) ests in
+      let back = Io.instance_of_string (Io.instance_to_string inst) in
+      Instance.ests back = ests
+      && Instance.m back = m
+      && Instance.alpha_value back = alpha)
+
+let prop_realization_round_trip =
+  QCheck.Test.make ~name:"random realizations round trip bit-exactly" ~count:150
+    QCheck.(pair (int_range 1 4) (int_range 1 20))
+    (fun (m, n) ->
+      let rng = Rng.create ~seed:(m + (100 * n)) () in
+      let inst =
+        Instance.of_ests ~m
+          ~alpha:(Uncertainty.alpha 2.0)
+          (Array.init n (fun _ -> 0.1 +. (10.0 *. Rng.float rng)))
+      in
+      let r = Realization.uniform_factor inst rng in
+      let back = Io.realization_of_string (Io.realization_to_string r) in
+      Realization.actuals back = Realization.actuals r)
+
+let () =
+  Alcotest.run "io"
+    [
+      ( "round trips",
+        [
+          Alcotest.test_case "instance" `Quick instance_round_trip;
+          Alcotest.test_case "exact floats" `Quick instance_round_trip_exact_floats;
+          Alcotest.test_case "realization" `Quick realization_round_trip;
+          Alcotest.test_case "file" `Quick file_round_trip;
+          Alcotest.test_case "generated workloads" `Quick
+            generated_workloads_round_trip;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "wrong kind" `Quick rejects_wrong_kind;
+          Alcotest.test_case "malformed rows" `Quick rejects_malformed_rows;
+          Alcotest.test_case "missing header" `Quick rejects_missing_header_field;
+          Alcotest.test_case "inadmissible actuals" `Quick
+            rejects_inadmissible_actuals;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_round_trip; prop_realization_round_trip ] );
+    ]

@@ -1,0 +1,88 @@
+(* Unit and property tests for the optimum lower bounds. *)
+
+module Lb = Usched_core.Lower_bounds
+module Opt = Usched_core.Opt
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let average_bound () =
+  close "total / m" 2.0 (Lb.average ~m:3 [| 1.0; 2.0; 3.0 |])
+
+let largest_bound () =
+  close "max" 3.0 (Lb.largest [| 1.0; 2.0; 3.0 |]);
+  close "empty" 0.0 (Lb.largest [||])
+
+let packing_trivial_when_n_le_m () =
+  close "no forced pairing" 0.0 (Lb.packing ~m:3 [| 5.0; 5.0; 5.0 |])
+
+let packing_pair_bound () =
+  (* m=2, tasks (5,4,3): some machine gets two of them; best pair 4+3. *)
+  close "pair" 7.0 (Lb.packing ~m:2 [| 5.0; 4.0; 3.0 |])
+
+let packing_higher_multiplicity () =
+  (* m=2, five equal tasks: some machine gets 3 -> bound 3. *)
+  close "triple" 3.0 (Lb.packing ~m:2 [| 1.0; 1.0; 1.0; 1.0; 1.0 |])
+
+let best_takes_max () =
+  (* avg = 6, largest = 6, packing (m=2, n=3): 3+3=6 -> best 6. *)
+  close "max of all" 6.0 (Lb.best ~m:2 [| 6.0; 3.0; 3.0 |]);
+  close "dominated by average" 7.0 (Lb.best ~m:1 [| 3.0; 4.0 |]);
+  (* largest dominates: one huge task among small ones. *)
+  close "dominated by largest" 9.0 (Lb.best ~m:4 [| 9.0; 1.0; 1.0; 1.0 |])
+
+let invalid_inputs () =
+  Alcotest.check_raises "m = 0" (Invalid_argument "Lower_bounds: m must be >= 1")
+    (fun () -> ignore (Lb.best ~m:0 [| 1.0 |]));
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Lower_bounds: negative time") (fun () ->
+      ignore (Lb.best ~m:1 [| -1.0 |]))
+
+let prop_sound_vs_exact_optimum =
+  QCheck.Test.make ~name:"every bound is below the exact optimum" ~count:300
+    QCheck.(pair (int_range 1 5) (list_of_size Gen.(int_range 1 12) (float_range 0.1 10.0)))
+    (fun (m, p) ->
+      let p = Array.of_list p in
+      let opt = Opt.makespan ~m p in
+      Lb.best ~m p <= opt +. 1e-9)
+
+let prop_monotone_in_m =
+  QCheck.Test.make ~name:"more machines never raise the bound" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 15) (float_range 0.1 10.0))
+    (fun p ->
+      let p = Array.of_list p in
+      let b2 = Lb.best ~m:2 p and b4 = Lb.best ~m:4 p in
+      b4 <= b2 +. 1e-9)
+
+let prop_packing_at_least_largest_pair_when_crowded =
+  QCheck.Test.make ~name:"packing bound is tight on identical tasks" ~count:200
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (m, lambda) ->
+      (* lambda*m identical unit tasks: packing must reach exactly lambda
+         (some machine gets lambda of them). *)
+      let p = Array.make (lambda * m) 1.0 in
+      let expected = if lambda > 1 then float_of_int lambda else 0.0 in
+      Float.abs (Lb.packing ~m p -. expected) < 1e-9)
+
+let () =
+  checkb "self" true true;
+  Alcotest.run "lower_bounds"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "average" `Quick average_bound;
+          Alcotest.test_case "largest" `Quick largest_bound;
+          Alcotest.test_case "packing n<=m" `Quick packing_trivial_when_n_le_m;
+          Alcotest.test_case "packing pair" `Quick packing_pair_bound;
+          Alcotest.test_case "packing multiplicity" `Quick packing_higher_multiplicity;
+          Alcotest.test_case "best" `Quick best_takes_max;
+          Alcotest.test_case "invalid inputs" `Quick invalid_inputs;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sound_vs_exact_optimum;
+            prop_monotone_in_m;
+            prop_packing_at_least_largest_pair_when_crowded;
+          ] );
+    ]

@@ -1,0 +1,131 @@
+(* Tests for the exact minimax solver on the Theorem-1 family. *)
+
+module Minimax = Usched_core.Minimax
+module Guarantees = Usched_core.Guarantees
+module Opt = Usched_core.Opt
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let partitions_small () =
+  Alcotest.(check (list (list int)))
+    "partitions of 4 into <= 2 parts"
+    [ [ 4 ]; [ 3; 1 ]; [ 2; 2 ] ]
+    (Minimax.partitions ~n:4 ~parts:2);
+  Alcotest.(check (list (list int)))
+    "partitions of 3 into <= 3 parts"
+    [ [ 3 ]; [ 2; 1 ]; [ 1; 1; 1 ] ]
+    (Minimax.partitions ~n:3 ~parts:3)
+
+let partitions_count () =
+  (* p(6) into <= 6 parts = 11. *)
+  Alcotest.(check int) "p(6)" 11 (List.length (Minimax.partitions ~n:6 ~parts:6));
+  Alcotest.(check int) "none into 0 parts" 0
+    (List.length (Minimax.partitions ~n:1 ~parts:0))
+
+let optimum_two_point_values () =
+  (* 2 highs (2.0) and 2 lows (0.5) on 2 machines: (2+0.5 | 2+0.5). *)
+  close "balanced mix" 2.5
+    (Minimax.optimum_two_point ~m:2 ~alpha:2.0 ~highs:2 ~lows:2);
+  close "empty" 0.0 (Minimax.optimum_two_point ~m:3 ~alpha:2.0 ~highs:0 ~lows:0);
+  close "all highs" 4.0
+    (Minimax.optimum_two_point ~m:2 ~alpha:2.0 ~highs:4 ~lows:0)
+
+let partition_value_by_hand () =
+  (* m=2, alpha=2, partition (2,2): the adversary inflates one machine's
+     2 tasks: load 4; opt of {2,2,.5,.5} = 2.5 -> ratio 1.6. Inflating
+     only 1: load 2.5, opt of {2,.5,.5,.5} = 2 -> 1.25. All low: 1/opt(1)
+     = 1. So the value is 1.6. *)
+  close "hand computed" 1.6 (Minimax.partition_value ~m:2 ~alpha:2.0 [| 2; 2 |])
+
+let partition_value_unbalanced_is_worse () =
+  let balanced = Minimax.partition_value ~m:2 ~alpha:2.0 [| 2; 2 |] in
+  let skewed = Minimax.partition_value ~m:2 ~alpha:2.0 [| 3; 1 |] in
+  checkb "skew hurts" true (skewed >= balanced)
+
+let partition_value_domain () =
+  Alcotest.check_raises "too many parts"
+    (Invalid_argument "Minimax: more parts than machines") (fun () ->
+      ignore (Minimax.partition_value ~m:1 ~alpha:2.0 [| 1; 1 |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Minimax: negative count") (fun () ->
+      ignore (Minimax.partition_value ~m:2 ~alpha:2.0 [| -1 |]))
+
+let minimax_picks_balanced () =
+  let r = Minimax.identical_minimax ~m:2 ~n:4 ~alpha:2.0 in
+  close "value" 1.6 r.Minimax.value;
+  Alcotest.(check (array int)) "balanced partition" [| 2; 2 |] r.Minimax.partition
+
+let minimax_alpha_one_trivial () =
+  (* Without uncertainty every balanced placement is optimal: value 1. *)
+  let r = Minimax.identical_minimax ~m:3 ~n:6 ~alpha:1.0 in
+  close "no adversary power" 1.0 r.Minimax.value
+
+let minimax_single_machine () =
+  (* One machine: any realization hits schedule and optimum alike. *)
+  let r = Minimax.identical_minimax ~m:1 ~n:5 ~alpha:2.0 in
+  close "ratio 1" 1.0 r.Minimax.value
+
+let minimax_below_limit_bound () =
+  (* Theorem 1: the minimax value never exceeds the limit bound (the
+     adversary family proves the limit as lambda grows; finite sizes sit
+     at or below it). *)
+  List.iter
+    (fun (m, lambda, alpha) ->
+      let r = Minimax.identical_minimax ~m ~n:(lambda * m) ~alpha in
+      checkb
+        (Printf.sprintf "m=%d lambda=%d" m lambda)
+        true
+        (r.Minimax.value
+        <= Guarantees.no_replication_lower_bound ~m ~alpha +. 1e-9))
+    [ (2, 1, 2.0); (2, 2, 2.0); (2, 3, 2.0); (3, 2, 1.5); (4, 2, 2.0) ]
+
+let minimax_vs_lpt_guarantee () =
+  (* The minimax value is achievable by some placement, hence at most
+     Theorem 2's guarantee for the LPT placement. *)
+  List.iter
+    (fun (m, lambda, alpha) ->
+      let r = Minimax.identical_minimax ~m ~n:(lambda * m) ~alpha in
+      checkb "below Th2" true
+        (r.Minimax.value <= Guarantees.lpt_no_choice ~m ~alpha +. 1e-9))
+    [ (2, 2, 2.0); (3, 3, 1.5); (4, 2, 1.25) ]
+
+let minimax_reaches_limit_at_finite_size () =
+  (* The lb-search headline, pinned: at m=4, alpha=2, lambda=4 the exact
+     minimax equals the limit bound 2.2857... already. *)
+  let r = Minimax.identical_minimax ~m:4 ~n:16 ~alpha:2.0 in
+  close "equals limit" (Guarantees.no_replication_lower_bound ~m:4 ~alpha:2.0)
+    r.Minimax.value
+
+let minimax_grows_with_alpha () =
+  let v alpha = (Minimax.identical_minimax ~m:2 ~n:6 ~alpha).Minimax.value in
+  checkb "monotone in alpha" true (v 1.2 <= v 1.6 +. 1e-9 && v 1.6 <= v 2.4 +. 1e-9)
+
+let () =
+  Alcotest.run "minimax"
+    [
+      ( "partitions",
+        [
+          Alcotest.test_case "small cases" `Quick partitions_small;
+          Alcotest.test_case "counts" `Quick partitions_count;
+        ] );
+      ( "values",
+        [
+          Alcotest.test_case "two-point optimum" `Quick optimum_two_point_values;
+          Alcotest.test_case "hand computed" `Quick partition_value_by_hand;
+          Alcotest.test_case "skew hurts" `Quick partition_value_unbalanced_is_worse;
+          Alcotest.test_case "domain" `Quick partition_value_domain;
+        ] );
+      ( "minimax",
+        [
+          Alcotest.test_case "picks balanced" `Quick minimax_picks_balanced;
+          Alcotest.test_case "alpha=1 trivial" `Quick minimax_alpha_one_trivial;
+          Alcotest.test_case "single machine" `Quick minimax_single_machine;
+          Alcotest.test_case "below Theorem-1 limit" `Quick minimax_below_limit_bound;
+          Alcotest.test_case "below Theorem-2 guarantee" `Quick
+            minimax_vs_lpt_guarantee;
+          Alcotest.test_case "reaches limit at finite size" `Quick
+            minimax_reaches_limit_at_finite_size;
+          Alcotest.test_case "monotone in alpha" `Quick minimax_grows_with_alpha;
+        ] );
+    ]

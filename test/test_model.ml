@@ -1,0 +1,234 @@
+(* Unit tests for tasks, uncertainty, instances and realizations. *)
+
+module Task = Usched_model.Task
+module Uncertainty = Usched_model.Uncertainty
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Rng = Usched_prng.Rng
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let task_validation () =
+  Alcotest.check_raises "zero estimate"
+    (Invalid_argument "Task.make: estimate must be > 0") (fun () ->
+      ignore (Task.make ~id:0 ~est:0.0 ()));
+  Alcotest.check_raises "negative size"
+    (Invalid_argument "Task.make: negative size") (fun () ->
+      ignore (Task.make ~id:0 ~est:1.0 ~size:(-1.0) ()));
+  Alcotest.check_raises "negative id" (Invalid_argument "Task.make: negative id")
+    (fun () -> ignore (Task.make ~id:(-1) ~est:1.0 ()))
+
+let task_default_size () =
+  close "default size 1" 1.0 (Task.size (Task.make ~id:0 ~est:2.0 ()))
+
+let task_lpt_ordering () =
+  let a = Task.make ~id:0 ~est:3.0 () in
+  let b = Task.make ~id:1 ~est:5.0 () in
+  let c = Task.make ~id:2 ~est:3.0 () in
+  checkb "bigger first" true (Task.compare_est_desc b a < 0);
+  checkb "tie by id" true (Task.compare_est_desc a c < 0)
+
+let alpha_validation () =
+  Alcotest.check_raises "alpha below 1"
+    (Invalid_argument "Uncertainty.alpha: factor must be finite and >= 1")
+    (fun () -> ignore (Uncertainty.alpha 0.9));
+  Alcotest.check_raises "alpha nan"
+    (Invalid_argument "Uncertainty.alpha: factor must be finite and >= 1")
+    (fun () -> ignore (Uncertainty.alpha Float.nan));
+  close "exact alpha" 1.0 (Uncertainty.to_float Uncertainty.alpha_exact)
+
+let alpha_interval () =
+  let a = Uncertainty.alpha 2.0 in
+  let lo, hi = Uncertainty.interval a ~est:8.0 in
+  close "lower" 4.0 lo;
+  close "upper" 16.0 hi
+
+let alpha_admissible () =
+  let a = Uncertainty.alpha 2.0 in
+  checkb "inside" true (Uncertainty.admissible a ~est:8.0 ~actual:8.0);
+  checkb "at lower edge" true (Uncertainty.admissible a ~est:8.0 ~actual:4.0);
+  checkb "at upper edge" true (Uncertainty.admissible a ~est:8.0 ~actual:16.0);
+  checkb "below" false (Uncertainty.admissible a ~est:8.0 ~actual:3.9);
+  checkb "above" false (Uncertainty.admissible a ~est:8.0 ~actual:16.1)
+
+let alpha_clamp () =
+  let a = Uncertainty.alpha 2.0 in
+  close "clamps down" 16.0 (Uncertainty.clamp a ~est:8.0 100.0);
+  close "clamps up" 4.0 (Uncertainty.clamp a ~est:8.0 0.1);
+  close "identity inside" 10.0 (Uncertainty.clamp a ~est:8.0 10.0)
+
+let instance_construction () =
+  let inst =
+    Instance.of_ests ~m:3 ~alpha:(Uncertainty.alpha 1.5) [| 3.0; 1.0; 2.0 |]
+  in
+  Alcotest.(check int) "n" 3 (Instance.n inst);
+  Alcotest.(check int) "m" 3 (Instance.m inst);
+  close "total" 6.0 (Instance.total_est inst);
+  close "max" 3.0 (Instance.max_est inst);
+  close "est of task 2" 2.0 (Instance.est inst 2)
+
+let instance_id_check () =
+  let tasks = [| Task.make ~id:1 ~est:1.0 () |] in
+  Alcotest.check_raises "bad ids"
+    (Invalid_argument "Instance.make: task ids must be 0..n-1 in order")
+    (fun () -> ignore (Instance.make ~m:1 ~alpha:Uncertainty.alpha_exact tasks))
+
+let instance_m_check () =
+  Alcotest.check_raises "m = 0"
+    (Invalid_argument "Instance.make: need at least one machine") (fun () ->
+      ignore (Instance.make ~m:0 ~alpha:Uncertainty.alpha_exact [||]))
+
+let instance_lpt_order () =
+  let inst =
+    Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact [| 1.0; 3.0; 2.0; 3.0 |]
+  in
+  Alcotest.(check (array int)) "order" [| 1; 3; 2; 0 |] (Instance.lpt_order inst)
+
+let instance_sizes () =
+  let inst =
+    Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact
+      ~sizes:[| 5.0; 6.0 |] [| 1.0; 2.0 |]
+  in
+  close "total size" 11.0 (Instance.total_size inst);
+  close "max size" 6.0 (Instance.max_size inst)
+
+let instance_sizes_length_check () =
+  Alcotest.check_raises "sizes mismatch"
+    (Invalid_argument "Instance.of_ests: sizes length mismatch") (fun () ->
+      ignore
+        (Instance.of_ests ~m:1 ~alpha:Uncertainty.alpha_exact ~sizes:[| 1.0 |]
+           [| 1.0; 2.0 |]))
+
+let realization_validation () =
+  let inst = Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 2.0) [| 4.0; 4.0 |] in
+  (* 1.0 < 4.0/2.0, outside the alpha interval. *)
+  checkb "of_actuals rejects" true
+    (try
+       ignore (Realization.of_actuals inst [| 1.0; 4.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  let r = Realization.of_actuals inst [| 2.0; 8.0 |] in
+  close "actual 0" 2.0 (Realization.actual r 0);
+  close "total" 10.0 (Realization.total r);
+  close "max" 8.0 (Realization.max_actual r)
+
+let realization_of_factors () =
+  let inst = Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 2.0) [| 4.0; 6.0 |] in
+  let r = Realization.of_factors inst [| 2.0; 0.5 |] in
+  close "inflated" 8.0 (Realization.actual r 0);
+  close "deflated" 3.0 (Realization.actual r 1)
+
+let realization_exact () =
+  let inst = Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 3.0) [| 4.0; 6.0 |] in
+  let r = Realization.exact inst in
+  Alcotest.(check (array (float 1e-12))) "actual = est" [| 4.0; 6.0 |]
+    (Realization.actuals r)
+
+let realization_random_models_admissible () =
+  let inst =
+    Instance.of_ests ~m:4 ~alpha:(Uncertainty.alpha 1.7)
+      (Array.init 50 (fun i -> 1.0 +. float_of_int i))
+  in
+  let rng = Rng.create ~seed:3 () in
+  (* of_actuals validates internally; building each model 20 times must
+     never raise. *)
+  for _ = 1 to 20 do
+    ignore (Realization.uniform_factor inst rng);
+    ignore (Realization.log_uniform_factor inst rng);
+    ignore (Realization.extremes ~p_high:0.5 inst rng)
+  done;
+  checkb "all admissible" true true
+
+let realization_extremes_two_point () =
+  let inst = Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 2.0) [| 4.0; 4.0 |] in
+  let rng = Rng.create ~seed:4 () in
+  for _ = 1 to 50 do
+    let r = Realization.extremes ~p_high:0.5 inst rng in
+    Array.iter
+      (fun actual ->
+        checkb "extreme value" true
+          (Float.abs (actual -. 8.0) < 1e-9 || Float.abs (actual -. 2.0) < 1e-9))
+      (Realization.actuals r)
+  done
+
+let realization_biased () =
+  let inst = Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 2.0) [| 4.0; 6.0 |] in
+  let r = Realization.biased ~factor:1.5 inst in
+  Alcotest.(check (array (float 1e-12))) "uniformly scaled" [| 6.0; 9.0 |]
+    (Realization.actuals r);
+  checkb "factor outside interval rejected" true
+    (try
+       ignore (Realization.biased ~factor:3.0 inst);
+       false
+     with Invalid_argument _ -> true)
+
+let realization_clustered () =
+  let inst =
+    Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 2.0) (Array.make 8 4.0)
+  in
+  let rng = Rng.create ~seed:9 () in
+  let r = Realization.clustered ~clusters:2 inst in
+  let r = r rng in
+  (* Tasks 0,2,4,6 share one factor; 1,3,5,7 the other. *)
+  List.iter
+    (fun j ->
+      close "even cluster" (Realization.actual r 0) (Realization.actual r j))
+    [ 2; 4; 6 ];
+  List.iter
+    (fun j ->
+      close "odd cluster" (Realization.actual r 1) (Realization.actual r j))
+    [ 3; 5; 7 ];
+  checkb "clusters < 1 rejected" true
+    (try
+       ignore (Realization.clustered ~clusters:0 inst rng);
+       false
+     with Invalid_argument _ -> true)
+
+let realization_alpha_one_is_exact () =
+  let inst = Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact [| 4.0; 6.0 |] in
+  let rng = Rng.create ~seed:5 () in
+  let r = Realization.log_uniform_factor inst rng in
+  Alcotest.(check (array (float 1e-12))) "no wiggle room" [| 4.0; 6.0 |]
+    (Realization.actuals r)
+
+let () =
+  Alcotest.run "model"
+    [
+      ( "task",
+        [
+          Alcotest.test_case "validation" `Quick task_validation;
+          Alcotest.test_case "default size" `Quick task_default_size;
+          Alcotest.test_case "LPT ordering" `Quick task_lpt_ordering;
+        ] );
+      ( "uncertainty",
+        [
+          Alcotest.test_case "alpha validation" `Quick alpha_validation;
+          Alcotest.test_case "interval" `Quick alpha_interval;
+          Alcotest.test_case "admissibility" `Quick alpha_admissible;
+          Alcotest.test_case "clamp" `Quick alpha_clamp;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "construction" `Quick instance_construction;
+          Alcotest.test_case "id validation" `Quick instance_id_check;
+          Alcotest.test_case "machine validation" `Quick instance_m_check;
+          Alcotest.test_case "LPT order" `Quick instance_lpt_order;
+          Alcotest.test_case "sizes" `Quick instance_sizes;
+          Alcotest.test_case "sizes length" `Quick instance_sizes_length_check;
+        ] );
+      ( "realization",
+        [
+          Alcotest.test_case "validation" `Quick realization_validation;
+          Alcotest.test_case "of_factors" `Quick realization_of_factors;
+          Alcotest.test_case "exact" `Quick realization_exact;
+          Alcotest.test_case "random models admissible" `Quick
+            realization_random_models_admissible;
+          Alcotest.test_case "extremes are two-point" `Quick
+            realization_extremes_two_point;
+          Alcotest.test_case "biased" `Quick realization_biased;
+          Alcotest.test_case "clustered" `Quick realization_clustered;
+          Alcotest.test_case "alpha=1 degenerates" `Quick
+            realization_alpha_one_is_exact;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+(* Unit and property tests for the exact branch-and-bound solver. *)
+
+module Opt = Usched_core.Opt
+module Lb = Usched_core.Lower_bounds
+module Assign = Usched_core.Assign
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let trivial_cases () =
+  close "no tasks" 0.0 (Opt.makespan ~m:3 [||]);
+  close "single task" 5.0 (Opt.makespan ~m:3 [| 5.0 |]);
+  close "single machine" 6.0 (Opt.makespan ~m:1 [| 1.0; 2.0; 3.0 |])
+
+let known_optimum () =
+  (* (3,3,2,2,2) on 2 machines: optimum 6 = (3+3 | 2+2+2). *)
+  close "perfect split" 6.0 (Opt.makespan ~m:2 [| 3.0; 3.0; 2.0; 2.0; 2.0 |])
+
+let lpt_suboptimal_instance () =
+  (* LPT gives 7 on the previous instance; B&B must find 6. *)
+  let weights = [| 3.0; 3.0; 2.0; 2.0; 2.0 |] in
+  close "LPT is 7 here" 7.0 (Assign.makespan (Assign.lpt ~m:2 ~weights));
+  close "optimum is 6" 6.0 (Opt.makespan ~m:2 weights)
+
+let partition_instance () =
+  (* A subset-sum style instance: {7,5,4,3,3,2} splits into 12/12. *)
+  close "even split" 12.0 (Opt.makespan ~m:2 [| 7.0; 5.0; 4.0; 3.0; 3.0; 2.0 |])
+
+let more_machines_than_tasks () =
+  close "longest task" 4.0 (Opt.makespan ~m:10 [| 4.0; 1.0; 2.0 |])
+
+let identical_tasks_symmetry () =
+  (* 12 identical tasks on 4 machines: 3 each. Symmetry pruning must make
+     this fast; value is trivially 3. *)
+  let r = Opt.solve ~m:4 (Array.make 12 1.0) in
+  close "value" 3.0 r.Opt.value;
+  checkb "optimal" true r.Opt.optimal;
+  checkb "few nodes thanks to symmetry" true (r.Opt.nodes < 200_000)
+
+let node_limit_degrades_gracefully () =
+  (* A zero node budget aborts immediately: the result is the LPT
+     incumbent, flagged non-optimal. *)
+  let p = Array.init 24 (fun i -> 1.0 +. (float_of_int (i * i mod 17) /. 7.0)) in
+  let r = Opt.solve ~node_limit:0 ~m:4 p in
+  checkb "not optimal" false r.Opt.optimal;
+  close "incumbent = LPT" (Assign.makespan (Assign.lpt ~m:4 ~weights:p)) r.Opt.value
+
+let limited_incumbent_is_upper_bound () =
+  (* A truncated search still returns a feasible (hence >= optimal)
+     value. *)
+  let p = Array.init 14 (fun i -> 1.0 +. (float_of_int (i * 13 mod 29) /. 5.0)) in
+  let truncated = Opt.solve ~node_limit:50 ~m:3 p in
+  let opt = Opt.makespan ~m:3 p in
+  checkb "incumbent >= optimum" true (truncated.Opt.value >= opt -. 1e-9)
+
+let invalid_inputs () =
+  Alcotest.check_raises "m = 0" (Invalid_argument "Opt.solve: m must be >= 1")
+    (fun () -> ignore (Opt.solve ~m:0 [| 1.0 |]));
+  Alcotest.check_raises "negative" (Invalid_argument "Opt.solve: negative time")
+    (fun () -> ignore (Opt.solve ~m:1 [| -1.0 |]))
+
+let prop_between_bounds =
+  QCheck.Test.make ~name:"LB <= OPT <= LPT" ~count:300
+    QCheck.(pair (int_range 1 5) (list_of_size Gen.(int_range 1 13) (float_range 0.1 10.0)))
+    (fun (m, p) ->
+      let p = Array.of_list p in
+      let opt = Opt.makespan ~m p in
+      let lb = Lb.best ~m p in
+      let lpt = Assign.makespan (Assign.lpt ~m ~weights:p) in
+      lb <= opt +. 1e-9 && opt <= lpt +. 1e-9)
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"matches brute-force enumeration" ~count:150
+    QCheck.(pair (int_range 1 3) (list_of_size Gen.(int_range 1 8) (float_range 0.1 10.0)))
+    (fun (m, p) ->
+      let p = Array.of_list p in
+      let n = Array.length p in
+      (* Enumerate all m^n assignments. *)
+      let best = ref infinity in
+      let loads = Array.make m 0.0 in
+      let rec go t =
+        if t = n then begin
+          let mk = Array.fold_left Float.max 0.0 loads in
+          if mk < !best then best := mk
+        end
+        else
+          for i = 0 to m - 1 do
+            loads.(i) <- loads.(i) +. p.(t);
+            go (t + 1);
+            loads.(i) <- loads.(i) -. p.(t)
+          done
+      in
+      go 0;
+      Float.abs (Opt.makespan ~m p -. !best) < 1e-9)
+
+let prop_scale_invariance =
+  QCheck.Test.make ~name:"scaling times scales the optimum" ~count:150
+    QCheck.(pair (int_range 1 4) (list_of_size Gen.(int_range 1 10) (float_range 0.1 10.0)))
+    (fun (m, p) ->
+      let p = Array.of_list p in
+      let opt = Opt.makespan ~m p in
+      let scaled = Opt.makespan ~m (Array.map (fun x -> 3.0 *. x) p) in
+      Float.abs (scaled -. (3.0 *. opt)) < 1e-6)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "trivial" `Quick trivial_cases;
+          Alcotest.test_case "known optimum" `Quick known_optimum;
+          Alcotest.test_case "beats LPT" `Quick lpt_suboptimal_instance;
+          Alcotest.test_case "partition" `Quick partition_instance;
+          Alcotest.test_case "more machines than tasks" `Quick more_machines_than_tasks;
+          Alcotest.test_case "symmetry pruning" `Quick identical_tasks_symmetry;
+          Alcotest.test_case "node limit" `Quick node_limit_degrades_gracefully;
+          Alcotest.test_case "truncated incumbent sound" `Quick
+            limited_incumbent_is_upper_bound;
+          Alcotest.test_case "invalid inputs" `Quick invalid_inputs;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_between_bounds; prop_matches_brute_force; prop_scale_invariance ] );
+    ]

@@ -1,0 +1,69 @@
+(* Tests for the domain pool. *)
+
+module Pool = Usched_parallel.Pool
+
+let checkb = Alcotest.(check bool)
+
+let recommended_positive () =
+  checkb "at least one domain" true (Pool.recommended_domains () >= 1)
+
+let init_matches_sequential () =
+  let f i = (i * i) + 1 in
+  let expected = Array.init 1000 f in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" domains)
+        expected
+        (Pool.parallel_init ~domains 1000 f))
+    [ 1; 2; 4 ]
+
+let map_matches_sequential () =
+  let a = Array.init 500 (fun i -> float_of_int i) in
+  Alcotest.(check (array (float 1e-12)))
+    "map" (Array.map sqrt a)
+    (Pool.parallel_map ~domains:3 sqrt a)
+
+let for_covers_all_indices () =
+  let n = 2000 in
+  let hits = Array.make n 0 in
+  (* Index-disjoint writes only. *)
+  Pool.parallel_for ~domains:4 n (fun i -> hits.(i) <- hits.(i) + 1);
+  checkb "each exactly once" true (Array.for_all (fun h -> h = 1) hits)
+
+let empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.parallel_init ~domains:4 0 (fun i -> i));
+  Alcotest.(check (array int)) "singleton" [| 0 |]
+    (Pool.parallel_init ~domains:4 1 (fun i -> i))
+
+let propagates_exceptions () =
+  checkb "raises" true
+    (try
+       ignore
+         (Pool.parallel_init ~domains:4 100 (fun i ->
+              if i = 57 then failwith "boom" else i));
+       false
+     with Failure _ -> true)
+
+let invalid_inputs () =
+  Alcotest.check_raises "domains < 1"
+    (Invalid_argument "Pool.parallel_init: domains < 1") (fun () ->
+      ignore (Pool.parallel_init ~domains:0 1 (fun i -> i)));
+  Alcotest.check_raises "negative n"
+    (Invalid_argument "Pool.parallel_init: negative n") (fun () ->
+      ignore (Pool.parallel_init ~domains:1 (-1) (fun i -> i)))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "recommended" `Quick recommended_positive;
+          Alcotest.test_case "init correct" `Quick init_matches_sequential;
+          Alcotest.test_case "map correct" `Quick map_matches_sequential;
+          Alcotest.test_case "for covers indices" `Quick for_covers_all_indices;
+          Alcotest.test_case "edge sizes" `Quick empty_and_singleton;
+          Alcotest.test_case "exception propagation" `Quick propagates_exceptions;
+          Alcotest.test_case "invalid inputs" `Quick invalid_inputs;
+        ] );
+    ]

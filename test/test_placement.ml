@@ -1,0 +1,116 @@
+(* Unit tests for placements. *)
+
+module Placement = Usched_core.Placement
+module Bitset = Usched_model.Bitset
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let singletons_basic () =
+  let p = Placement.singletons ~m:3 [| 0; 2; 2 |] in
+  checki "n" 3 (Placement.n p);
+  checki "m" 3 (Placement.m p);
+  checkb "task 0 on machine 0" true (Placement.allowed p ~task:0 ~machine:0);
+  checkb "task 0 not on machine 1" false (Placement.allowed p ~task:0 ~machine:1);
+  checki "replication" 1 (Placement.replication p 1);
+  checki "max replication" 1 (Placement.max_replication p);
+  checki "total replicas" 3 (Placement.total_replicas p)
+
+let full_basic () =
+  let p = Placement.full ~m:4 ~n:2 in
+  checki "max replication" 4 (Placement.max_replication p);
+  checki "total replicas" 8 (Placement.total_replicas p);
+  checkb "everywhere" true (Placement.allowed p ~task:1 ~machine:3)
+
+let group_assignment_basic () =
+  let groups = [| [| 0; 1 |]; [| 2; 3 |] |] in
+  let p = Placement.of_group_assignment ~m:4 ~groups [| 0; 1; 0 |] in
+  checkb "task 1 in group 1" true (Placement.allowed p ~task:1 ~machine:2);
+  checkb "task 1 not in group 0" false (Placement.allowed p ~task:1 ~machine:0);
+  checki "replication is group size" 2 (Placement.max_replication p)
+
+let empty_set_rejected () =
+  Alcotest.check_raises "empty machine set"
+    (Invalid_argument "Placement.of_sets: task 0 placed nowhere") (fun () ->
+      ignore (Placement.of_sets ~m:2 [| Bitset.create 2 |]))
+
+let capacity_mismatch_rejected () =
+  Alcotest.check_raises "capacity"
+    (Invalid_argument "Placement.of_sets: task 0 capacity mismatch") (fun () ->
+      ignore (Placement.of_sets ~m:2 [| Bitset.singleton 3 0 |]))
+
+let memory_loads_count_every_replica () =
+  (* Task 0 (size 2) everywhere; task 1 (size 3) only on machine 1. *)
+  let sets = [| Bitset.full 2; Bitset.singleton 2 1 |] in
+  let p = Placement.of_sets ~m:2 sets in
+  let loads = Placement.memory_loads p ~sizes:[| 2.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-12))) "per machine" [| 2.0; 5.0 |] loads;
+  close "mem_max" 5.0 (Placement.memory_max p ~sizes:[| 2.0; 3.0 |])
+
+let memory_sizes_length_checked () =
+  let p = Placement.full ~m:2 ~n:2 in
+  Alcotest.check_raises "length"
+    (Invalid_argument "Placement.memory_loads: sizes length mismatch") (fun () ->
+      ignore (Placement.memory_loads p ~sizes:[| 1.0 |]))
+
+let failure_with_replication_survives () =
+  let p = Placement.full ~m:3 ~n:2 in
+  (match Placement.without_machine p 1 with
+  | None -> Alcotest.fail "full replication must survive"
+  | Some degraded ->
+      checkb "machine 1 removed" false
+        (Placement.allowed degraded ~task:0 ~machine:1);
+      checkb "others kept" true (Placement.allowed degraded ~task:0 ~machine:0);
+      checki "m unchanged" 3 (Placement.m degraded));
+  checkb "survives any failure" true (Placement.survives_any_failure p)
+
+let failure_without_replication_fatal () =
+  let p = Placement.singletons ~m:2 [| 0; 1 |] in
+  checkb "losing machine 0 strands task 0" true
+    (Placement.without_machine p 0 = None);
+  checkb "does not survive" false (Placement.survives_any_failure p)
+
+let failure_original_untouched () =
+  let p = Placement.full ~m:2 ~n:1 in
+  ignore (Placement.without_machine p 0);
+  checkb "original intact" true (Placement.allowed p ~task:0 ~machine:0)
+
+let failure_bad_machine_rejected () =
+  let p = Placement.full ~m:2 ~n:1 in
+  Alcotest.check_raises "machine id"
+    (Invalid_argument "Placement.without_machine: machine id") (fun () ->
+      ignore (Placement.without_machine p 2))
+
+let sets_are_fresh_array () =
+  let p = Placement.full ~m:2 ~n:2 in
+  let sets = Placement.sets p in
+  checki "two sets" 2 (Array.length sets);
+  (* Mutating the returned array must not corrupt the placement. *)
+  sets.(0) <- Bitset.create 2;
+  checkb "placement unchanged" true (Placement.allowed p ~task:0 ~machine:0)
+
+let () =
+  Alcotest.run "placement"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "singletons" `Quick singletons_basic;
+          Alcotest.test_case "full" `Quick full_basic;
+          Alcotest.test_case "groups" `Quick group_assignment_basic;
+          Alcotest.test_case "empty rejected" `Quick empty_set_rejected;
+          Alcotest.test_case "capacity rejected" `Quick capacity_mismatch_rejected;
+          Alcotest.test_case "memory loads" `Quick memory_loads_count_every_replica;
+          Alcotest.test_case "memory length check" `Quick memory_sizes_length_checked;
+          Alcotest.test_case "sets copy" `Quick sets_are_fresh_array;
+        ] );
+      ( "machine failure",
+        [
+          Alcotest.test_case "replication survives" `Quick
+            failure_with_replication_survives;
+          Alcotest.test_case "no replication is fatal" `Quick
+            failure_without_replication_fatal;
+          Alcotest.test_case "original untouched" `Quick failure_original_untouched;
+          Alcotest.test_case "bad machine id" `Quick failure_bad_machine_rejected;
+        ] );
+    ]

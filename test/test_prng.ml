@@ -1,0 +1,257 @@
+(* Unit and property tests for the PRNG substrate. *)
+
+module Splitmix64 = Usched_prng.Splitmix64
+module Xoshiro256 = Usched_prng.Xoshiro256
+module Rng = Usched_prng.Rng
+module Dist = Usched_prng.Dist
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* Reference outputs of SplitMix64 seeded with 1234567, from the public
+   C reference implementation. *)
+let splitmix_reference () =
+  let g = Splitmix64.create 1234567L in
+  let observed = List.init 4 (fun _ -> Splitmix64.next g) in
+  let expected =
+    [ 6457827717110365317L; 3203168211198807973L; -8629252141511181193L;
+      4593380528125082431L ]
+  in
+  check Alcotest.(list int64) "first outputs" expected observed
+
+let splitmix_deterministic () =
+  let a = Splitmix64.create 99L and b = Splitmix64.create 99L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Splitmix64.next a) (Splitmix64.next b)
+  done
+
+let splitmix_copy_independent () =
+  let a = Splitmix64.create 5L in
+  ignore (Splitmix64.next a);
+  let b = Splitmix64.copy a in
+  check Alcotest.int64 "copy continues identically" (Splitmix64.next a)
+    (Splitmix64.next b);
+  ignore (Splitmix64.next a);
+  (* advancing a further does not touch b *)
+  let a' = Splitmix64.next a and b' = Splitmix64.next b in
+  checkb "diverged" true (a' <> b')
+
+let splitmix_split_differs () =
+  let a = Splitmix64.create 5L in
+  let child = Splitmix64.split a in
+  let xs = List.init 10 (fun _ -> Splitmix64.next a) in
+  let ys = List.init 10 (fun _ -> Splitmix64.next child) in
+  checkb "parent and child streams differ" true (xs <> ys)
+
+let float_unit_interval () =
+  let g = Splitmix64.create 0L in
+  for _ = 1 to 10_000 do
+    let x = Splitmix64.next_float g in
+    checkb "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let xoshiro_zero_state_rejected () =
+  Alcotest.check_raises "all-zero state"
+    (Invalid_argument "Xoshiro256.of_state: all-zero state") (fun () ->
+      ignore (Xoshiro256.of_state (0L, 0L, 0L, 0L)))
+
+let xoshiro_deterministic () =
+  let a = Xoshiro256.create 7L and b = Xoshiro256.create 7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Xoshiro256.next a) (Xoshiro256.next b)
+  done
+
+let xoshiro_jump_disjoint () =
+  let a = Xoshiro256.create 7L in
+  let b = Xoshiro256.copy a in
+  Xoshiro256.jump b;
+  let xs = List.init 50 (fun _ -> Xoshiro256.next a) in
+  let ys = List.init 50 (fun _ -> Xoshiro256.next b) in
+  checkb "jumped stream differs" true (xs <> ys)
+
+let xoshiro_float_unit_interval () =
+  let g = Xoshiro256.create 3L in
+  for _ = 1 to 10_000 do
+    let x = Xoshiro256.next_float g in
+    checkb "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let rng_int_bounds () =
+  let rng = Rng.create ~seed:1 () in
+  for bound = 1 to 40 do
+    for _ = 1 to 200 do
+      let x = Rng.int rng bound in
+      checkb "in range" true (x >= 0 && x < bound)
+    done
+  done
+
+let rng_int_rejects_nonpositive () =
+  let rng = Rng.create () in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Rng.int rng 0))
+
+let rng_int_uniformity () =
+  (* Chi-squared-ish sanity: all 8 buckets within 3x of each other. *)
+  let rng = Rng.create ~seed:2 () in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 80_000 do
+    let x = Rng.int rng 8 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let lo = Array.fold_left Stdlib.min max_int counts in
+  let hi = Array.fold_left Stdlib.max 0 counts in
+  checkb "roughly uniform" true (hi < 3 * lo)
+
+let rng_int_range_inclusive () =
+  let rng = Rng.create ~seed:3 () in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 10_000 do
+    let x = Rng.int_range rng ~lo:(-2) ~hi:2 in
+    checkb "in [-2,2]" true (x >= -2 && x <= 2);
+    if x = -2 then seen_lo := true;
+    if x = 2 then seen_hi := true
+  done;
+  checkb "endpoints reachable" true (!seen_lo && !seen_hi)
+
+let rng_float_range () =
+  let rng = Rng.create ~seed:4 () in
+  for _ = 1 to 10_000 do
+    let x = Rng.float_range rng ~lo:2.5 ~hi:3.5 in
+    checkb "in [2.5,3.5)" true (x >= 2.5 && x < 3.5)
+  done
+
+let rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:5 () in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "still a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let rng_split_independent () =
+  let rng = Rng.create ~seed:6 () in
+  let child1 = Rng.split rng in
+  let child2 = Rng.split rng in
+  let s1 = List.init 20 (fun _ -> Rng.int64 child1) in
+  let s2 = List.init 20 (fun _ -> Rng.int64 child2) in
+  checkb "children differ" true (s1 <> s2)
+
+let rng_bernoulli_frequency () =
+  let rng = Rng.create ~seed:7 () in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  checkb "close to 0.3" true (Float.abs (freq -. 0.3) < 0.02)
+
+let dist_exponential_mean () =
+  let rng = Rng.create ~seed:8 () in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Dist.exponential rng ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  checkb "mean near 4" true (Float.abs (mean -. 4.0) < 0.15)
+
+let dist_pareto_minimum () =
+  let rng = Rng.create ~seed:9 () in
+  for _ = 1 to 10_000 do
+    checkb "above scale" true (Dist.pareto rng ~shape:1.5 ~scale:2.0 >= 2.0)
+  done
+
+let dist_log_uniform_range () =
+  let rng = Rng.create ~seed:10 () in
+  for _ = 1 to 10_000 do
+    let x = Dist.log_uniform rng ~lo:0.5 ~hi:2.0 in
+    checkb "in range" true (x >= 0.5 && x <= 2.0)
+  done
+
+let dist_log_uniform_symmetry () =
+  (* log-uniform on [1/a, a] should put half the mass below 1. *)
+  let rng = Rng.create ~seed:11 () in
+  let below = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Dist.log_uniform rng ~lo:0.25 ~hi:4.0 < 1.0 then incr below
+  done;
+  let freq = float_of_int !below /. float_of_int n in
+  checkb "median at 1" true (Float.abs (freq -. 0.5) < 0.02)
+
+let dist_normal_moments () =
+  let rng = Rng.create ~seed:12 () in
+  let n = 100_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Dist.normal rng ~mu:1.0 ~sigma:2.0 in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  checkb "mean near 1" true (Float.abs (mean -. 1.0) < 0.05);
+  checkb "variance near 4" true (Float.abs (var -. 4.0) < 0.2)
+
+let dist_truncated_in_bounds () =
+  let rng = Rng.create ~seed:13 () in
+  let sampler rng = Dist.exponential rng ~mean:10.0 in
+  for _ = 1 to 5_000 do
+    let x = Dist.truncated sampler ~lo:2.0 ~hi:3.0 rng in
+    checkb "within bounds" true (x >= 2.0 && x <= 3.0)
+  done
+
+let dist_bimodal_mixture () =
+  let rng = Rng.create ~seed:14 () in
+  let longs = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let x =
+      Dist.bimodal rng ~p_long:0.2 ~short:(fun _ -> 1.0) ~long:(fun _ -> 100.0)
+    in
+    if x > 50.0 then incr longs
+  done;
+  let freq = float_of_int !longs /. float_of_int n in
+  checkb "long fraction near 0.2" true (Float.abs (freq -. 0.2) < 0.02)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "reference values" `Quick splitmix_reference;
+          Alcotest.test_case "deterministic" `Quick splitmix_deterministic;
+          Alcotest.test_case "copy independent" `Quick splitmix_copy_independent;
+          Alcotest.test_case "split differs" `Quick splitmix_split_differs;
+          Alcotest.test_case "floats in [0,1)" `Quick float_unit_interval;
+        ] );
+      ( "xoshiro256",
+        [
+          Alcotest.test_case "zero state rejected" `Quick xoshiro_zero_state_rejected;
+          Alcotest.test_case "deterministic" `Quick xoshiro_deterministic;
+          Alcotest.test_case "jump disjoint" `Quick xoshiro_jump_disjoint;
+          Alcotest.test_case "floats in [0,1)" `Quick xoshiro_float_unit_interval;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "int bounds" `Quick rng_int_bounds;
+          Alcotest.test_case "int rejects <= 0" `Quick rng_int_rejects_nonpositive;
+          Alcotest.test_case "int uniformity" `Quick rng_int_uniformity;
+          Alcotest.test_case "int_range inclusive" `Quick rng_int_range_inclusive;
+          Alcotest.test_case "float_range" `Quick rng_float_range;
+          Alcotest.test_case "shuffle is a permutation" `Quick rng_shuffle_permutation;
+          Alcotest.test_case "split independence" `Quick rng_split_independent;
+          Alcotest.test_case "bernoulli frequency" `Quick rng_bernoulli_frequency;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "exponential mean" `Quick dist_exponential_mean;
+          Alcotest.test_case "pareto minimum" `Quick dist_pareto_minimum;
+          Alcotest.test_case "log-uniform range" `Quick dist_log_uniform_range;
+          Alcotest.test_case "log-uniform symmetry" `Quick dist_log_uniform_symmetry;
+          Alcotest.test_case "normal moments" `Quick dist_normal_moments;
+          Alcotest.test_case "truncated bounds" `Quick dist_truncated_in_bounds;
+          Alcotest.test_case "bimodal mixture" `Quick dist_bimodal_mixture;
+        ] );
+    ]

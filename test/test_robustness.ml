@@ -1,0 +1,118 @@
+(* Tests for the robustness measures. *)
+
+module Core = Usched_core
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Summary = Usched_stats.Summary
+module Rng = Usched_prng.Rng
+
+let checkb = Alcotest.(check bool)
+let close = Alcotest.(check (float 1e-9))
+
+let instance ?(alpha = 2.0) () =
+  Instance.of_ests ~m:3
+    ~alpha:(Uncertainty.alpha alpha)
+    [| 6.0; 5.0; 4.0; 3.0; 2.0; 2.0; 1.0; 1.0 |]
+
+let realize instance rng = Realization.uniform_factor instance rng
+
+let profile_counts_samples () =
+  let rng = Rng.create ~seed:1 () in
+  let p =
+    Core.Robustness.profile ~samples:37 ~realize ~rng
+      Core.No_replication.lpt_no_choice (instance ())
+  in
+  Alcotest.(check int) "samples" 37 (Summary.count p.Core.Robustness.degradation);
+  Alcotest.(check int) "samples" 37 (Summary.count p.Core.Robustness.ratio)
+
+let no_uncertainty_no_degradation () =
+  (* alpha = 1: every realization equals the estimates, so degradation
+     is exactly 1. *)
+  let rng = Rng.create ~seed:2 () in
+  let p =
+    Core.Robustness.profile ~samples:10 ~realize ~rng
+      Core.No_replication.lpt_no_choice (instance ~alpha:1.0 ())
+  in
+  close "mean degradation 1" 1.0 (Summary.mean p.Core.Robustness.degradation);
+  close "max degradation 1" 1.0 (Summary.max p.Core.Robustness.degradation)
+
+let degradation_bounded_by_alpha () =
+  (* A static placement's makespan can grow by at most alpha (all its
+     tasks inflated) and shrink by at most 1/alpha. *)
+  let alpha = 2.0 in
+  let rng = Rng.create ~seed:3 () in
+  let p =
+    Core.Robustness.profile ~samples:200 ~realize ~rng
+      Core.No_replication.lpt_no_choice (instance ~alpha ())
+  in
+  checkb "within [1/alpha, alpha]" true
+    (Summary.min p.Core.Robustness.degradation >= (1.0 /. alpha) -. 1e-9
+    && Summary.max p.Core.Robustness.degradation <= alpha +. 1e-9)
+
+let worst_ratio_is_max () =
+  let rng = Rng.create ~seed:4 () in
+  let p =
+    Core.Robustness.profile ~samples:50 ~realize ~rng
+      Core.Full_replication.lpt_no_restriction (instance ())
+  in
+  close "worst = summary max" (Summary.max p.Core.Robustness.ratio)
+    p.Core.Robustness.worst_ratio
+
+let replication_more_robust () =
+  (* On this instance family, full replication's mean degradation under
+     extreme two-point noise is at most the static placement's: it can
+     rebalance. *)
+  let inst = instance () in
+  let extreme instance rng = Realization.extremes ~p_high:0.5 instance rng in
+  let mean_degradation algo seed =
+    let rng = Rng.create ~seed () in
+    Summary.mean
+      (Core.Robustness.profile ~samples:300 ~realize:extreme ~rng algo inst)
+        .Core.Robustness.degradation
+  in
+  let static = mean_degradation Core.No_replication.lpt_no_choice 5 in
+  let flexible = mean_degradation Core.Full_replication.lpt_no_restriction 5 in
+  checkb "flexible schedule degrades less on average" true
+    (flexible <= static +. 0.02)
+
+let price_of_robustness_identity () =
+  let rng = Rng.create ~seed:6 () in
+  let price =
+    Core.Robustness.price_of_robustness ~samples:20 ~realize ~rng
+      ~baseline:Core.No_replication.lpt_no_choice
+      Core.No_replication.lpt_no_choice (instance ())
+  in
+  close "self comparison is 1" 1.0 price
+
+let price_of_robustness_favors_replication () =
+  let rng = Rng.create ~seed:7 () in
+  let price =
+    Core.Robustness.price_of_robustness ~samples:200
+      ~realize:(fun instance rng -> Realization.extremes ~p_high:0.5 instance rng)
+      ~rng
+      ~baseline:Core.No_replication.lpt_no_choice
+      Core.Full_replication.lpt_no_restriction (instance ())
+  in
+  checkb "replication pays on average" true (price <= 1.02)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "sample counts" `Quick profile_counts_samples;
+          Alcotest.test_case "alpha=1 no degradation" `Quick
+            no_uncertainty_no_degradation;
+          Alcotest.test_case "degradation in [1/a, a]" `Quick
+            degradation_bounded_by_alpha;
+          Alcotest.test_case "worst = max" `Quick worst_ratio_is_max;
+          Alcotest.test_case "replication robustness" `Quick replication_more_robust;
+        ] );
+      ( "price",
+        [
+          Alcotest.test_case "identity" `Quick price_of_robustness_identity;
+          Alcotest.test_case "favors replication" `Quick
+            price_of_robustness_favors_replication;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* Unit tests for the statistics substrate. *)
+
+module Summary = Usched_stats.Summary
+module Quantile = Usched_stats.Quantile
+module Histogram = Usched_stats.Histogram
+module Ci = Usched_stats.Ci
+module Regression = Usched_stats.Regression
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let summary_basic () =
+  let s = Summary.of_array [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check int) "count" 4 (Summary.count s);
+  close "mean" 2.5 (Summary.mean s);
+  close "variance" (5.0 /. 3.0) (Summary.variance s);
+  close "min" 1.0 (Summary.min s);
+  close "max" 4.0 (Summary.max s);
+  close "sum" 10.0 (Summary.sum s)
+
+let summary_empty () =
+  let s = Summary.create () in
+  checkb "mean nan" true (Float.is_nan (Summary.mean s));
+  checkb "variance nan" true (Float.is_nan (Summary.variance s));
+  close "min" infinity (Summary.min s)
+
+let summary_single () =
+  let s = Summary.of_array [| 7.0 |] in
+  close "mean" 7.0 (Summary.mean s);
+  checkb "variance nan for n=1" true (Float.is_nan (Summary.variance s))
+
+let summary_merge_equals_whole () =
+  let data = Array.init 101 (fun i -> sin (float_of_int i)) in
+  let whole = Summary.of_array data in
+  let left = Summary.of_array (Array.sub data 0 37) in
+  let right = Summary.of_array (Array.sub data 37 64) in
+  let merged = Summary.merge left right in
+  Alcotest.(check int) "count" (Summary.count whole) (Summary.count merged);
+  close "mean" (Summary.mean whole) (Summary.mean merged);
+  Alcotest.(check (float 1e-6)) "variance" (Summary.variance whole)
+    (Summary.variance merged);
+  close "min" (Summary.min whole) (Summary.min merged);
+  close "max" (Summary.max whole) (Summary.max merged)
+
+let summary_merge_with_empty () =
+  let s = Summary.of_array [| 1.0; 2.0 |] in
+  let e = Summary.create () in
+  close "left empty" 1.5 (Summary.mean (Summary.merge e s));
+  close "right empty" 1.5 (Summary.mean (Summary.merge s e))
+
+let summary_welford_stability () =
+  (* Large offset: naive sum-of-squares would lose precision. *)
+  let offset = 1e9 in
+  let data = Array.init 1000 (fun i -> offset +. float_of_int (i mod 10)) in
+  let s = Summary.of_array data in
+  let expected_var = 8.2582582582582 in
+  Alcotest.(check (float 1e-3)) "variance stable" expected_var (Summary.variance s)
+
+let quantile_median_odd () =
+  close "median" 3.0 (Quantile.median [| 5.0; 1.0; 3.0; 2.0; 4.0 |])
+
+let quantile_median_even () =
+  close "median interpolates" 2.5 (Quantile.median [| 1.0; 2.0; 3.0; 4.0 |])
+
+let quantile_extremes () =
+  let a = [| 3.0; 1.0; 2.0 |] in
+  close "q0 is min" 1.0 (Quantile.quantile a ~q:0.0);
+  close "q1 is max" 3.0 (Quantile.quantile a ~q:1.0)
+
+let quantile_does_not_mutate () =
+  let a = [| 3.0; 1.0; 2.0 |] in
+  ignore (Quantile.median a);
+  Alcotest.(check (array (float 0.0))) "unchanged" [| 3.0; 1.0; 2.0 |] a
+
+let quantile_quartiles () =
+  let q1, q2, q3 = Quantile.quartiles (Array.init 101 (fun i -> float_of_int i)) in
+  close "q1" 25.0 q1;
+  close "q2" 50.0 q2;
+  close "q3" 75.0 q3;
+  close "iqr" 50.0 (Quantile.iqr (Array.init 101 (fun i -> float_of_int i)))
+
+let quantile_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Quantile: empty sample")
+    (fun () -> ignore (Quantile.median [||]))
+
+let quantile_out_of_range_rejected () =
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Quantile: q out of [0, 1]") (fun () ->
+      ignore (Quantile.quantile [| 1.0 |] ~q:1.5))
+
+let histogram_counts () =
+  let h = Histogram.create ~bins:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 1.7; 2.5; 3.9 |] in
+  Alcotest.(check (array int)) "counts" [| 1; 2; 1; 1 |] (Histogram.counts h);
+  Alcotest.(check int) "total" 5 (Histogram.total h)
+
+let histogram_clamps_outliers () =
+  let h = Histogram.create ~bins:2 ~lo:0.0 ~hi:2.0 [| -5.0; 10.0 |] in
+  Alcotest.(check (array int)) "clamped into edge bins" [| 1; 1 |]
+    (Histogram.counts h)
+
+let histogram_bin_range () =
+  let h = Histogram.create ~bins:4 ~lo:0.0 ~hi:8.0 [||] in
+  let lo, hi = Histogram.bin_range h 1 in
+  close "bin lo" 2.0 lo;
+  close "bin hi" 4.0 hi
+
+let histogram_of_data_auto_range () =
+  let h = Histogram.of_data ~bins:2 [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "total preserved" 3 (Histogram.total h)
+
+let ci_narrows_with_n () =
+  let small = Summary.of_array (Array.init 10 (fun i -> float_of_int (i mod 5))) in
+  let large = Summary.of_array (Array.init 1000 (fun i -> float_of_int (i mod 5))) in
+  let ci_small = Ci.mean_ci small and ci_large = Ci.mean_ci large in
+  checkb "more data, tighter interval" true
+    (ci_large.Ci.half_width < ci_small.Ci.half_width)
+
+let ci_contains_mean () =
+  let s = Summary.of_array [| 1.0; 2.0; 3.0 |] in
+  let ci = Ci.mean_ci s in
+  checkb "mean inside" true (ci.Ci.lo <= 2.0 && 2.0 <= ci.Ci.hi)
+
+let ci_rejects_level () =
+  Alcotest.check_raises "unsupported level"
+    (Invalid_argument "Ci.z_value: supported levels are 0.90, 0.95, 0.99")
+    (fun () -> ignore (Ci.z_value 0.8))
+
+let regression_exact_line () =
+  let xs = [| 0.0; 1.0; 2.0; 3.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  let fit = Regression.ols ~xs ~ys in
+  close "slope" 2.0 fit.Regression.slope;
+  close "intercept" 1.0 fit.Regression.intercept;
+  close "r2" 1.0 fit.Regression.r2;
+  close "predict" 9.0 (Regression.predict fit 4.0)
+
+let regression_crossover () =
+  let a = { Regression.slope = 1.0; intercept = 0.0; r2 = 1.0 } in
+  let b = { Regression.slope = -1.0; intercept = 4.0; r2 = 1.0 } in
+  (match Regression.crossover a b with
+  | Some x -> close "crossing at 2" 2.0 x
+  | None -> Alcotest.fail "expected a crossover");
+  checkb "parallel lines" true (Regression.crossover a a = None)
+
+let regression_degenerate_rejected () =
+  Alcotest.check_raises "all x equal"
+    (Invalid_argument "Regression.ols: degenerate x values") (fun () ->
+      ignore (Regression.ols ~xs:[| 1.0; 1.0 |] ~ys:[| 1.0; 2.0 |]))
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "basic moments" `Quick summary_basic;
+          Alcotest.test_case "empty" `Quick summary_empty;
+          Alcotest.test_case "single observation" `Quick summary_single;
+          Alcotest.test_case "merge = whole" `Quick summary_merge_equals_whole;
+          Alcotest.test_case "merge with empty" `Quick summary_merge_with_empty;
+          Alcotest.test_case "numerical stability" `Quick summary_welford_stability;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "median odd" `Quick quantile_median_odd;
+          Alcotest.test_case "median even" `Quick quantile_median_even;
+          Alcotest.test_case "extremes" `Quick quantile_extremes;
+          Alcotest.test_case "input not mutated" `Quick quantile_does_not_mutate;
+          Alcotest.test_case "quartiles" `Quick quantile_quartiles;
+          Alcotest.test_case "empty rejected" `Quick quantile_empty_rejected;
+          Alcotest.test_case "bad q rejected" `Quick quantile_out_of_range_rejected;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "counts" `Quick histogram_counts;
+          Alcotest.test_case "outliers clamped" `Quick histogram_clamps_outliers;
+          Alcotest.test_case "bin ranges" `Quick histogram_bin_range;
+          Alcotest.test_case "auto range" `Quick histogram_of_data_auto_range;
+        ] );
+      ( "ci",
+        [
+          Alcotest.test_case "narrows with n" `Quick ci_narrows_with_n;
+          Alcotest.test_case "contains mean" `Quick ci_contains_mean;
+          Alcotest.test_case "rejects odd levels" `Quick ci_rejects_level;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "exact line" `Quick regression_exact_line;
+          Alcotest.test_case "crossover" `Quick regression_crossover;
+          Alcotest.test_case "degenerate rejected" `Quick regression_degenerate_rejected;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+(* Tests for timelines and utilization statistics. *)
+
+module Timeline = Usched_desim.Timeline
+module Schedule = Usched_desim.Schedule
+module Engine = Usched_desim.Engine
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let entry machine start finish = { Schedule.machine; start; finish }
+
+let stats_basic () =
+  let s =
+    Schedule.make ~m:2 [| entry 0 0.0 2.0; entry 0 3.0 5.0; entry 1 0.0 1.0 |]
+  in
+  let stats = Timeline.machine_stats s in
+  let m0 = stats.(0) and m1 = stats.(1) in
+  close "m0 busy" 4.0 m0.Timeline.busy;
+  close "m0 finish" 5.0 m0.Timeline.finish;
+  Alcotest.(check int) "m0 tasks" 2 m0.Timeline.tasks;
+  close "m0 idle gap" 1.0 m0.Timeline.idle_before_finish;
+  close "m1 busy" 1.0 m1.Timeline.busy;
+  Alcotest.(check int) "m1 tasks" 1 m1.Timeline.tasks
+
+let utilization_perfect () =
+  let s = Schedule.make ~m:2 [| entry 0 0.0 3.0; entry 1 0.0 3.0 |] in
+  close "fully busy" 1.0 (Timeline.utilization s)
+
+let utilization_half () =
+  (* One machine busy 4, the other idle: 4 / (2*4) = 0.5. *)
+  let s = Schedule.make ~m:2 [| entry 0 0.0 4.0 |] in
+  close "half" 0.5 (Timeline.utilization s)
+
+let utilization_empty () =
+  close "empty schedule" 0.0 (Timeline.utilization (Schedule.make ~m:3 [||]))
+
+let engine_schedules_have_no_gaps () =
+  (* The engine never leaves a machine idle while it has eligible
+     work, so idle_before_finish must be 0 everywhere. *)
+  let instance =
+    Instance.of_ests ~m:3 ~alpha:Uncertainty.alpha_exact
+      [| 4.0; 3.0; 3.0; 2.0; 2.0; 1.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = Array.init 6 (fun _ -> Bitset.full 3) in
+  let s =
+    Engine.run instance realization ~placement
+      ~order:(Array.init 6 (fun j -> j))
+  in
+  Array.iter
+    (fun stat -> close "no internal idleness" 0.0 stat.Timeline.idle_before_finish)
+    (Timeline.machine_stats s)
+
+let render_events_format () =
+  let events =
+    [
+      Engine.Started { time = 0.0; machine = 1; task = 4 };
+      Engine.Completed { time = 2.5; machine = 1; task = 4 };
+    ]
+  in
+  let text = Timeline.render_events events in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "start line" true (contains "start    task 4");
+  checkb "complete line" true (contains "complete task 4");
+  checkb "machine" true (contains "m1")
+
+let render_stats_mentions_utilization () =
+  let s = Schedule.make ~m:1 [| entry 0 0.0 1.0 |] in
+  let text = Timeline.render_stats s in
+  checkb "has utilization line" true
+    (String.length text > 0
+    &&
+    let needle = "utilization" in
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0)
+
+let () =
+  Alcotest.run "timeline"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick stats_basic;
+          Alcotest.test_case "full utilization" `Quick utilization_perfect;
+          Alcotest.test_case "half utilization" `Quick utilization_half;
+          Alcotest.test_case "empty" `Quick utilization_empty;
+          Alcotest.test_case "engine leaves no gaps" `Quick
+            engine_schedules_have_no_gaps;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "events" `Quick render_events_format;
+          Alcotest.test_case "stats table" `Quick render_stats_mentions_utilization;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Tests for the uniform (related) machines extension. *)
+
+module Core = Usched_core
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Schedule = Usched_desim.Schedule
+module Engine = Usched_desim.Engine
+module Bitset = Usched_model.Bitset
+module Rng = Usched_prng.Rng
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let instance_of ?(m = 2) ?(alpha = 1.0) ests =
+  Instance.of_ests ~m ~alpha:(Uncertainty.alpha alpha) ests
+
+(* --- Engine with speeds --- *)
+
+let engine_scales_durations () =
+  let instance = instance_of [| 4.0; 4.0 |] in
+  let realization = Realization.exact instance in
+  let placement = Array.init 2 (fun _ -> Bitset.full 2) in
+  let s =
+    Engine.run ~speeds:[| 2.0; 0.5 |] instance realization ~placement
+      ~order:[| 0; 1 |]
+  in
+  (* Machine 0 at speed 2 runs its task in 2; machine 1 at 0.5 in 8. *)
+  let e0 = Schedule.entry s 0 and e1 = Schedule.entry s 1 in
+  close "fast machine" 2.0 (e0.Schedule.finish -. e0.Schedule.start);
+  close "slow machine" 8.0 (e1.Schedule.finish -. e1.Schedule.start)
+
+let engine_fast_machine_serves_more () =
+  (* 5 unit tasks, speeds (4, 1): the fast machine should take most. *)
+  let instance = instance_of (Array.make 5 1.0) in
+  let realization = Realization.exact instance in
+  let placement = Array.init 5 (fun _ -> Bitset.full 2) in
+  let s =
+    Engine.run ~speeds:[| 4.0; 1.0 |] instance realization ~placement
+      ~order:[| 0; 1; 2; 3; 4 |]
+  in
+  let on_fast = List.length (Schedule.machine_tasks s 0) in
+  checkb "fast machine runs the majority" true (on_fast >= 4)
+
+let engine_rejects_bad_speeds () =
+  let instance = instance_of [| 1.0 |] in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.full 2 |] in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Engine.run: speeds length differs from machine count")
+    (fun () ->
+      ignore
+        (Engine.run ~speeds:[| 1.0 |] instance realization ~placement
+           ~order:[| 0 |]));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Engine.run: speeds must be > 0") (fun () ->
+      ignore
+        (Engine.run ~speeds:[| 1.0; 0.0 |] instance realization ~placement
+           ~order:[| 0 |]))
+
+let validate_with_speeds () =
+  let instance = instance_of [| 4.0 |] in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.full 2 |] in
+  let speeds = [| 2.0; 1.0 |] in
+  let s = Engine.run ~speeds instance realization ~placement ~order:[| 0 |] in
+  Alcotest.(check int) "valid under speeds" 0
+    (List.length (Schedule.validate ~speeds instance realization s));
+  (* The same schedule read with unit speeds has a wrong duration. *)
+  checkb "invalid without speeds" true
+    (Schedule.validate instance realization s <> [])
+
+(* --- ECT-LPT --- *)
+
+let ect_lpt_prefers_fast_machines () =
+  (* One big task: must go to the fastest machine. *)
+  let instance = instance_of ~m:3 [| 6.0 |] in
+  let r = Core.Uniform.lpt_assignment ~speeds:[| 1.0; 3.0; 2.0 |] instance in
+  Alcotest.(check int) "fastest machine" 1 r.Core.Assign.assignment.(0)
+
+let ect_lpt_balances_finish_times () =
+  (* Speeds (2,1), tasks (4,4,4): first two land on the fast machine
+     (finish 2, then tie at 4 broken toward the lower id), the third on
+     the slow one; both machines finish at 4. *)
+  let instance = instance_of [| 4.0; 4.0; 4.0 |] in
+  let r = Core.Uniform.lpt_assignment ~speeds:[| 2.0; 1.0 |] instance in
+  Alcotest.(check (array int)) "assignment" [| 0; 0; 1 |] r.Core.Assign.assignment;
+  close "fast machine finish" 4.0 r.Core.Assign.loads.(0);
+  close "slow machine finish" 4.0 r.Core.Assign.loads.(1)
+
+let ect_lpt_equal_speeds_is_lpt () =
+  let instance = instance_of ~m:3 [| 9.0; 7.0; 5.0; 4.0; 3.0; 1.0 |] in
+  let uniform = Core.Uniform.lpt_assignment ~speeds:(Array.make 3 1.0) instance in
+  let classic = Core.Assign.lpt ~m:3 ~weights:(Instance.ests instance) in
+  Alcotest.(check (array int)) "same assignment" classic.Core.Assign.assignment
+    uniform.Core.Assign.assignment
+
+(* --- Lower bound --- *)
+
+let lower_bound_cases () =
+  (* Largest task on the fastest machine: 8/4 = 2 dominates total bound
+     12/7. *)
+  close "largest-on-fastest" 2.0
+    (Core.Uniform.lower_bound ~speeds:[| 4.0; 2.0; 1.0 |] [| 8.0; 2.0; 2.0 |]);
+  (* Total work over total speed dominates. *)
+  close "total" 4.0
+    (Core.Uniform.lower_bound ~speeds:[| 1.0; 1.0 |] [| 2.0; 2.0; 2.0; 2.0 |]);
+  (* Unit speeds degenerate to the identical-machines average/max. *)
+  close "identical machines" 3.0
+    (Core.Uniform.lower_bound ~speeds:[| 1.0; 1.0 |] [| 3.0; 2.0; 1.0 |])
+
+let lower_bound_sound_vs_brute_force () =
+  let rng = Rng.create ~seed:11 () in
+  for _ = 1 to 50 do
+    let m = 2 + Rng.int rng 2 in
+    let n = 1 + Rng.int rng 6 in
+    let speeds = Array.init m (fun _ -> 0.5 +. (2.0 *. Rng.float rng)) in
+    let p = Array.init n (fun _ -> 0.2 +. (5.0 *. Rng.float rng)) in
+    (* Exact uniform optimum by enumerating all m^n assignments. *)
+    let best = ref infinity in
+    let loads = Array.make m 0.0 in
+    let rec go t =
+      if t = n then begin
+        let mk = ref 0.0 in
+        for i = 0 to m - 1 do
+          mk := Float.max !mk (loads.(i) /. speeds.(i))
+        done;
+        if !mk < !best then best := !mk
+      end
+      else
+        for i = 0 to m - 1 do
+          loads.(i) <- loads.(i) +. p.(t);
+          go (t + 1);
+          loads.(i) <- loads.(i) -. p.(t)
+        done
+    in
+    go 0;
+    checkb "LB <= OPT" true (Core.Uniform.lower_bound ~speeds p <= !best +. 1e-9)
+  done
+
+(* --- Two-phase algorithms --- *)
+
+let speeds4 = [| 2.0; 1.0; 1.0; 0.5 |]
+
+let scenario seed =
+  let instance =
+    instance_of ~m:4 ~alpha:1.8
+      [| 9.0; 8.0; 6.0; 5.0; 4.0; 3.0; 2.0; 2.0; 1.0; 1.0 |]
+  in
+  let rng = Rng.create ~seed () in
+  (instance, Realization.log_uniform_factor instance rng)
+
+let uniform_schedules_valid () =
+  let instance, realization = scenario 3 in
+  List.iter
+    (fun algo ->
+      let placement, schedule =
+        Core.Two_phase.run_full algo instance realization
+      in
+      checkb
+        (algo.Core.Two_phase.name ^ " valid")
+        true
+        (Schedule.validate
+           ~placement:(Core.Placement.sets placement)
+           ~speeds:speeds4 instance realization schedule
+        = []))
+    [
+      Core.Uniform.lpt_no_choice ~speeds:speeds4;
+      Core.Uniform.lpt_no_restriction ~speeds:speeds4;
+      Core.Uniform.ls_group ~speeds:speeds4 ~k:2;
+    ]
+
+let uniform_ratios_reasonable () =
+  (* Empirical sanity: every strategy stays within 3x of the lower
+     bound on this family. *)
+  let instance, realization = scenario 4 in
+  let lb = Core.Uniform.lower_bound ~speeds:speeds4 (Realization.actuals realization) in
+  List.iter
+    (fun algo ->
+      let makespan = Core.Two_phase.makespan algo instance realization in
+      checkb (algo.Core.Two_phase.name ^ " sane") true
+        (makespan >= lb -. 1e-9 && makespan <= (3.0 *. lb) +. 1e-9))
+    [
+      Core.Uniform.lpt_no_choice ~speeds:speeds4;
+      Core.Uniform.lpt_no_restriction ~speeds:speeds4;
+      Core.Uniform.ls_group ~speeds:speeds4 ~k:2;
+    ]
+
+let unit_speeds_match_identical_pipeline () =
+  let instance, realization = scenario 5 in
+  let ones = Array.make 4 1.0 in
+  close "no-choice matches"
+    (Core.Two_phase.makespan Core.No_replication.lpt_no_choice instance
+       realization)
+    (Core.Two_phase.makespan (Core.Uniform.lpt_no_choice ~speeds:ones) instance
+       realization);
+  close "no-restriction matches"
+    (Core.Two_phase.makespan Core.Full_replication.lpt_no_restriction instance
+       realization)
+    (Core.Two_phase.makespan
+       (Core.Uniform.lpt_no_restriction ~speeds:ones)
+       instance realization)
+
+let check_speeds_validation () =
+  Alcotest.check_raises "length"
+    (Invalid_argument "Uniform: speeds length differs from machine count")
+    (fun () -> ignore (Core.Uniform.check_speeds ~m:3 [| 1.0 |]));
+  Alcotest.check_raises "domain"
+    (Invalid_argument "Uniform: speeds must be finite and > 0") (fun () ->
+      ignore (Core.Uniform.check_speeds ~m:1 [| 0.0 |]))
+
+let () =
+  Alcotest.run "uniform"
+    [
+      ( "engine speeds",
+        [
+          Alcotest.test_case "durations scale" `Quick engine_scales_durations;
+          Alcotest.test_case "fast machine serves more" `Quick
+            engine_fast_machine_serves_more;
+          Alcotest.test_case "speed validation" `Quick engine_rejects_bad_speeds;
+          Alcotest.test_case "schedule validation" `Quick validate_with_speeds;
+        ] );
+      ( "ect-lpt",
+        [
+          Alcotest.test_case "prefers fast" `Quick ect_lpt_prefers_fast_machines;
+          Alcotest.test_case "balances finish times" `Quick
+            ect_lpt_balances_finish_times;
+          Alcotest.test_case "unit speeds = LPT" `Quick ect_lpt_equal_speeds_is_lpt;
+        ] );
+      ( "lower bound",
+        [
+          Alcotest.test_case "cases" `Quick lower_bound_cases;
+          Alcotest.test_case "sound vs brute force" `Quick
+            lower_bound_sound_vs_brute_force;
+        ] );
+      ( "two-phase",
+        [
+          Alcotest.test_case "valid schedules" `Quick uniform_schedules_valid;
+          Alcotest.test_case "sane ratios" `Quick uniform_ratios_reasonable;
+          Alcotest.test_case "unit speeds degenerate" `Quick
+            unit_speeds_match_identical_pipeline;
+          Alcotest.test_case "speed checks" `Quick check_speeds_validation;
+        ] );
+    ]

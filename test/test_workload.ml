@@ -1,0 +1,195 @@
+(* Unit tests for workload generators. *)
+
+module Workload = Usched_model.Workload
+module Instance = Usched_model.Instance
+module Uncertainty = Usched_model.Uncertainty
+module Rng = Usched_prng.Rng
+
+let checkb = Alcotest.(check bool)
+let close = Alcotest.(check (float 1e-9))
+let alpha = Uncertainty.alpha 1.5
+
+let gen ?size_spec spec ~n ~m =
+  Workload.generate spec ?size_spec ~n ~m ~alpha (Rng.create ~seed:42 ())
+
+let identical_tasks () =
+  let inst = gen (Workload.Identical 3.0) ~n:10 ~m:2 in
+  Alcotest.(check int) "n" 10 (Instance.n inst);
+  for j = 0 to 9 do
+    close "all equal" 3.0 (Instance.est inst j)
+  done
+
+let uniform_in_range () =
+  let inst = gen (Workload.Uniform { lo = 2.0; hi = 5.0 }) ~n:500 ~m:4 in
+  Array.iter
+    (fun e -> checkb "in [2,5)" true (e >= 2.0 && e < 5.0))
+    (Instance.ests inst)
+
+let uniform_bad_range_rejected () =
+  checkb "rejects lo > hi" true
+    (try
+       ignore (gen (Workload.Uniform { lo = 5.0; hi = 2.0 }) ~n:1 ~m:1);
+       false
+     with Invalid_argument _ -> true)
+
+let exponential_positive () =
+  let inst = gen (Workload.Exponential { mean = 2.0 }) ~n:500 ~m:4 in
+  Array.iter (fun e -> checkb "positive" true (e > 0.0)) (Instance.ests inst)
+
+let pareto_capped () =
+  let inst =
+    gen (Workload.Pareto { shape = 1.1; scale = 1.0; cap = 50.0 }) ~n:500 ~m:4
+  in
+  Array.iter
+    (fun e -> checkb "in [scale, cap]" true (e >= 1.0 && e <= 50.0))
+    (Instance.ests inst)
+
+let bimodal_has_both_modes () =
+  let inst =
+    gen (Workload.Bimodal { p_long = 0.3; short_mean = 1.0; long_mean = 100.0 })
+      ~n:500 ~m:4
+  in
+  let ests = Instance.ests inst in
+  checkb "has short tasks" true (Array.exists (fun e -> e < 10.0) ests);
+  checkb "has long tasks" true (Array.exists (fun e -> e > 50.0) ests)
+
+let lpt_adversarial_structure () =
+  let m = 4 in
+  let inst = gen (Workload.Lpt_adversarial { m }) ~n:0 ~m in
+  (* 2(m-1) paired tasks + 3 tasks of length m. *)
+  Alcotest.(check int) "task count" ((2 * (m - 1)) + 3) (Instance.n inst);
+  let ests = Instance.ests inst in
+  let count v =
+    Array.fold_left (fun acc e -> if Float.equal e v then acc + 1 else acc) 0 ests
+  in
+  Alcotest.(check int) "three tasks of length m" 3 (count (float_of_int m));
+  Alcotest.(check int) "two of length 2m-1" 2 (count (float_of_int ((2 * m) - 1)))
+
+let lpt_adversarial_is_tight () =
+  (* On this family LPT must reach exactly 4/3 - 1/(3m) vs the optimum. *)
+  let m = 5 in
+  let inst = gen (Workload.Lpt_adversarial { m }) ~n:0 ~m in
+  let p = Instance.ests inst in
+  let lpt = Usched_core.Assign.makespan (Usched_core.Assign.lpt ~m ~weights:p) in
+  let opt = Usched_core.Opt.makespan ~m p in
+  close "LPT ratio is the classical worst case"
+    (Usched_core.Guarantees.lpt_offline ~m)
+    (lpt /. opt)
+
+let unit_sizes_default () =
+  let inst = gen (Workload.Identical 1.0) ~n:5 ~m:2 in
+  Array.iter (fun s -> close "unit" 1.0 s) (Instance.sizes inst)
+
+let proportional_sizes () =
+  let inst =
+    gen ~size_spec:(Workload.Proportional 2.0)
+      (Workload.Uniform { lo = 1.0; hi = 4.0 })
+      ~n:100 ~m:2
+  in
+  Array.iteri
+    (fun j s -> close "size = 2 est" (2.0 *. Instance.est inst j) s)
+    (Instance.sizes inst)
+
+let inverse_sizes () =
+  let inst =
+    gen ~size_spec:(Workload.Inverse 6.0)
+      (Workload.Uniform { lo = 1.0; hi = 4.0 })
+      ~n:100 ~m:2
+  in
+  Array.iteri
+    (fun j s -> close "size = 6 / est" (6.0 /. Instance.est inst j) s)
+    (Instance.sizes inst)
+
+let uniform_sizes_range () =
+  let inst =
+    gen ~size_spec:(Workload.Uniform_sizes { lo = 1.0; hi = 2.0 })
+      (Workload.Identical 1.0) ~n:200 ~m:2
+  in
+  Array.iter
+    (fun s -> checkb "in range" true (s >= 1.0 && s < 2.0))
+    (Instance.sizes inst)
+
+let generation_is_deterministic () =
+  let a = gen (Workload.Exponential { mean = 3.0 }) ~n:50 ~m:3 in
+  let b = gen (Workload.Exponential { mean = 3.0 }) ~n:50 ~m:3 in
+  Alcotest.(check (array (float 0.0))) "same seed, same instance"
+    (Instance.ests a) (Instance.ests b)
+
+let negative_n_rejected () =
+  checkb "rejects n < 0" true
+    (try
+       ignore (gen (Workload.Identical 1.0) ~n:(-1) ~m:1);
+       false
+     with Invalid_argument _ -> true)
+
+let standard_suite_generates () =
+  List.iter
+    (fun (name, spec) ->
+      let inst =
+        Workload.generate spec ~n:20 ~m:4 ~alpha (Rng.create ~seed:1 ())
+      in
+      checkb (name ^ " nonempty") true (Instance.n inst > 0);
+      Alcotest.(check string) "name matches" name (Workload.spec_name spec))
+    (Workload.standard_suite ~m:4)
+
+let prop_all_specs_positive_estimates =
+  QCheck.Test.make ~name:"every spec yields strictly positive estimates"
+    ~count:100
+    QCheck.(pair (int_range 1 60) (int_range 2 8))
+    (fun (n, m) ->
+      let rng = Rng.create ~seed:(n + (1000 * m)) () in
+      List.for_all
+        (fun (_, spec) ->
+          let inst = Workload.generate spec ~n ~m ~alpha rng in
+          Array.for_all (fun e -> e > 0.0) (Instance.ests inst)
+          && Array.for_all (fun s -> s >= 0.0) (Instance.sizes inst))
+        (Workload.standard_suite ~m))
+
+let prop_sizes_follow_spec =
+  QCheck.Test.make ~name:"size specs honour their definitions" ~count:100
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let rng = Rng.create ~seed:n () in
+      let inst =
+        Workload.generate
+          (Workload.Uniform { lo = 1.0; hi = 9.0 })
+          ~size_spec:(Workload.Proportional 3.0) ~n ~m:2 ~alpha rng
+      in
+      Array.for_all
+        (fun j ->
+          Float.abs (Instance.size inst j -. (3.0 *. Instance.est inst j)) < 1e-9)
+        (Array.init n (fun j -> j)))
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "estimates",
+        [
+          Alcotest.test_case "identical" `Quick identical_tasks;
+          Alcotest.test_case "uniform range" `Quick uniform_in_range;
+          Alcotest.test_case "uniform bad range" `Quick uniform_bad_range_rejected;
+          Alcotest.test_case "exponential positive" `Quick exponential_positive;
+          Alcotest.test_case "pareto capped" `Quick pareto_capped;
+          Alcotest.test_case "bimodal modes" `Quick bimodal_has_both_modes;
+          Alcotest.test_case "lpt adversarial structure" `Quick
+            lpt_adversarial_structure;
+          Alcotest.test_case "lpt adversarial tightness" `Quick
+            lpt_adversarial_is_tight;
+        ] );
+      ( "sizes",
+        [
+          Alcotest.test_case "unit default" `Quick unit_sizes_default;
+          Alcotest.test_case "proportional" `Quick proportional_sizes;
+          Alcotest.test_case "inverse" `Quick inverse_sizes;
+          Alcotest.test_case "uniform sizes" `Quick uniform_sizes_range;
+        ] );
+      ( "framework",
+        [
+          Alcotest.test_case "deterministic" `Quick generation_is_deterministic;
+          Alcotest.test_case "negative n" `Quick negative_n_rejected;
+          Alcotest.test_case "standard suite" `Quick standard_suite_generates;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_all_specs_positive_estimates; prop_sizes_follow_spec ] );
+    ]
