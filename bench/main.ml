@@ -11,6 +11,8 @@ module Realization = Usched_model.Realization
 module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Rng = Usched_prng.Rng
+module Engine = Usched_desim.Engine
+module Trace = Usched_faults.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: paper artifacts.                                           *)
@@ -102,6 +104,36 @@ let benches () =
       (Staged.stage (fun () -> ignore (Core.Multifit.makespan ~m:100 big_weights)));
     Test.make ~name:"opt/lower-bounds (n=10k,m=100)"
       (Staged.stage (fun () -> ignore (Core.Lower_bounds.best ~m:100 big_weights)));
+    (* Fault-injected engine (n=1000, m=210, ~5 replicas/task). *)
+    (let placement =
+       (Core.Group_replication.ls_group ~k:42).Core.Two_phase.phase1 instance
+     in
+     let sets = Core.Placement.sets placement in
+     let order = Instance.lpt_order instance in
+     let healthy =
+       Usched_desim.Schedule.makespan
+         (Engine.run instance realization ~placement:sets ~order)
+     in
+     let m = Instance.m instance in
+     let crashes =
+       Trace.random_crashes (Rng.create ~seed:13 ()) ~m ~p:0.3 ~horizon:healthy
+     in
+     Test.make ~name:"faulty/crash-heavy p=0.3 (n=1k,m=210)"
+       (Staged.stage (fun () ->
+            ignore
+              (Engine.run_faulty instance realization ~faults:crashes
+                 ~placement:sets ~order))));
+    (let placement =
+       (Core.Group_replication.ls_group ~k:42).Core.Two_phase.phase1 instance
+     in
+     let sets = Core.Placement.sets placement in
+     let order = Instance.lpt_order instance in
+     let empty = Trace.empty ~m:(Instance.m instance) in
+     Test.make ~name:"faulty/empty-trace overhead (n=1k,m=210)"
+       (Staged.stage (fun () ->
+            ignore
+              (Engine.run_faulty instance realization ~faults:empty
+                 ~placement:sets ~order))));
     (* Substrates. *)
     Test.make ~name:"prng/xoshiro256 float"
       (Staged.stage (fun () -> ignore (Rng.float rng)));

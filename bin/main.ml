@@ -166,28 +166,84 @@ let solve_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Realization seed.") in
   let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print the Gantt chart.") in
-  let run file algo seed gantt =
+  let fail_rate =
+    Arg.(value & opt float 0.0
+         & info [ "fail-rate" ] ~docv:"P"
+             ~doc:"Also replay the schedule with each machine crashing \
+                   mid-run with probability $(docv) (crash times uniform \
+                   over the healthy makespan).")
+  in
+  let speculate =
+    Arg.(value & opt (some float) None
+         & info [ "speculate" ] ~docv:"BETA"
+             ~doc:"Enable speculative re-execution in the faulty replay: an \
+                   idle replica holder may start a backup copy once a task \
+                   runs past $(docv) times its estimate.")
+  in
+  let run file algo seed gantt fail_rate speculate =
+    if fail_rate < 0.0 || fail_rate > 1.0 then begin
+      Printf.eprintf "usched: --fail-rate must be in [0, 1] (got %g)\n" fail_rate;
+      exit 2
+    end;
+    (match speculate with
+    | Some b when b <= 0.0 ->
+        Printf.eprintf "usched: --speculate must be > 0 (got %g)\n" b;
+        exit 2
+    | _ -> ());
     let instance = Model.Io.load_instance ~path:file in
     let rng = Usched_prng.Rng.create ~seed () in
     let realization = Model.Realization.log_uniform_factor instance rng in
     let placement, schedule = Core.Two_phase.run_full algo instance realization in
     let m = Model.Instance.m instance in
     let lb = Core.Lower_bounds.best ~m (Model.Realization.actuals realization) in
+    let healthy = Usched_desim.Schedule.makespan schedule in
     Printf.printf
       "%s on %s: C_max = %.4f (lower bound %.4f, ratio <= %.4f)\n\
        replicas/task max %d, Mem_max %.4f\n"
-      algo.Core.Two_phase.name file
-      (Usched_desim.Schedule.makespan schedule)
-      lb
-      (Usched_desim.Schedule.makespan schedule /. lb)
+      algo.Core.Two_phase.name file healthy lb (healthy /. lb)
       (Core.Placement.max_replication placement)
       (Core.Placement.memory_max placement ~sizes:(Model.Instance.sizes instance));
     if gantt then print_string (Usched_desim.Gantt.render schedule);
-    print_string (Usched_desim.Timeline.render_stats schedule)
+    print_string (Usched_desim.Timeline.render_stats schedule);
+    if fail_rate > 0.0 || speculate <> None then begin
+      let faults =
+        Usched_faults.Trace.random_crashes rng ~m ~p:fail_rate ~horizon:healthy
+      in
+      let outcome =
+        Usched_desim.Engine.run_faulty ?speculation:speculate instance
+          realization ~faults
+          ~placement:(Core.Placement.sets placement)
+          ~order:(Model.Instance.lpt_order instance)
+      in
+      Printf.printf
+        "\nfaulty replay (fail-rate %g%s): crashed machines [%s]\n\
+         completed %d/%d tasks%s, effective C_max = %.4f (%.2fx healthy), \
+         wasted work %.4f\n"
+        fail_rate
+        (match speculate with
+        | None -> ""
+        | Some b -> Printf.sprintf ", speculation beta=%g" b)
+        (String.concat "; "
+           (List.map string_of_int (Usched_faults.Trace.crashed faults)))
+        outcome.Usched_desim.Engine.completed
+        (Model.Instance.n instance)
+        (match outcome.Usched_desim.Engine.stranded with
+        | [] -> ""
+        | ids ->
+            Printf.sprintf " (stranded: %s)"
+              (String.concat "; " (List.map string_of_int ids)))
+        outcome.Usched_desim.Engine.makespan
+        (outcome.Usched_desim.Engine.makespan /. healthy)
+        outcome.Usched_desim.Engine.wasted;
+      if gantt then
+        match Usched_desim.Engine.outcome_schedule ~m outcome with
+        | Some faulty -> print_string (Usched_desim.Gantt.render faulty)
+        | None -> ()
+    end
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run a two-phase algorithm on an instance file.")
-    Term.(const run $ file $ algo $ seed $ gantt)
+    Term.(const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate)
 
 let minimax_cmd =
   let m = Arg.(value & opt int 3 & info [ "m"; "machines" ] ~doc:"Machines.") in

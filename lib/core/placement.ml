@@ -51,15 +51,19 @@ let memory_loads t ~sizes =
 let memory_max t ~sizes =
   Array.fold_left Float.max 0.0 (memory_loads t ~sizes)
 
-let without_machine t i =
-  if i < 0 || i >= t.m then invalid_arg "Placement.without_machine: machine id";
+let without_machines t lost =
+  List.iter
+    (fun i ->
+      if i < 0 || i >= t.m then
+        invalid_arg "Placement.without_machines: machine id")
+    lost;
   let exception Lost in
   try
     let sets =
       Array.map
         (fun set ->
           let set = Bitset.copy set in
-          Bitset.remove set i;
+          List.iter (Bitset.remove set) lost;
           if Bitset.is_empty set then raise Lost;
           set)
         t.sets
@@ -67,9 +71,25 @@ let without_machine t i =
     Some { m = t.m; sets }
   with Lost -> None
 
-let survives_any_failure t =
-  let all = Array.init t.m (fun i -> i) in
-  Array.for_all (fun i -> without_machine t i <> None) all
+let without_machine t i =
+  if i < 0 || i >= t.m then invalid_arg "Placement.without_machine: machine id";
+  without_machines t [ i ]
+
+let survivors t ~task ~alive =
+  if Bitset.capacity alive <> t.m then
+    invalid_arg "Placement.survivors: alive set capacity mismatch";
+  Bitset.cardinal (Bitset.inter t.sets.(task) alive)
+
+let min_replication t =
+  Array.fold_left
+    (fun acc set -> Stdlib.min acc (Bitset.cardinal set))
+    t.m t.sets
+
+let survives_failures t ~f =
+  if f < 0 then invalid_arg "Placement.survives_failures: f < 0";
+  f < min_replication t && f < t.m
+
+let survives_any_failure t = survives_failures t ~f:1
 
 let pp ppf t =
   Format.fprintf ppf "placement(n=%d, m=%d, max_replication=%d)" (n t) t.m

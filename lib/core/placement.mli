@@ -62,9 +62,31 @@ val without_machine : t -> int -> t option
     reading of replication from the paper's introduction (HDFS keeps
     replicas to survive exactly this event). *)
 
+val without_machines : t -> int list -> t option
+(** {!without_machine} generalized to a set of simultaneous failures:
+    the surviving placement after every listed machine is lost, or
+    [None] when some task's data lived only on lost machines. Raises
+    [Invalid_argument] on out-of-range machine ids. *)
+
+val survivors : t -> task:int -> alive:Bitset.t -> int
+(** Number of machines still holding a replica of [task] given the set
+    of machines currently alive — the quantity the fault-injected
+    phase-2 engine consults on every crash. Raises [Invalid_argument]
+    if [alive] has the wrong capacity. *)
+
+val min_replication : t -> int
+(** [min_j |M_j|]: the weakest task's replica count, which bounds how
+    many simultaneous crashes the workload is guaranteed to survive. *)
+
 val survives_any_failure : t -> bool
 (** Whether every single-machine failure leaves the workload completable
     (every task has at least two replicas, or [m = 1] trivially never
     survives). *)
+
+val survives_failures : t -> f:int -> bool
+(** Whether {e any} [f] simultaneous machine failures leave the workload
+    completable: true iff [f < min_replication t] (and [f < m]). The
+    [f = 1] case is {!survives_any_failure}. Raises [Invalid_argument]
+    if [f < 0]. *)
 
 val pp : Format.formatter -> t -> unit

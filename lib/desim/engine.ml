@@ -1,38 +1,49 @@
 module Bitset = Usched_model.Bitset
 module Instance = Usched_model.Instance
 module Realization = Usched_model.Realization
+module Fault = Usched_faults.Fault
+module Trace = Usched_faults.Trace
 
 type event =
   | Started of { time : float; machine : int; task : int }
   | Completed of { time : float; machine : int; task : int }
+  | Killed of { time : float; machine : int; task : int }
+  | Cancelled of { time : float; machine : int; task : int }
+  | Machine_crashed of { time : float; machine : int }
+  | Machine_down of { time : float; machine : int; until : float }
+  | Machine_up of { time : float; machine : int }
+  | Machine_slowed of { time : float; machine : int; factor : float }
 
-let check_inputs ?speeds instance ~placement ~order =
+exception Unschedulable of int list
+
+let check_inputs ?speeds ~name instance ~placement ~order =
   let n = Instance.n instance and m = Instance.m instance in
   (match speeds with
   | None -> ()
   | Some s ->
       if Array.length s <> m then
-        invalid_arg "Engine.run: speeds length differs from machine count";
+        invalid_arg (Printf.sprintf "%s: speeds length differs from machine count" name);
       Array.iter
         (fun v ->
-          if not (v > 0.0) then invalid_arg "Engine.run: speeds must be > 0")
+          if not (v > 0.0) then
+            invalid_arg (Printf.sprintf "%s: speeds must be > 0" name))
         s);
   if Array.length placement <> n then
-    invalid_arg "Engine.run: placement length differs from instance";
+    invalid_arg (Printf.sprintf "%s: placement length differs from instance" name);
   Array.iteri
     (fun j set ->
       if Bitset.capacity set <> m then
-        invalid_arg (Printf.sprintf "Engine.run: placement of task %d has wrong capacity" j);
+        invalid_arg (Printf.sprintf "%s: placement of task %d has wrong capacity" name j);
       if Bitset.is_empty set then
-        invalid_arg (Printf.sprintf "Engine.run: task %d is placed nowhere" j))
+        invalid_arg (Printf.sprintf "%s: task %d is placed nowhere" name j))
     placement;
   if Array.length order <> n then
-    invalid_arg "Engine.run: order length differs from instance";
+    invalid_arg (Printf.sprintf "%s: order length differs from instance" name);
   let seen = Array.make n false in
   Array.iter
     (fun j ->
       if j < 0 || j >= n || seen.(j) then
-        invalid_arg "Engine.run: order is not a permutation of task ids";
+        invalid_arg (Printf.sprintf "%s: order is not a permutation of task ids" name);
       seen.(j) <- true)
     order
 
@@ -41,7 +52,7 @@ let compare_idle (ta, ia) (tb, ib) =
   match Float.compare ta tb with 0 -> Int.compare ia ib | c -> c
 
 let run_internal ?speeds instance realization ~placement ~order ~emit =
-  check_inputs ?speeds instance ~placement ~order;
+  check_inputs ?speeds ~name:"Engine.run" instance ~placement ~order;
   let n = Instance.n instance and m = Instance.m instance in
   let speed_of i = match speeds with None -> 1.0 | Some s -> s.(i) in
   let scheduled = Array.make n false in
@@ -90,11 +101,30 @@ let run_internal ?speeds instance realization ~placement ~order ~emit =
         loop ()
   in
   loop ();
-  if !remaining > 0 then failwith "Engine.run: unschedulable tasks remain";
+  if !remaining > 0 then begin
+    let left = ref [] in
+    for j = n - 1 downto 0 do
+      if not scheduled.(j) then left := j :: !left
+    done;
+    raise (Unschedulable !left)
+  end;
   Schedule.make ~m entries
 
 let run ?speeds instance realization ~placement ~order =
   run_internal ?speeds instance realization ~placement ~order ~emit:(fun _ -> ())
+
+let sort_events events =
+  let time_of = function
+    | Started { time; _ }
+    | Completed { time; _ }
+    | Killed { time; _ }
+    | Cancelled { time; _ }
+    | Machine_crashed { time; _ }
+    | Machine_down { time; _ }
+    | Machine_up { time; _ }
+    | Machine_slowed { time; _ } -> time
+  in
+  List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b)) events
 
 let run_traced ?speeds instance realization ~placement ~order =
   let events = ref [] in
@@ -102,9 +132,369 @@ let run_traced ?speeds instance realization ~placement ~order =
     run_internal ?speeds instance realization ~placement ~order
       ~emit:(fun e -> events := e :: !events)
   in
-  let time_of = function Started { time; _ } | Completed { time; _ } -> time in
-  let chronological =
-    List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b))
-      (List.rev !events)
+  (schedule, sort_events (List.rev !events))
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type fate =
+  | Finished of Schedule.entry
+  | Stranded
+
+type outcome = {
+  fates : fate array;
+  completed : int;
+  stranded : int list;
+  makespan : float;
+  wasted : float;
+}
+
+let outcome_schedule ~m outcome =
+  if outcome.stranded <> [] then None
+  else
+    Some
+      (Schedule.make ~m
+         (Array.map
+            (function Finished e -> e | Stranded -> assert false)
+            outcome.fates))
+
+(* A copy of a task in flight on one machine. [remaining] is re-synced at
+   every speed change, so completion predictions stay exact under
+   mid-task slowdowns. *)
+type copy = {
+  c_task : int;
+  c_started : float;
+  mutable c_remaining : float; (* actual-time units of work left *)
+  mutable c_last : float; (* when [c_remaining] was last synced *)
+}
+
+type mstate = {
+  mutable alive : bool;
+  mutable down_until : float; (* unavailable while [now < down_until] *)
+  mutable factor : float; (* straggler speed multiplier *)
+  mutable gen : int; (* invalidates queued completion events *)
+  mutable current : copy option;
+}
+
+type tstatus = Pending | Running | Done | Lost
+
+(* Simulation event payloads; class ranks order simultaneous events on
+   one machine: faults strike before completions, completions before
+   dispatch decisions, speculation checks last. *)
+type sim =
+  | Sim_fault of Fault.kind
+  | Sim_up
+  | Sim_complete of { gen : int }
+  | Sim_dispatch
+  | Sim_speculate of { task : int; gen : int }
+
+type sim_event = { time : float; machine : int; cls : int; seq : int; sim : sim }
+
+let compare_sim a b =
+  match Float.compare a.time b.time with
+  | 0 -> (
+      match Int.compare a.machine b.machine with
+      | 0 -> (
+          match Int.compare a.cls b.cls with
+          | 0 -> Int.compare a.seq b.seq
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let run_faulty_internal ?speeds ?speculation instance realization ~faults
+    ~placement ~order ~emit =
+  check_inputs ?speeds ~name:"Engine.run_faulty" instance ~placement ~order;
+  let n = Instance.n instance and m = Instance.m instance in
+  if Trace.m faults <> m then
+    invalid_arg "Engine.run_faulty: trace machine count differs from instance";
+  (match speculation with
+  | Some beta when not (beta > 0.0) ->
+      invalid_arg "Engine.run_faulty: speculation factor must be > 0"
+  | _ -> ());
+  let base_speed i = match speeds with None -> 1.0 | Some s -> s.(i) in
+  let machines =
+    Array.init m (fun _ ->
+        { alive = true; down_until = 0.0; factor = 1.0; gen = 0; current = None })
   in
-  (schedule, chronological)
+  let eff_speed i = base_speed i *. machines.(i).factor in
+  let available ~time i =
+    let ms = machines.(i) in
+    ms.alive && ms.down_until <= time
+  in
+  let status = Array.make n Pending in
+  let copies = Array.make n ([] : int list) in
+  let task_gen = Array.make n 0 in
+  let spec_ready = Array.make n false in
+  let entries =
+    Array.make n { Schedule.machine = 0; start = 0.0; finish = 0.0 }
+  in
+  let alive_set = Bitset.full m in
+  let wasted = ref 0.0 in
+  let pos_of = Array.make n 0 in
+  Array.iteri (fun pos j -> pos_of.(j) <- pos) order;
+  let cursor = Array.make m 0 in
+  let queue = Pqueue.create ~compare:compare_sim () in
+  let seq = ref 0 in
+  let push ~time ~machine ~cls sim =
+    incr seq;
+    Pqueue.push queue { time; machine; cls; seq = !seq; sim }
+  in
+  for i = 0 to m - 1 do
+    push ~time:0.0 ~machine:i ~cls:2 Sim_dispatch
+  done;
+  List.iter
+    (fun (e : Fault.event) ->
+      push ~time:e.Fault.time ~machine:e.Fault.machine ~cls:0
+        (Sim_fault e.Fault.kind))
+    (Trace.events faults);
+  (* Dispatch scan: identical to [run]'s cursor scan, except that tasks
+     killed mid-run return to [Pending] and rewind the cursors below. *)
+  let find_task i =
+    let rec scan pos =
+      if pos >= n then None
+      else begin
+        cursor.(i) <- pos + 1;
+        let j = order.(pos) in
+        if status.(j) = Pending && Bitset.mem placement.(j) i then Some j
+        else scan (pos + 1)
+      end
+    in
+    scan cursor.(i)
+  in
+  let rewind_cursors j =
+    let p = pos_of.(j) in
+    for i = 0 to m - 1 do
+      if cursor.(i) > p then cursor.(i) <- p
+    done
+  in
+  let wake_idle ~time =
+    for i = 0 to m - 1 do
+      if available ~time i && machines.(i).current = None then
+        push ~time ~machine:i ~cls:2 Sim_dispatch
+    done
+  in
+  let start_copy ~time i j =
+    let ms = machines.(i) in
+    let c =
+      {
+        c_task = j;
+        c_started = time;
+        c_remaining = Realization.actual realization j;
+        c_last = time;
+      }
+    in
+    ms.current <- Some c;
+    ms.gen <- ms.gen + 1;
+    let was_primary = copies.(j) = [] in
+    copies.(j) <- i :: copies.(j);
+    status.(j) <- Running;
+    emit (Started { time; machine = i; task = j });
+    let finish = time +. (c.c_remaining /. eff_speed i) in
+    push ~time:finish ~machine:i ~cls:1 (Sim_complete { gen = ms.gen });
+    match speculation with
+    | Some beta when was_primary ->
+        (* Arm the straggler check from estimates only: the scheduler is
+           semi-clairvoyant and must not peek at actual times. *)
+        let expected = Instance.est instance j /. base_speed i in
+        push
+          ~time:(time +. (beta *. expected))
+          ~machine:i ~cls:3
+          (Sim_speculate { task = j; gen = task_gen.(j) })
+    | _ -> ()
+  in
+  (* Kill the in-flight copy of machine [i] (crash or outage): the work is
+     lost; the task returns to the pool when no other copy survives, or
+     becomes [Lost] when its data has no surviving holder. *)
+  let kill_current ~time i =
+    let ms = machines.(i) in
+    match ms.current with
+    | None -> ()
+    | Some c ->
+        let j = c.c_task in
+        wasted := !wasted +. (time -. c.c_started);
+        ms.current <- None;
+        ms.gen <- ms.gen + 1;
+        emit (Killed { time; machine = i; task = j });
+        copies.(j) <- List.filter (fun k -> k <> i) copies.(j);
+        if copies.(j) = [] then begin
+          task_gen.(j) <- task_gen.(j) + 1;
+          spec_ready.(j) <- false;
+          if Bitset.is_empty (Bitset.inter alive_set placement.(j)) then
+            status.(j) <- Lost
+          else begin
+            status.(j) <- Pending;
+            rewind_cursors j;
+            wake_idle ~time
+          end
+        end
+  in
+  let find_speculation i =
+    (* First task in priority order that is running a single overdue copy
+       whose data machine [i] also holds. *)
+    let rec scan pos =
+      if pos >= n then None
+      else
+        let j = order.(pos) in
+        if
+          status.(j) = Running && spec_ready.(j)
+          && (match copies.(j) with [ k ] -> k <> i | _ -> false)
+          && Bitset.mem placement.(j) i
+        then Some j
+        else scan (pos + 1)
+    in
+    if speculation = None then None else scan 0
+  in
+  let dispatch ~time i =
+    if available ~time i && machines.(i).current = None then
+      match find_task i with
+      | Some j -> start_copy ~time i j
+      | None -> (
+          match find_speculation i with
+          | Some j -> start_copy ~time i j
+          | None -> () (* idle; woken again if work returns to the pool *))
+  in
+  let complete ~time i gen =
+    let ms = machines.(i) in
+    match ms.current with
+    | Some c when gen = ms.gen ->
+        let j = c.c_task in
+        entries.(j) <- { Schedule.machine = i; start = c.c_started; finish = time };
+        status.(j) <- Done;
+        ms.current <- None;
+        ms.gen <- ms.gen + 1;
+        emit (Completed { time; machine = i; task = j });
+        (* Speculative losers: first copy to finish wins, the rest abort. *)
+        let losers = List.filter (fun k -> k <> i) copies.(j) in
+        copies.(j) <- [];
+        List.iter
+          (fun k ->
+            let mk = machines.(k) in
+            (match mk.current with
+            | Some ck -> wasted := !wasted +. (time -. ck.c_started)
+            | None -> assert false);
+            mk.current <- None;
+            mk.gen <- mk.gen + 1;
+            emit (Cancelled { time; machine = k; task = j }))
+          losers;
+        List.iter (dispatch ~time) (List.sort Int.compare (i :: losers))
+    | _ -> () (* stale completion: the copy was killed or cancelled *)
+  in
+  let on_fault ~time i kind =
+    let ms = machines.(i) in
+    match kind with
+    | Fault.Crash ->
+        if ms.alive then begin
+          ms.alive <- false;
+          Bitset.remove alive_set i;
+          emit (Machine_crashed { time; machine = i });
+          kill_current ~time i;
+          (* The disk died with the machine: strand every waiting task
+             whose last replica it held. *)
+          for j = 0 to n - 1 do
+            if
+              status.(j) = Pending
+              && Bitset.mem placement.(j) i
+              && Bitset.is_empty (Bitset.inter alive_set placement.(j))
+            then status.(j) <- Lost
+          done
+        end
+    | Fault.Outage until ->
+        if ms.alive then begin
+          ms.down_until <- Float.max ms.down_until until;
+          emit (Machine_down { time; machine = i; until = ms.down_until });
+          kill_current ~time i;
+          push ~time:ms.down_until ~machine:i ~cls:0 Sim_up
+        end
+    | Fault.Slowdown factor ->
+        let old_speed = eff_speed i in
+        ms.factor <- factor;
+        emit (Machine_slowed { time; machine = i; factor });
+        (match ms.current with
+        | Some c ->
+            c.c_remaining <- c.c_remaining -. ((time -. c.c_last) *. old_speed);
+            c.c_last <- time;
+            ms.gen <- ms.gen + 1;
+            push
+              ~time:(time +. (c.c_remaining /. eff_speed i))
+              ~machine:i ~cls:1
+              (Sim_complete { gen = ms.gen })
+        | None -> ())
+  in
+  let on_up ~time i =
+    let ms = machines.(i) in
+    if ms.alive && time >= ms.down_until then begin
+      emit (Machine_up { time; machine = i });
+      dispatch ~time i
+    end
+  in
+  let on_speculate ~time task gen =
+    if
+      task_gen.(task) = gen && status.(task) = Running
+      && List.length copies.(task) = 1
+    then begin
+      spec_ready.(task) <- true;
+      (* Grab an idle surviving holder right now if one exists; otherwise
+         the next machine to go idle picks the task up in [dispatch]. *)
+      let runner = List.hd copies.(task) in
+      let exception Found of int in
+      match
+        Bitset.iter
+          (fun i ->
+            if i <> runner && available ~time i && machines.(i).current = None
+            then raise (Found i))
+          placement.(task)
+      with
+      | () -> ()
+      | exception Found i -> start_copy ~time i task
+    end
+  in
+  let rec loop () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some { time; machine; sim; _ } ->
+        (match sim with
+        | Sim_fault kind -> on_fault ~time machine kind
+        | Sim_up -> on_up ~time machine
+        | Sim_complete { gen } -> complete ~time machine gen
+        | Sim_dispatch -> dispatch ~time machine
+        | Sim_speculate { task; gen } -> on_speculate ~time task gen);
+        loop ()
+  in
+  loop ();
+  let fates =
+    Array.init n (fun j ->
+        match status.(j) with
+        | Done -> Finished entries.(j)
+        | Lost | Pending | Running -> Stranded)
+  in
+  let completed = ref 0 and stranded = ref [] and makespan = ref 0.0 in
+  for j = n - 1 downto 0 do
+    match fates.(j) with
+    | Finished e ->
+        incr completed;
+        makespan := Float.max !makespan e.Schedule.finish
+    | Stranded -> stranded := j :: !stranded
+  done;
+  {
+    fates;
+    completed = !completed;
+    stranded = !stranded;
+    makespan = !makespan;
+    wasted = !wasted;
+  }
+
+let run_faulty ?speeds ?speculation instance realization ~faults ~placement
+    ~order =
+  run_faulty_internal ?speeds ?speculation instance realization ~faults
+    ~placement ~order ~emit:(fun _ -> ())
+
+let run_faulty_traced ?speeds ?speculation instance realization ~faults
+    ~placement ~order =
+  let events = ref [] in
+  let outcome =
+    run_faulty_internal ?speeds ?speculation instance realization ~faults
+      ~placement ~order
+      ~emit:(fun e -> events := e :: !events)
+  in
+  (outcome, sort_events (List.rev !events))

@@ -16,7 +16,13 @@
     - static strategies: singleton placements (the order is irrelevant).
 
     Determinism: simultaneous idle machines are served in increasing
-    machine id; the task order breaks all other ties. *)
+    machine id; the task order breaks all other ties.
+
+    {!run_faulty} extends the same engine with dynamic fault injection
+    (see [Usched_faults]): machines crash permanently mid-run, blink out
+    transiently, or degrade into stragglers, and the engine re-dispatches
+    killed work to surviving replica holders — the Hadoop fault-tolerance
+    story from the paper's introduction, made executable. *)
 
 module Bitset = Usched_model.Bitset
 module Instance = Usched_model.Instance
@@ -25,6 +31,24 @@ module Realization = Usched_model.Realization
 type event =
   | Started of { time : float; machine : int; task : int }
   | Completed of { time : float; machine : int; task : int }
+  | Killed of { time : float; machine : int; task : int }
+      (** A running copy died with its machine (crash or outage); the work
+          is lost, the task returns to the pool. *)
+  | Cancelled of { time : float; machine : int; task : int }
+      (** A speculative duplicate lost the race: another copy of the task
+          finished first and this one was aborted. *)
+  | Machine_crashed of { time : float; machine : int }
+  | Machine_down of { time : float; machine : int; until : float }
+  | Machine_up of { time : float; machine : int }
+  | Machine_slowed of { time : float; machine : int; factor : float }
+
+exception Unschedulable of int list
+(** Raised by {!run} when the listed tasks can never be scheduled.
+    Impossible for well-formed inputs — a placement guarantees every task
+    a non-empty machine set — so catching it means the inputs lied, not
+    that data was lost. Genuine data loss only exists under failures and
+    is {e reported}, never raised: {!run_faulty} returns the same task
+    ids as [Stranded] fates in its {!outcome}. *)
 
 val run :
   ?speeds:float array ->
@@ -39,8 +63,8 @@ val run :
     machines extension. Raises [Invalid_argument] when [placement] or
     [order] is malformed (wrong length, empty machine set, order not a
     permutation), when [speeds] has the wrong length or a non-positive
-    entry, and [Failure] if some task can never be scheduled (impossible
-    for well-formed inputs). *)
+    entry, and {!Unschedulable} if some task can never be scheduled
+    (impossible for well-formed inputs). *)
 
 val run_traced :
   ?speeds:float array ->
@@ -50,3 +74,86 @@ val run_traced :
   order:int array ->
   Schedule.t * event list
 (** Like {!run}, also returning the chronological event log. *)
+
+(** {1 Fault injection} *)
+
+type fate =
+  | Finished of Schedule.entry
+      (** The surviving copy's machine and start/finish times. *)
+  | Stranded
+      (** Every machine holding the task's data crashed before any copy
+          could finish — the data is gone and the task cannot complete. *)
+
+type outcome = {
+  fates : fate array;  (** Per task id. *)
+  completed : int;  (** Number of [Finished] tasks. *)
+  stranded : int list;  (** Ids of [Stranded] tasks, ascending. *)
+  makespan : float;
+      (** Effective makespan: latest finish among completed tasks (0.0 if
+          nothing completed). When tasks are stranded this measures what
+          the survivors achieved, not a full-workload makespan. *)
+  wasted : float;
+      (** Total machine-time consumed by copies that did not produce the
+          task's result: work killed by crashes/outages plus speculative
+          duplicates that lost their race. 0.0 on an empty trace. *)
+}
+
+val outcome_schedule : m:int -> outcome -> Schedule.t option
+(** The outcome as a {!Schedule.t} over [m] machines when every task
+    finished; [None] as soon as one task is stranded. *)
+
+val run_faulty :
+  ?speeds:float array ->
+  ?speculation:float ->
+  Instance.t ->
+  Realization.t ->
+  faults:Usched_faults.Trace.t ->
+  placement:Bitset.t array ->
+  order:int array ->
+  outcome
+(** {!run} under a failure trace. Semantics:
+
+    - {b Crash} at [t]: the machine is removed forever. Its in-flight
+      copy (if any) is killed — the work done so far is lost, counted in
+      [wasted], and the task returns to the pool for re-dispatch to a
+      surviving holder of its data. The machine leaves every task's
+      eligibility set (its disk is gone); a task whose last replica
+      holder crashes before some copy finishes becomes [Stranded] —
+      reported, never raised.
+    - {b Outage} over [[t, until)]: like a crash at [t] (in-flight work
+      is lost, no checkpointing) except the disk survives: the machine
+      keeps its data, accepts no work during the interval, and rejoins at
+      [until].
+    - {b Slowdown} by [f] at [t]: from [t] on the machine processes work
+      at [f] times its configured speed; the completion of an in-flight
+      copy is re-predicted from its remaining work.
+    - {b Speculation} ([speculation = Some beta], off by default): when a
+      copy of task [j] started on machine [i] has been running longer
+      than [beta * est(j) / speeds.(i)] — estimates, not actuals: the
+      scheduler is semi-clairvoyant — an idle surviving holder of [j]'s
+      data may start a backup copy (at most one duplicate; the copy is
+      restarted from scratch). The first copy to finish wins; the other
+      is aborted and its machine-time counted in [wasted].
+
+    Determinism: simultaneous events are ordered by time, then machine
+    id, then class (fault events before completions before dispatch
+    decisions), then insertion order — so a crash kills a task finishing
+    at exactly the same instant on the same machine, and an empty trace
+    reproduces {!run} bit-for-bit (identical float arithmetic, identical
+    tie-breaking).
+
+    Raises [Invalid_argument] on malformed inputs, when the trace's
+    machine count differs from the instance, or when [speculation] is
+    not positive. *)
+
+val run_faulty_traced :
+  ?speeds:float array ->
+  ?speculation:float ->
+  Instance.t ->
+  Realization.t ->
+  faults:Usched_faults.Trace.t ->
+  placement:Bitset.t array ->
+  order:int array ->
+  outcome * event list
+(** Like {!run_faulty}, also returning the chronological event log
+    (including kills, cancellations, and machine state changes). *)

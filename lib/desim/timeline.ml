@@ -44,6 +44,21 @@ let render_events events =
             Printf.sprintf "t=%-10.4f m%-3d start    task %d\n" time machine task
         | Engine.Completed { time; machine; task } ->
             Printf.sprintf "t=%-10.4f m%-3d complete task %d\n" time machine task
+        | Engine.Killed { time; machine; task } ->
+            Printf.sprintf "t=%-10.4f m%-3d KILLED   task %d (work lost)\n" time
+              machine task
+        | Engine.Cancelled { time; machine; task } ->
+            Printf.sprintf "t=%-10.4f m%-3d cancel   task %d (lost the race)\n"
+              time machine task
+        | Engine.Machine_crashed { time; machine } ->
+            Printf.sprintf "t=%-10.4f m%-3d CRASHED  (data lost)\n" time machine
+        | Engine.Machine_down { time; machine; until } ->
+            Printf.sprintf "t=%-10.4f m%-3d down     until %.4f\n" time machine
+              until
+        | Engine.Machine_up { time; machine } ->
+            Printf.sprintf "t=%-10.4f m%-3d up\n" time machine
+        | Engine.Machine_slowed { time; machine; factor } ->
+            Printf.sprintf "t=%-10.4f m%-3d slowed   x%.3f\n" time machine factor
       in
       Buffer.add_string buffer line)
     events;

@@ -1,0 +1,327 @@
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Workload = Usched_model.Workload
+module Schedule = Usched_desim.Schedule
+module Engine = Usched_desim.Engine
+module Trace = Usched_faults.Trace
+module Core = Usched_core
+module Table = Usched_report.Table
+module Rng = Usched_prng.Rng
+module Summary = Usched_stats.Summary
+
+let m = 6
+let n = 36
+let alpha = 1.5
+let rates = [ 0.1; 0.25; 0.5 ]
+
+(* Ring placement with [k] replicas: task [j] lives on machines
+   [j mod m .. (j+k-1) mod m]. The rings are nested in [k], so under one
+   crash trace a task stranded at [k+1] replicas is also stranded at [k]
+   — completion probability is monotone in [k] by construction, which is
+   what makes the first table a clean sweep of the replication degree. *)
+let ring_placement ~k =
+  Core.Placement.of_sets ~m
+    (Array.init n (fun j ->
+         Bitset.of_list m (List.init k (fun i -> (j + i) mod m))))
+
+type cell = {
+  task_completion : Summary.t; (* fraction of tasks completed per run *)
+  full_runs : int ref; (* runs with zero stranded tasks *)
+  runs : int ref;
+  degradation : Summary.t; (* faulty/healthy makespan, full runs only *)
+  wasted : Summary.t; (* wasted work / total actual work *)
+}
+
+let cell () =
+  {
+    task_completion = Summary.create ();
+    full_runs = ref 0;
+    runs = ref 0;
+    degradation = Summary.create ();
+    wasted = Summary.create ();
+  }
+
+let record cell ~healthy ~total_work (outcome : Engine.outcome) =
+  incr cell.runs;
+  Summary.add cell.task_completion
+    (float_of_int outcome.Engine.completed /. float_of_int n);
+  Summary.add cell.wasted (outcome.Engine.wasted /. total_work);
+  if outcome.Engine.stranded = [] then begin
+    incr cell.full_runs;
+    Summary.add cell.degradation (outcome.Engine.makespan /. healthy)
+  end
+
+let cell_row cell =
+  [
+    Printf.sprintf "%.1f%%" (100.0 *. Summary.mean cell.task_completion);
+    Printf.sprintf "%d/%d" !(cell.full_runs) !(cell.runs);
+    (if Summary.count cell.degradation = 0 then "-"
+     else Table.cell_float (Summary.mean cell.degradation));
+    (if Summary.count cell.degradation = 0 then "-"
+     else Table.cell_float (Summary.max cell.degradation));
+    Printf.sprintf "%.1f%%" (100.0 *. Summary.mean cell.wasted);
+  ]
+
+let generate rng =
+  let instance =
+    Workload.generate
+      (Workload.Uniform { lo = 1.0; hi = 10.0 })
+      ~n ~m
+      ~alpha:(Uncertainty.alpha alpha)
+      rng
+  in
+  (instance, Realization.log_uniform_factor instance rng)
+
+(* ----------------- part A: replication degree sweep ----------------- *)
+
+let degree_sweep config =
+  let ks = [ 1; 2; 3; 6 ] in
+  let reps = Stdlib.max 10 config.Runner.reps in
+  Printf.printf
+    "A. Replication degree: n=%d tasks, m=%d machines, alpha=%g, nested\n\
+     ring placements, LPT order, crash times uniform in the k=1 healthy\n\
+     makespan. One crash trace per repetition, shared across every k.\n\n"
+    n m alpha;
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("crash rate", Table.Right);
+          ("replicas k", Table.Right);
+          ("tasks done", Table.Right);
+          ("full runs", Table.Right);
+          ("mean degr", Table.Right);
+          ("worst degr", Table.Right);
+          ("wasted", Table.Right);
+        ]
+  in
+  let csv_rows = ref [] in
+  List.iteri
+    (fun rate_idx rate ->
+      let cells = List.map (fun k -> (k, cell ())) ks in
+      let master = Rng.create ~seed:(config.Runner.seed + (7919 * rate_idx)) () in
+      for _ = 1 to reps do
+        let rng = Rng.split master in
+        let instance, realization = generate rng in
+        let order = Instance.lpt_order instance in
+        let total_work = Realization.total realization in
+        let horizon =
+          Schedule.makespan
+            (Engine.run instance realization
+               ~placement:(Core.Placement.sets (ring_placement ~k:1))
+               ~order)
+        in
+        let faults = Trace.random_crashes rng ~m ~p:rate ~horizon in
+        List.iter
+          (fun (k, cell) ->
+            let placement = Core.Placement.sets (ring_placement ~k) in
+            let healthy =
+              Schedule.makespan (Engine.run instance realization ~placement ~order)
+            in
+            let outcome =
+              Engine.run_faulty instance realization ~faults ~placement ~order
+            in
+            record cell ~healthy ~total_work outcome)
+          cells
+      done;
+      List.iter
+        (fun (k, cell) ->
+          let row = cell_row cell in
+          Table.add_row table
+            (Printf.sprintf "%.2f" rate :: string_of_int k :: row);
+          csv_rows :=
+            [
+              Printf.sprintf "%.4f" rate;
+              string_of_int k;
+              Printf.sprintf "%.6f" (Summary.mean cell.task_completion);
+              Printf.sprintf "%d" !(cell.full_runs);
+              Printf.sprintf "%d" !(cell.runs);
+              (if Summary.count cell.degradation = 0 then "nan"
+               else Printf.sprintf "%.6f" (Summary.mean cell.degradation));
+              Printf.sprintf "%.6f" (Summary.mean cell.wasted);
+            ]
+            :: !csv_rows)
+        cells)
+    rates;
+  print_string (Table.render table);
+  Runner.maybe_csv config ~name:"fault_sweep_degree"
+    ~header:
+      [ "rate"; "k"; "task_completion"; "full_runs"; "runs"; "mean_degradation";
+        "wasted_fraction" ]
+    (List.rev !csv_rows);
+  Printf.printf
+    "\nCompletion climbs monotonically with k (nested rings: losing a task\n\
+     at k+1 replicas implies losing it at k); degradation and wasted work\n\
+     rise with the crash rate — killed work is re-run from scratch on a\n\
+     surviving replica holder.\n"
+
+(* ----------------- part B: the paper's strategies ------------------- *)
+
+let strategies =
+  [
+    ("LPT-No Choice (k=1)", Core.No_replication.lpt_no_choice);
+    ("LS-Group k=3 (2 repl)", Core.Group_replication.ls_group ~k:3);
+    ("LS-Group k=2 (3 repl)", Core.Group_replication.ls_group ~k:2);
+    ("Budgeted k=2", Core.Budgeted.uniform ~k:2);
+    ("Budgeted k=3", Core.Budgeted.uniform ~k:3);
+    ("LPT-No Restriction (k=m)", Core.Full_replication.lpt_no_restriction);
+  ]
+
+let strategy_sweep config =
+  let reps = Stdlib.max 10 config.Runner.reps in
+  Printf.printf
+    "\nB. The paper's strategies under mid-run crashes (same workload and\n\
+     crash trace for every strategy within a repetition; the faulty run\n\
+     re-dispatches in LPT order).\n\n";
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("strategy", Table.Left);
+          ("crash rate", Table.Right);
+          ("tasks done", Table.Right);
+          ("full runs", Table.Right);
+          ("mean degr", Table.Right);
+          ("worst degr", Table.Right);
+          ("wasted", Table.Right);
+        ]
+  in
+  let csv_rows = ref [] in
+  List.iter
+    (fun (name, algo) ->
+      List.iteri
+        (fun rate_idx rate ->
+          let cell = cell () in
+          let master =
+            Rng.create ~seed:(config.Runner.seed + (7919 * rate_idx)) ()
+          in
+          for _ = 1 to reps do
+            (* Identical streams per (rate, rep) across strategies: the
+               instance, realization, and trace are all paired. *)
+            let rng = Rng.split master in
+            let instance, realization = generate rng in
+            let order = Instance.lpt_order instance in
+            let total_work = Realization.total realization in
+            let horizon =
+              Schedule.makespan
+                (Engine.run instance realization
+                   ~placement:(Core.Placement.sets (ring_placement ~k:1))
+                   ~order)
+            in
+            let faults = Trace.random_crashes rng ~m ~p:rate ~horizon in
+            let placement = algo.Core.Two_phase.phase1 instance in
+            let healthy =
+              Schedule.makespan
+                (algo.Core.Two_phase.phase2 instance placement realization)
+            in
+            let outcome =
+              Engine.run_faulty instance realization ~faults
+                ~placement:(Core.Placement.sets placement)
+                ~order
+            in
+            record cell ~healthy ~total_work outcome
+          done;
+          Table.add_row table (name :: Printf.sprintf "%.2f" rate :: cell_row cell);
+          csv_rows :=
+            [
+              name;
+              Printf.sprintf "%.4f" rate;
+              Printf.sprintf "%.6f" (Summary.mean cell.task_completion);
+              Printf.sprintf "%d" !(cell.full_runs);
+              Printf.sprintf "%d" !(cell.runs);
+              (if Summary.count cell.degradation = 0 then "nan"
+               else Printf.sprintf "%.6f" (Summary.mean cell.degradation));
+              Printf.sprintf "%.6f" (Summary.mean cell.wasted);
+            ]
+            :: !csv_rows)
+        rates)
+    strategies;
+  print_string (Table.render table);
+  Runner.maybe_csv config ~name:"fault_sweep_strategies"
+    ~header:
+      [ "strategy"; "rate"; "task_completion"; "full_runs"; "runs";
+        "mean_degradation"; "wasted_fraction" ]
+    (List.rev !csv_rows)
+
+(* ----------------- part C: speculation vs stragglers ---------------- *)
+
+let speculation_sweep config =
+  let reps = Stdlib.max 10 config.Runner.reps in
+  let beta = 1.5 in
+  Printf.printf
+    "\nC. Speculative re-execution vs stragglers: 30%% of machines slow to\n\
+     a 0.2-0.5 speed factor mid-run; an idle replica holder may start a\n\
+     backup once a copy runs past %.1fx its estimate (first copy to\n\
+     finish wins). Replication is what makes speculation possible.\n\n"
+    beta;
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("placement", Table.Left);
+          ("speculation", Table.Left);
+          ("mean slowdown", Table.Right);
+          ("worst slowdown", Table.Right);
+          ("wasted", Table.Right);
+        ]
+  in
+  let placements =
+    [
+      ("ring k=2", 2);
+      ("ring k=3", 3);
+      ("full (k=6)", 6);
+    ]
+  in
+  List.iter
+    (fun (pname, k) ->
+      List.iter
+        (fun speculation ->
+          let slowdown = Summary.create () and waste = Summary.create () in
+          let master = Rng.create ~seed:(config.Runner.seed + 31337) () in
+          for _ = 1 to reps do
+            let rng = Rng.split master in
+            let instance, realization = generate rng in
+            let order = Instance.lpt_order instance in
+            let placement = Core.Placement.sets (ring_placement ~k) in
+            let healthy =
+              Schedule.makespan (Engine.run instance realization ~placement ~order)
+            in
+            let faults =
+              Trace.random_slowdowns rng ~m ~p:0.3 ~horizon:healthy
+                ~factor:(0.2, 0.5)
+            in
+            let outcome =
+              Engine.run_faulty ?speculation instance realization ~faults
+                ~placement ~order
+            in
+            Summary.add slowdown (outcome.Engine.makespan /. healthy);
+            Summary.add waste
+              (outcome.Engine.wasted /. Realization.total realization)
+          done;
+          Table.add_row table
+            [
+              pname;
+              (match speculation with
+              | None -> "off"
+              | Some b -> Printf.sprintf "beta=%.1f" b);
+              Table.cell_float (Summary.mean slowdown);
+              Table.cell_float (Summary.max slowdown);
+              Printf.sprintf "%.1f%%" (100.0 *. Summary.mean waste);
+            ])
+        [ None; Some beta ])
+    placements;
+  print_string (Table.render table);
+  Printf.printf
+    "\nSpeculation trades duplicate work for response time, exactly the\n\
+     replication-for-latency tradeoff of the queueing literature (Wang\n\
+     et al.; Sun et al.): the slowdown drop is largest where replicas\n\
+     are plentiful, and the wasted-work bill is the price of the race.\n"
+
+let run config =
+  Runner.print_section
+    "Fault sweep -- mid-run crashes, re-dispatch, and speculation";
+  degree_sweep config;
+  strategy_sweep config;
+  speculation_sweep config

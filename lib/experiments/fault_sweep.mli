@@ -1,0 +1,22 @@
+(** Fault sweep: dynamic mid-run failures vs replication degree.
+
+    The paper motivates replication with Hadoop-style fault tolerance but
+    never simulates a failure; {!Fault_tolerance} measures the static
+    variant (a machine lost {e before} phase 2 starts). This experiment
+    exercises the dynamic engine ([Engine.run_faulty]): machines crash
+    {e during} execution, in-flight work is killed and re-dispatched to
+    surviving replica holders, and stragglers are beaten by speculative
+    re-execution. Three sections:
+
+    - completion probability, makespan degradation, and wasted work as a
+      function of the replication degree [k] (nested ring placements, so
+      completion is monotonically non-decreasing in [k] by construction)
+      and the per-machine crash rate;
+    - the same fault metrics across the paper's strategies (LPT-No
+      Choice, LS-Group, Budgeted, LPT-No Restriction) under one shared
+      crash trace per repetition (paired comparison);
+    - speculation on/off under straggler slowdowns: response-time gain
+      bought, wasted duplicate work paid (cf. Wang et al. and Sun et al.
+      on task replication for response times, PAPERS.md). *)
+
+val run : Runner.config -> unit

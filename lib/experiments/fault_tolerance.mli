@@ -4,9 +4,13 @@
     replicas ("most Hadoop systems replicate the data for the purpose of
     tolerating hardware faults") and argues the same replicas buy
     scheduling freedom. This experiment closes the loop in the other
-    direction: for each replication strategy, fail one machine after
-    phase 1 and measure (a) whether the workload can complete at all and
-    (b) the makespan degradation when it can — on top of the usual
-    processing-time uncertainty. *)
+    direction on the dynamic engine ([Engine.run_faulty]): for each
+    replication strategy, crash one machine after phase 1 — either
+    before phase 2 starts (its data is lost up front) or mid-run at 50%
+    of the healthy makespan (its in-flight work is killed and
+    re-dispatched to surviving replica holders) — and measure (a)
+    whether the workload can complete at all, (b) the makespan
+    degradation when it can, and (c) the wasted (re-run) work, on top
+    of the usual processing-time uncertainty. *)
 
 val run : Runner.config -> unit

@@ -77,6 +77,11 @@ let all =
       run = Fault_tolerance.run;
     };
     {
+      id = "fault-sweep";
+      title = "Fault sweep: mid-run crashes, re-dispatch, speculation";
+      run = Fault_sweep.run;
+    };
+    {
       id = "hetero";
       title = "Heterogeneous machines: replication vs slow nodes";
       run = Hetero.run;

@@ -1,0 +1,30 @@
+type kind =
+  | Crash
+  | Outage of float
+  | Slowdown of float
+
+type event = { machine : int; time : float; kind : kind }
+
+let check ~m e =
+  if e.machine < 0 || e.machine >= m then
+    invalid_arg (Printf.sprintf "Fault.check: machine %d outside [0, %d)" e.machine m);
+  if not (Float.is_finite e.time) || e.time < 0.0 then
+    invalid_arg (Printf.sprintf "Fault.check: bad event time %g" e.time);
+  match e.kind with
+  | Crash -> ()
+  | Outage until ->
+      if not (Float.is_finite until) || until <= e.time then
+        invalid_arg
+          (Printf.sprintf "Fault.check: outage [%g, %g) is empty" e.time until)
+  | Slowdown factor ->
+      if not (factor > 0.0 && factor <= 1.0) then
+        invalid_arg
+          (Printf.sprintf "Fault.check: slowdown factor %g outside (0, 1]" factor)
+
+let pp ppf e =
+  match e.kind with
+  | Crash -> Format.fprintf ppf "crash(m%d @ %g)" e.machine e.time
+  | Outage until ->
+      Format.fprintf ppf "outage(m%d @ %g until %g)" e.machine e.time until
+  | Slowdown factor ->
+      Format.fprintf ppf "slowdown(m%d @ %g x%g)" e.machine e.time factor

@@ -1,0 +1,38 @@
+(** Machine failure models.
+
+    The paper motivates replication with Hadoop-style fault tolerance:
+    replicas exist so that work can continue when hardware dies mid-run.
+    This module gives that motivation an executable form — the failure
+    events a fault-injectable phase-2 engine consumes (see
+    [Usched_desim.Engine.run_faulty]).
+
+    Three models, all anchored at a wall-clock time of the simulation:
+
+    - {b permanent crash}: the machine stops forever at [time]; its
+      in-flight work is lost and so is its locally stored data (the
+      HDFS "lost disk" event — eligibility sets shrink);
+    - {b transient outage}: the machine is unavailable on
+      [[time, until)]; in-flight work is lost (no checkpointing) but the
+      data on disk survives, so the machine rejoins at [until];
+    - {b straggler slowdown}: from [time] on, the machine runs at
+      [factor] times its configured speed (the MapReduce straggler that
+      speculation exists to beat). *)
+
+type kind =
+  | Crash  (** Permanent: machine and its stored data are gone. *)
+  | Outage of float
+      (** [Outage until]: unavailable on [[time, until)], data survives. *)
+  | Slowdown of float
+      (** [Slowdown factor]: speed multiplied by [factor] (in [(0, 1]])
+          from [time] on; a later slowdown replaces the factor. *)
+
+type event = { machine : int; time : float; kind : kind }
+
+val check : m:int -> event -> unit
+(** Raises [Invalid_argument] unless [machine] is in [[0, m)], [time] is
+    finite and non-negative, outages end strictly after they start, and
+    slowdown factors lie in [(0, 1]]. *)
+
+val pp : Format.formatter -> event -> unit
+(** Renders as [crash(m2 @ 3.5)], [outage(m0 @ 1 until 4)],
+    [slowdown(m1 @ 2 x0.5)]. *)

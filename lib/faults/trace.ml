@@ -1,0 +1,97 @@
+module Rng = Usched_prng.Rng
+
+type t = { m : int; events : Fault.event list }
+
+let of_events ~m events =
+  if m < 1 then invalid_arg "Trace.of_events: m < 1";
+  List.iter (Fault.check ~m) events;
+  let events =
+    List.stable_sort
+      (fun (a : Fault.event) (b : Fault.event) ->
+        match Float.compare a.time b.time with
+        | 0 -> Int.compare a.machine b.machine
+        | c -> c)
+      events
+  in
+  { m; events }
+
+let empty ~m = of_events ~m []
+
+let m t = t.m
+let events t = t.events
+let is_empty t = t.events = []
+let length t = List.length t.events
+
+let crash_time t machine =
+  (* Events are chronological, so the first match is the earliest. *)
+  List.find_map
+    (fun (e : Fault.event) ->
+      match e.kind with
+      | Fault.Crash when e.machine = machine -> Some e.time
+      | _ -> None)
+    t.events
+
+let crashed t =
+  List.sort_uniq Int.compare
+    (List.filter_map
+       (fun (e : Fault.event) ->
+         match e.kind with Fault.Crash -> Some e.machine | _ -> None)
+       t.events)
+
+let outages t machine =
+  List.filter_map
+    (fun (e : Fault.event) ->
+      match e.kind with
+      | Fault.Outage until when e.machine = machine -> Some (e.time, until)
+      | _ -> None)
+    t.events
+
+let merge a b =
+  if a.m <> b.m then invalid_arg "Trace.merge: machine counts differ";
+  of_events ~m:a.m (a.events @ b.events)
+
+let check_gen ~p ~horizon name =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Trace.%s: p=%g outside [0, 1]" name p);
+  if not (horizon > 0.0 && Float.is_finite horizon) then
+    invalid_arg (Printf.sprintf "Trace.%s: horizon %g must be positive" name horizon)
+
+let per_machine rng ~m ~p ~horizon ~name make =
+  check_gen ~p ~horizon name;
+  let events = ref [] in
+  for machine = 0 to m - 1 do
+    (* Draw both variates unconditionally so the stream consumed per
+       machine is fixed: traces at different rates from equal seeds share
+       their failure times, and a machine's fate never depends on the
+       draws of lower-numbered machines' extra parameters. *)
+    let hit = Rng.bernoulli rng ~p in
+    let time = Rng.float_range rng ~lo:0.0 ~hi:horizon in
+    let event = make machine ~time in
+    if hit then events := event :: !events
+  done;
+  of_events ~m !events
+
+let random_crashes rng ~m ~p ~horizon =
+  per_machine rng ~m ~p ~horizon ~name:"random_crashes" (fun machine ~time ->
+      { Fault.machine; time; kind = Fault.Crash })
+
+let random_outages rng ~m ~p ~horizon ~duration:(lo, hi) =
+  if not (0.0 < lo && lo <= hi) then
+    invalid_arg "Trace.random_outages: duration range must satisfy 0 < lo <= hi";
+  per_machine rng ~m ~p ~horizon ~name:"random_outages" (fun machine ~time ->
+      let d = Rng.float_range rng ~lo ~hi in
+      { Fault.machine; time; kind = Fault.Outage (time +. d) })
+
+let random_slowdowns rng ~m ~p ~horizon ~factor:(lo, hi) =
+  if not (0.0 < lo && lo <= hi && hi <= 1.0) then
+    invalid_arg "Trace.random_slowdowns: factor range must be inside (0, 1]";
+  per_machine rng ~m ~p ~horizon ~name:"random_slowdowns" (fun machine ~time ->
+      let f = Rng.float_range rng ~lo ~hi in
+      { Fault.machine; time; kind = Fault.Slowdown f })
+
+let pp ppf t =
+  Format.fprintf ppf "trace(m=%d, %d events:@ " t.m (length t);
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+    Fault.pp ppf t.events;
+  Format.fprintf ppf ")"

@@ -1,0 +1,65 @@
+(** Failure traces: the full fault history of one simulated run.
+
+    A trace is a validated, chronologically sorted list of {!Fault.event}s
+    against a fixed machine count. The empty trace makes
+    [Engine.run_faulty] coincide exactly with [Engine.run]; random traces
+    (driven by [Usched_prng]) turn every experiment into a fault-injection
+    study. Generators draw per-machine, so a trace built from one seed is
+    identical no matter which placement strategy later consumes it —
+    comparisons across strategies are paired by construction. *)
+
+type t
+
+val empty : m:int -> t
+(** No failures ever. Raises [Invalid_argument] if [m < 1]. *)
+
+val of_events : m:int -> Fault.event list -> t
+(** Validates every event (see {!Fault.check}) and sorts them by time,
+    then machine id, then listing order. *)
+
+val m : t -> int
+val events : t -> Fault.event list
+(** Chronological (time, then machine id) order. *)
+
+val is_empty : t -> bool
+val length : t -> int
+
+val crash_time : t -> int -> float option
+(** Earliest permanent crash of a machine, if any. *)
+
+val crashed : t -> int list
+(** Machines with at least one [Crash] event, ascending. *)
+
+val outages : t -> int -> (float * float) list
+(** [(from, until)] outage intervals of a machine, chronological. *)
+
+val merge : t -> t -> t
+(** Union of two traces over the same machine count. *)
+
+(** {1 Random trace generators}
+
+    All draw through [Usched_prng.Rng], so a single integer seed
+    reproduces the full fault history. [horizon] is the time window in
+    which failures begin (typically the no-fault makespan); it must be
+    positive. [p] is the independent per-machine probability of
+    suffering the event at all. *)
+
+val random_crashes :
+  Usched_prng.Rng.t -> m:int -> p:float -> horizon:float -> t
+(** Each machine crashes with probability [p], at a time uniform in
+    [(0, horizon)]. *)
+
+val random_outages :
+  Usched_prng.Rng.t ->
+  m:int -> p:float -> horizon:float -> duration:float * float -> t
+(** Each machine suffers with probability [p] one outage starting
+    uniformly in [(0, horizon)] and lasting uniform-[duration] time. *)
+
+val random_slowdowns :
+  Usched_prng.Rng.t ->
+  m:int -> p:float -> horizon:float -> factor:float * float -> t
+(** Each machine degrades with probability [p] from a time uniform in
+    [(0, horizon)] to a speed factor uniform in [factor] (a sub-range of
+    [(0, 1]]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -128,7 +128,8 @@ let trace_is_chronological_and_complete () =
   let times =
     List.map
       (function
-        | Engine.Started { time; _ } | Engine.Completed { time; _ } -> time)
+        | Engine.Started { time; _ } | Engine.Completed { time; _ } -> time
+        | _ -> Alcotest.fail "run_traced emitted a fault event")
       events
   in
   Alcotest.(check int) "2 events per task" 6 (List.length events);
@@ -244,7 +245,8 @@ let prop_trace_matches_schedule =
           | Engine.Completed { time; machine; task } ->
               let e = Schedule.entry schedule task in
               e.Schedule.machine = machine
-              && Float.abs (e.Schedule.finish -. time) < 1e-12)
+              && Float.abs (e.Schedule.finish -. time) < 1e-12
+          | _ -> false (* run_traced never emits fault events *))
         events
       && List.length events = 2 * n)
 

@@ -1,0 +1,385 @@
+(* Fault-injection engine: unit scenarios with hand-computed outcomes,
+   and qcheck properties on random instances, placements, and traces. *)
+
+module Engine = Usched_desim.Engine
+module Schedule = Usched_desim.Schedule
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Fault = Usched_faults.Fault
+module Trace = Usched_faults.Trace
+module Rng = Usched_prng.Rng
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let submission_order n = Array.init n (fun j -> j)
+
+let finished_entry outcome j =
+  match outcome.Engine.fates.(j) with
+  | Engine.Finished e -> e
+  | Engine.Stranded -> Alcotest.failf "task %d stranded" j
+
+(* ------------------------- unit scenarios -------------------------- *)
+
+let trace_of ~m events = Trace.of_events ~m events
+let crash ~machine ~time = { Fault.machine; time; kind = Fault.Crash }
+
+let crash_redispatch () =
+  (* Two tasks of 4 on two machines, both fully replicated. Healthy:
+     t0 on m0, t1 on m1, makespan 4. Machine 0 crashes at 2: t0's two
+     units of work are lost; m1 is busy with t1 until 4, then re-runs
+     t0 from scratch, 4..8. *)
+  let instance =
+    Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact [| 4.0; 4.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = Array.init 2 (fun _ -> Bitset.full 2) in
+  let outcome =
+    Engine.run_faulty instance realization
+      ~faults:(trace_of ~m:2 [ crash ~machine:0 ~time:2.0 ])
+      ~placement ~order:(submission_order 2)
+  in
+  checki "all tasks complete" 2 outcome.Engine.completed;
+  close "makespan doubles" 8.0 outcome.Engine.makespan;
+  close "two units lost" 2.0 outcome.Engine.wasted;
+  let e0 = finished_entry outcome 0 in
+  checki "t0 re-dispatched to the survivor" 1 e0.Schedule.machine;
+  close "t0 restarts after t1" 4.0 e0.Schedule.start;
+  close "t0 re-runs from scratch" 8.0 e0.Schedule.finish
+
+let stranded_singleton () =
+  (* t0's data lives only on machine 0; t1 is replicated. The crash
+     strands t0 but t1 still finishes — reported, not raised. *)
+  let instance =
+    Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact [| 4.0; 3.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.singleton 2 0; Bitset.full 2 |] in
+  let outcome =
+    Engine.run_faulty instance realization
+      ~faults:(trace_of ~m:2 [ crash ~machine:0 ~time:1.0 ])
+      ~placement ~order:(submission_order 2)
+  in
+  checki "one survivor" 1 outcome.Engine.completed;
+  Alcotest.(check (list int)) "t0 stranded" [ 0 ] outcome.Engine.stranded;
+  checkb "stranded fate" true (outcome.Engine.fates.(0) = Engine.Stranded);
+  close "survivor makespan" 3.0 outcome.Engine.makespan;
+  close "t0's first unit was lost" 1.0 outcome.Engine.wasted;
+  checkb "no full schedule" true
+    (Engine.outcome_schedule ~m:2 outcome = None)
+
+let outage_kills_and_restarts () =
+  (* One task of 4 on one machine. An outage at 2 (until 5) kills the
+     copy — the work is not checkpointed — and the machine restarts it
+     from scratch on recovery: 5..9. *)
+  let instance =
+    Instance.of_ests ~m:1 ~alpha:Uncertainty.alpha_exact [| 4.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.full 1 |] in
+  let outcome =
+    Engine.run_faulty instance realization
+      ~faults:
+        (trace_of ~m:1
+           [ { Fault.machine = 0; time = 2.0; kind = Fault.Outage 5.0 } ])
+      ~placement ~order:(submission_order 1)
+  in
+  checki "completes after recovery" 1 outcome.Engine.completed;
+  close "restart from scratch at 5" 9.0 outcome.Engine.makespan;
+  close "pre-outage work lost" 2.0 outcome.Engine.wasted;
+  let e = finished_entry outcome 0 in
+  close "started on recovery" 5.0 e.Schedule.start
+
+let slowdown_stretches_remaining () =
+  (* One task of 4 started at 0; the machine slows to half speed at 2.
+     Two units done, two remaining at speed 0.5: finish = 2 + 2/0.5. *)
+  let instance =
+    Instance.of_ests ~m:1 ~alpha:Uncertainty.alpha_exact [| 4.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.full 1 |] in
+  let outcome =
+    Engine.run_faulty instance realization
+      ~faults:
+        (trace_of ~m:1
+           [ { Fault.machine = 0; time = 2.0; kind = Fault.Slowdown 0.5 } ])
+      ~placement ~order:(submission_order 1)
+  in
+  close "remaining work stretched" 6.0 outcome.Engine.makespan;
+  close "nothing wasted" 0.0 outcome.Engine.wasted;
+  checki "still completes" 1 outcome.Engine.completed
+
+let speculation_backup_wins () =
+  (* One task, estimate 2 but actual 8, on two machines. Machine 0 is a
+     congenital straggler (quarter speed from t=0): the primary copy
+     would finish at 32. With beta=2 a backup is allowed from
+     t = 2*est/base_speed = 4; machine 1 is idle and holds the data, so
+     the backup runs 4..12 and wins; the primary is cancelled at 12,
+     its 12 wall-clock units counted as waste. *)
+  let instance = Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 4.0) [| 2.0 |] in
+  let realization = Realization.of_actuals instance [| 8.0 |] in
+  let placement = [| Bitset.full 2 |] in
+  let faults =
+    trace_of ~m:2 [ { Fault.machine = 0; time = 0.0; kind = Fault.Slowdown 0.25 } ]
+  in
+  let no_spec =
+    Engine.run_faulty instance realization ~faults ~placement
+      ~order:(submission_order 1)
+  in
+  close "without speculation the straggler limps home" 32.0
+    no_spec.Engine.makespan;
+  let outcome, events =
+    Engine.run_faulty_traced ~speculation:2.0 instance realization ~faults
+      ~placement ~order:(submission_order 1)
+  in
+  checki "completes" 1 outcome.Engine.completed;
+  let e = finished_entry outcome 0 in
+  checki "backup copy wins" 1 e.Schedule.machine;
+  close "backup starts when armed" 4.0 e.Schedule.start;
+  close "backup finish" 12.0 e.Schedule.finish;
+  close "makespan is the winner's" 12.0 outcome.Engine.makespan;
+  close "loser's wall-clock is waste" 12.0 outcome.Engine.wasted;
+  checkb "primary was cancelled" true
+    (List.exists
+       (function Engine.Cancelled { machine = 0; _ } -> true | _ -> false)
+       events)
+
+let speculation_needs_a_holder () =
+  (* Singleton placement: nobody else holds the data, so speculation
+     never fires even when armed. *)
+  let instance = Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 4.0) [| 2.0 |] in
+  let realization = Realization.of_actuals instance [| 8.0 |] in
+  let placement = [| Bitset.singleton 2 0 |] in
+  let outcome =
+    Engine.run_faulty ~speculation:2.0 instance realization
+      ~faults:(Trace.empty ~m:2) ~placement ~order:(submission_order 1)
+  in
+  close "no backup possible" 8.0 outcome.Engine.makespan;
+  close "no waste" 0.0 outcome.Engine.wasted
+
+(* ------------------------ qcheck properties ------------------------ *)
+
+(* Random scenario: n tasks, m machines, ring placement with k replicas,
+   crash probability p. The instance, realization, and trace all derive
+   from one integer seed. *)
+let scenario_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 14 in
+    let* m = int_range 1 5 in
+    let* k = int_range 1 m in
+    let* p = float_range 0.0 1.0 in
+    let* seed = int_bound 1_000_000 in
+    return (n, m, k, p, seed))
+
+let scenario_print (n, m, k, p, seed) =
+  Printf.sprintf "n=%d m=%d k=%d p=%.3f seed=%d" n m k p seed
+
+let scenario = QCheck.make ~print:scenario_print scenario_gen
+
+let build (n, m, k, p, seed) =
+  let rng = Rng.create ~seed () in
+  let ests = Array.init n (fun _ -> Rng.float_range rng ~lo:0.5 ~hi:10.0) in
+  let instance = Instance.of_ests ~m ~alpha:(Uncertainty.alpha 2.0) ests in
+  let realization = Realization.uniform_factor instance rng in
+  let placement =
+    Array.init n (fun j -> Bitset.of_list m (List.init k (fun i -> (j + i) mod m)))
+  in
+  let order = Instance.lpt_order instance in
+  let horizon = 2.0 *. Realization.total realization in
+  let faults = Trace.random_crashes rng ~m ~p ~horizon in
+  (instance, realization, placement, order, faults)
+
+let entries_equal (a : Schedule.entry) (b : Schedule.entry) =
+  a.Schedule.machine = b.Schedule.machine
+  && a.Schedule.start = b.Schedule.start
+  && a.Schedule.finish = b.Schedule.finish
+
+(* The golden test: an empty trace reproduces [run] bit-for-bit — same
+   machines, same start/finish floats, zero waste. *)
+let prop_empty_trace_golden =
+  QCheck.Test.make ~name:"run_faulty on the empty trace equals run exactly"
+    ~count:500 scenario (fun ((n, m, _, _, seed) as s) ->
+      let instance, realization, placement, order, _ = build s in
+      let speeds =
+        if seed mod 2 = 0 then None
+        else
+          let rng = Rng.create ~seed:(seed + 1) () in
+          Some (Array.init m (fun _ -> Rng.float_range rng ~lo:0.5 ~hi:2.0))
+      in
+      let reference =
+        Engine.run ?speeds instance realization ~placement ~order
+      in
+      let outcome =
+        Engine.run_faulty ?speeds instance realization
+          ~faults:(Trace.empty ~m) ~placement ~order
+      in
+      outcome.Engine.completed = n
+      && outcome.Engine.stranded = []
+      && outcome.Engine.wasted = 0.0
+      && outcome.Engine.makespan = Schedule.makespan reference
+      && Array.for_all
+           (fun j ->
+             entries_equal (finished_entry outcome j) (Schedule.entry reference j))
+           (Array.init n (fun j -> j)))
+
+(* No completed work on a dead machine: every surviving entry fits
+   before its machine's crash and inside no outage window. *)
+let prop_no_work_on_dead_machines =
+  QCheck.Test.make ~name:"completed tasks never ran on a crashed machine"
+    ~count:500 scenario (fun s ->
+      let instance, realization, placement, order, faults = build s in
+      let outcome =
+        Engine.run_faulty instance realization ~faults ~placement ~order
+      in
+      ignore instance;
+      Array.for_all
+        (function
+          | Engine.Stranded -> true
+          | Engine.Finished e ->
+              (match Trace.crash_time faults e.Schedule.machine with
+              | Some t -> e.Schedule.finish <= t
+              | None -> true)
+              && List.for_all
+                   (fun (from, until) ->
+                     e.Schedule.finish <= from || e.Schedule.start >= until)
+                   (Trace.outages faults e.Schedule.machine))
+        outcome.Engine.fates)
+
+let prop_locality =
+  QCheck.Test.make ~name:"completed tasks ran on a data holder" ~count:500
+    scenario (fun s ->
+      let instance, realization, placement, order, faults = build s in
+      let outcome =
+        Engine.run_faulty instance realization ~faults ~placement ~order
+      in
+      Array.for_all (fun j ->
+          match outcome.Engine.fates.(j) with
+          | Engine.Stranded -> true
+          | Engine.Finished e -> Bitset.mem placement.(j) e.Schedule.machine)
+        (Array.init (Instance.n instance) (fun j -> j)))
+
+(* Liveness: a task with a holder that never crashes always finishes,
+   and a crash-only trace never strands work below the actual durations
+   (the winning copy ran uninterrupted). *)
+let prop_surviving_holder_completes =
+  QCheck.Test.make ~name:"a task with a never-crashed holder completes"
+    ~count:500 scenario (fun s ->
+      let instance, realization, placement, order, faults = build s in
+      let outcome =
+        Engine.run_faulty instance realization ~faults ~placement ~order
+      in
+      let crashed = Trace.crashed faults in
+      Array.for_all (fun j ->
+          let has_survivor =
+            List.exists
+              (fun i -> not (List.mem i crashed))
+              (Bitset.to_list placement.(j))
+          in
+          match outcome.Engine.fates.(j) with
+          | Engine.Finished e ->
+              abs_float
+                (e.Schedule.finish -. e.Schedule.start
+                -. Realization.actual realization j)
+              < 1e-9
+          | Engine.Stranded -> not has_survivor)
+        (Array.init (Instance.n instance) (fun j -> j)))
+
+let prop_full_replication_survives =
+  QCheck.Test.make
+    ~name:"full replication + one survivor = 100% completion" ~count:300
+    scenario (fun (n, m, _, p, seed) ->
+      let instance, realization, _, order, faults =
+        build (n, m, m, p, seed)
+      in
+      let placement = Array.init n (fun _ -> Bitset.full m) in
+      let outcome =
+        Engine.run_faulty instance realization ~faults ~placement ~order
+      in
+      outcome.Engine.completed + List.length outcome.Engine.stranded = n
+      && (List.length (Trace.crashed faults) >= m
+         || (outcome.Engine.stranded = [] && outcome.Engine.completed = n)))
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"run_faulty is deterministic" ~count:200 scenario
+    (fun s ->
+      let instance, realization, placement, order, faults = build s in
+      let speculation = 1.5 in
+      let a =
+        Engine.run_faulty ~speculation instance realization ~faults ~placement
+          ~order
+      in
+      let b =
+        Engine.run_faulty ~speculation instance realization ~faults ~placement
+          ~order
+      in
+      a.Engine.makespan = b.Engine.makespan
+      && a.Engine.wasted = b.Engine.wasted
+      && a.Engine.stranded = b.Engine.stranded
+      && Array.for_all2
+           (fun x y ->
+             match (x, y) with
+             | Engine.Stranded, Engine.Stranded -> true
+             | Engine.Finished e, Engine.Finished f -> entries_equal e f
+             | _ -> false)
+           a.Engine.fates b.Engine.fates)
+
+(* Speculation can only help the makespan on slowdown traces (crash-free:
+   the task set completing is identical), and all waste is accounted. *)
+let prop_speculation_never_hurts =
+  QCheck.Test.make
+    ~name:"speculation never worsens the makespan under slowdowns" ~count:300
+    scenario (fun (n, m, k, p, seed) ->
+      let instance, realization, placement, order, _ =
+        build (n, m, k, p, seed)
+      in
+      let faults =
+        Trace.random_slowdowns
+          (Rng.create ~seed:(seed + 2) ())
+          ~m ~p ~horizon:(2.0 *. Realization.total realization)
+          ~factor:(0.2, 0.9)
+      in
+      let plain =
+        Engine.run_faulty instance realization ~faults ~placement ~order
+      in
+      let spec =
+        Engine.run_faulty ~speculation:1.2 instance realization ~faults
+          ~placement ~order
+      in
+      spec.Engine.completed = n
+      && plain.Engine.completed = n
+      && plain.Engine.wasted = 0.0
+      && spec.Engine.makespan <= plain.Engine.makespan +. 1e-9)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "crash kills and re-dispatches" `Quick
+            crash_redispatch;
+          Alcotest.test_case "last-replica crash strands the task" `Quick
+            stranded_singleton;
+          Alcotest.test_case "outage kills and restarts from scratch" `Quick
+            outage_kills_and_restarts;
+          Alcotest.test_case "slowdown stretches remaining work" `Quick
+            slowdown_stretches_remaining;
+          Alcotest.test_case "speculative backup beats the straggler" `Quick
+            speculation_backup_wins;
+          Alcotest.test_case "speculation needs a second data holder" `Quick
+            speculation_needs_a_holder;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_empty_trace_golden;
+            prop_no_work_on_dead_machines;
+            prop_locality;
+            prop_surviving_holder_completes;
+            prop_full_replication_survives;
+            prop_deterministic;
+            prop_speculation_never_hurts;
+          ] );
+    ]
