@@ -1,7 +1,12 @@
 (* Bench harness: regenerates every table and figure of the paper
    (Part 1), then times the implementation with Bechamel (Part 2).
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Flags:
+     --quick       skip Part 1 and shorten the measurement quota (CI preset)
+     --json PATH   also write the Part-2 results as a machine-readable
+                   BENCH_*.json report (name -> ns/run + minor allocs/run),
+                   comparable against the committed BENCH_baseline.json *)
 
 open Bechamel
 module Experiments = Usched_experiments
@@ -141,43 +146,99 @@ let benches () =
       (Staged.stage (fun () -> ignore (bench_instance ~n:1000 ~m:210)));
   ]
 
-let run_benches () =
+type bench_result = {
+  name : string;
+  ns_per_run : float;
+  minor_allocs_per_run : float;
+}
+
+let run_benches ~quota_s () =
   Printf.printf "\n%s\n== Bechamel micro-benchmarks (ns per run)\n%s\n"
     (String.make 72 '=') (String.make 72 '=');
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let instances = Toolkit.Instance.[ monotonic_clock; minor_allocated ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~stabilize:true ()
   in
   let grouped = Test.make_grouped ~name:"usched" ~fmt:"%s %s" (benches ()) in
   let raw = Benchmark.all cfg instances grouped in
-  let results =
-    List.map (fun instance -> Analyze.all ols instance raw) instances
+  let estimates_of instance =
+    let per_test = Analyze.all ols instance raw in
+    Hashtbl.fold
+      (fun name o acc ->
+        let estimate =
+          match Analyze.OLS.estimates o with Some (x :: _) -> x | _ -> nan
+        in
+        (name, estimate) :: acc)
+      per_test []
   in
-  let merged = Analyze.merge ols instances results in
-  Hashtbl.iter
-    (fun measure per_test ->
-      Printf.printf "measure: %s\n" measure;
-      let rows =
-        Hashtbl.fold
-          (fun name ols acc ->
-            let estimate =
-              match Analyze.OLS.estimates ols with
-              | Some (x :: _) -> x
-              | _ -> nan
-            in
-            (name, estimate) :: acc)
-          per_test []
-      in
-      List.iter
-        (fun (name, estimate) ->
-          Printf.printf "  %-46s %14.1f ns/run\n" name estimate)
-        (List.sort compare rows))
-    merged
+  let times = estimates_of Toolkit.Instance.monotonic_clock in
+  let allocs = estimates_of Toolkit.Instance.minor_allocated in
+  let results =
+    times
+    |> List.map (fun (name, ns) ->
+           {
+             name;
+             ns_per_run = ns;
+             minor_allocs_per_run =
+               Option.value ~default:nan (List.assoc_opt name allocs);
+           })
+    |> List.sort (fun a b -> String.compare a.name b.name)
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-46s %14.1f ns/run %14.1f mw/run\n" r.name r.ns_per_run
+        r.minor_allocs_per_run)
+    results;
+  results
+
+(* The BENCH_*.json report: machine-readable bench baseline for
+   regression tracking (see BENCH_baseline.json and the CI artifact). *)
+let write_json_report ~path ~quota_s results =
+  let module Json = Usched_report.Json in
+  (match Filename.dirname path with
+  | "" | "." -> ()
+  | dir -> Usched_obs.Fs.mkdir_p dir);
+  Json.write_file ~path
+    (Json.Obj
+       [
+         ("type", Json.String "bench_report");
+         ("version", Json.Int 1);
+         ("quota_s", Json.float quota_s);
+         ( "results",
+           Json.List
+             (List.map
+                (fun r ->
+                  Json.Obj
+                    [
+                      ("name", Json.String r.name);
+                      ("ns_per_run", Json.float r.ns_per_run);
+                      ("minor_allocs_per_run", Json.float r.minor_allocs_per_run);
+                    ])
+                results) );
+       ]);
+  Printf.printf "\n[bench] wrote %s\n" path
 
 let () =
-  run_experiments ();
-  run_benches ();
+  let json_path = ref None in
+  let quick = ref false in
+  Arg.parse
+    [
+      ( "--json",
+        Arg.String (fun p -> json_path := Some p),
+        "PATH  also write results as a machine-readable JSON report" );
+      ( "--quick",
+        Arg.Set quick,
+        "  skip the paper-artifact part and shorten the quota (CI preset)" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [--quick] [--json PATH]";
+  if not !quick then run_experiments ();
+  let quota_s = if !quick then 0.08 else 0.5 in
+  let results = run_benches ~quota_s () in
+  (match !json_path with
+  | Some path -> write_json_report ~path ~quota_s results
+  | None -> ());
   Printf.printf "\nbench: done\n"

@@ -5,6 +5,9 @@ open Cmdliner
 module Experiments = Usched_experiments
 module Core = Usched_core
 module Model = Usched_model
+module Metrics = Usched_obs.Metrics
+module Sink = Usched_obs.Trace
+module Json = Usched_report.Json
 
 let config_term =
   let seed =
@@ -55,7 +58,7 @@ let run_cmd =
     List.iter
       (fun id ->
         match Experiments.Registry.find id with
-        | Some e -> e.Experiments.Registry.run config
+        | Some e -> Experiments.Registry.execute config e
         | None ->
             Printf.eprintf "unknown experiment %S; try 'usched list'\n" id;
             exit 2)
@@ -180,7 +183,16 @@ let solve_cmd =
                    idle replica holder may start a backup copy once a task \
                    runs past $(docv) times its estimate.")
   in
-  let run file algo seed gantt fail_rate speculate =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Serialize the run as JSONL (one JSON object per line): a \
+                   meta record, every engine event of an LPT-order replay of \
+                   the placement (and of the faulty replay, if any), metrics \
+                   snapshots, and summary records. Parent directories are \
+                   created as needed.")
+  in
+  let run file algo seed gantt fail_rate speculate trace_path =
     if fail_rate < 0.0 || fail_rate > 1.0 then begin
       Printf.eprintf "usched: --fail-rate must be in [0, 1] (got %g)\n" fail_rate;
       exit 2
@@ -195,8 +207,31 @@ let solve_cmd =
     let realization = Model.Realization.log_uniform_factor instance rng in
     let placement, schedule = Core.Two_phase.run_full algo instance realization in
     let m = Model.Instance.m instance in
+    let n = Model.Instance.n instance in
     let lb = Core.Lower_bounds.best ~m (Model.Realization.actuals realization) in
     let healthy = Usched_desim.Schedule.makespan schedule in
+    let with_sink f =
+      match trace_path with
+      | None -> f None
+      | Some path -> Sink.with_file ~path (fun s -> f (Some s))
+    in
+    with_sink @@ fun sink ->
+    let tracing = sink <> None in
+    let emit json = match sink with None -> () | Some s -> Sink.emit s json in
+    emit
+      (Json.Obj
+         [
+           ("type", Json.String "meta");
+           ("tool", Json.String "usched solve");
+           ("file", Json.String file);
+           ("algo", Json.String algo.Core.Two_phase.name);
+           ("seed", Json.Int seed);
+           ("n", Json.Int n);
+           ("m", Json.Int m);
+           ("fail_rate", Json.float fail_rate);
+           ( "speculate",
+             match speculate with None -> Json.Null | Some b -> Json.float b );
+         ]);
     Printf.printf
       "%s on %s: C_max = %.4f (lower bound %.4f, ratio <= %.4f)\n\
        replicas/task max %d, Mem_max %.4f\n"
@@ -205,16 +240,54 @@ let solve_cmd =
       (Core.Placement.memory_max placement ~sizes:(Model.Instance.sizes instance));
     if gantt then print_string (Usched_desim.Gantt.render schedule);
     print_string (Usched_desim.Timeline.render_stats schedule);
+    if tracing then begin
+      (* Replay the placement through the engine under LPT order — the
+         same replay the faulty path uses — with events and metrics on. *)
+      emit
+        (Json.Obj
+           [ ("type", Json.String "phase"); ("name", Json.String "healthy") ]);
+      let metrics = Metrics.create () in
+      let replay, events =
+        Usched_desim.Engine.run_traced ~metrics instance realization
+          ~placement:(Core.Placement.sets placement)
+          ~order:(Model.Instance.lpt_order instance)
+      in
+      List.iter (fun e -> emit (Usched_desim.Engine.event_json e)) events;
+      emit
+        (Json.Obj
+           [
+             ("type", Json.String "metrics");
+             ("phase", Json.String "healthy");
+             ("metrics", Metrics.to_json (Metrics.snapshot metrics));
+           ]);
+      emit
+        (Json.Obj
+           [
+             ("type", Json.String "summary");
+             ("phase", Json.String "healthy");
+             ("makespan", Json.float (Usched_desim.Schedule.makespan replay));
+             ("lower_bound", Json.float lb);
+           ])
+    end;
     if fail_rate > 0.0 || speculate <> None then begin
       let faults =
         Usched_faults.Trace.random_crashes rng ~m ~p:fail_rate ~horizon:healthy
       in
-      let outcome =
-        Usched_desim.Engine.run_faulty ?speculation:speculate instance
-          realization ~faults
+      (if tracing then
+         emit
+           (Json.Obj
+              [ ("type", Json.String "phase"); ("name", Json.String "faulty") ]));
+      let metrics = if tracing then Metrics.create () else Metrics.disabled in
+      let outcome, events =
+        Usched_desim.Engine.run_faulty_traced ?speculation:speculate ~metrics
+          instance realization ~faults
           ~placement:(Core.Placement.sets placement)
           ~order:(Model.Instance.lpt_order instance)
       in
+      if tracing then begin
+        List.iter (fun e -> emit (Usched_desim.Engine.event_json e)) events;
+        emit (Usched_desim.Engine.outcome_json outcome)
+      end;
       Printf.printf
         "\nfaulty replay (fail-rate %g%s): crashed machines [%s]\n\
          completed %d/%d tasks%s, effective C_max = %.4f (%.2fx healthy), \
@@ -239,11 +312,14 @@ let solve_cmd =
         match Usched_desim.Engine.outcome_schedule ~m outcome with
         | Some faulty -> print_string (Usched_desim.Gantt.render faulty)
         | None -> ()
-    end
+    end;
+    match trace_path with
+    | Some path -> Printf.printf "[trace] wrote %s\n" path
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run a two-phase algorithm on an instance file.")
-    Term.(const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate)
+    Term.(const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate $ trace)
 
 let minimax_cmd =
   let m = Arg.(value & opt int 3 & info [ "m"; "machines" ] ~doc:"Machines.") in

@@ -3,6 +3,8 @@ module Instance = Usched_model.Instance
 module Realization = Usched_model.Realization
 module Fault = Usched_faults.Fault
 module Trace = Usched_faults.Trace
+module Metrics = Usched_obs.Metrics
+module Json = Usched_report.Json
 
 type event =
   | Started of { time : float; machine : int; task : int }
@@ -51,10 +53,20 @@ let check_inputs ?speeds ~name instance ~placement ~order =
 let compare_idle (ta, ia) (tb, ib) =
   match Float.compare ta tb with 0 -> Int.compare ia ib | c -> c
 
-let run_internal ?speeds instance realization ~placement ~order ~emit =
+let run_internal ?speeds ~metrics instance realization ~placement ~order ~emit =
   check_inputs ?speeds ~name:"Engine.run" instance ~placement ~order;
   let n = Instance.n instance and m = Instance.m instance in
   let speed_of i = match speeds with None -> 1.0 | Some s -> s.(i) in
+  (* Observability. Every update is guarded (a disabled registry hands
+     out no-op instruments), and nothing below reads a metric back, so
+     the schedule is bit-for-bit identical with metrics on or off. *)
+  let live = Metrics.is_enabled metrics in
+  let mc_events = Metrics.counter metrics "engine.events" in
+  let mc_dispatches = Metrics.counter metrics "engine.dispatches" in
+  let mg_queue = Metrics.gauge metrics "engine.queue_depth_max" in
+  let mg_makespan = Metrics.gauge metrics "engine.makespan" in
+  let mh_idle = Metrics.histogram metrics "engine.machine_idle" in
+  let busy = if live then Array.make m 0.0 else [||] in
   let scheduled = Array.make n false in
   let entries =
     Array.make n { Schedule.machine = 0; start = 0.0; finish = 0.0 }
@@ -88,6 +100,7 @@ let run_internal ?speeds instance realization ~placement ~order ~emit =
     match Pqueue.pop queue with
     | None -> ()
     | Some (time, i) ->
+        Metrics.incr mc_events;
         (match find_task i with
         | None -> () (* machine i retires: nothing it holds remains *)
         | Some j ->
@@ -97,9 +110,14 @@ let run_internal ?speeds instance realization ~placement ~order ~emit =
             remaining := !remaining - 1;
             emit (Started { time; machine = i; task = j });
             emit (Completed { time = finish; machine = i; task = j });
-            Pqueue.push queue (finish, i));
+            Metrics.incr mc_dispatches;
+            if live then busy.(i) <- busy.(i) +. (finish -. time);
+            Pqueue.push queue (finish, i);
+            if live then
+              Metrics.record_max mg_queue (float_of_int (Pqueue.length queue)));
         loop ()
   in
+  if live then Metrics.record_max mg_queue (float_of_int (Pqueue.length queue));
   loop ();
   if !remaining > 0 then begin
     let left = ref [] in
@@ -108,10 +126,22 @@ let run_internal ?speeds instance realization ~placement ~order ~emit =
     done;
     raise (Unschedulable !left)
   end;
+  if live then begin
+    let mk = ref 0.0 in
+    Array.iter
+      (fun e -> if e.Schedule.finish > !mk then mk := e.Schedule.finish)
+      entries;
+    Metrics.set mg_makespan !mk;
+    for i = 0 to m - 1 do
+      Metrics.observe mh_idle (!mk -. busy.(i))
+    done
+  end;
   Schedule.make ~m entries
 
-let run ?speeds instance realization ~placement ~order =
-  run_internal ?speeds instance realization ~placement ~order ~emit:(fun _ -> ())
+let run ?speeds ?(metrics = Metrics.disabled) instance realization ~placement
+    ~order =
+  run_internal ?speeds ~metrics instance realization ~placement ~order
+    ~emit:(fun _ -> ())
 
 let sort_events events =
   let time_of = function
@@ -126,10 +156,11 @@ let sort_events events =
   in
   List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b)) events
 
-let run_traced ?speeds instance realization ~placement ~order =
+let run_traced ?speeds ?(metrics = Metrics.disabled) instance realization
+    ~placement ~order =
   let events = ref [] in
   let schedule =
-    run_internal ?speeds instance realization ~placement ~order
+    run_internal ?speeds ~metrics instance realization ~placement ~order
       ~emit:(fun e -> events := e :: !events)
   in
   (schedule, sort_events (List.rev !events))
@@ -148,6 +179,7 @@ type outcome = {
   stranded : int list;
   makespan : float;
   wasted : float;
+  metrics : Metrics.snapshot;
 }
 
 let outcome_schedule ~m outcome =
@@ -202,8 +234,8 @@ let compare_sim a b =
       | c -> c)
   | c -> c
 
-let run_faulty_internal ?speeds ?speculation instance realization ~faults
-    ~placement ~order ~emit =
+let run_faulty_internal ?speeds ?speculation ~metrics instance realization
+    ~faults ~placement ~order ~emit =
   check_inputs ?speeds ~name:"Engine.run_faulty" instance ~placement ~order;
   let n = Instance.n instance and m = Instance.m instance in
   if Trace.m faults <> m then
@@ -212,6 +244,24 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
   | Some beta when not (beta > 0.0) ->
       invalid_arg "Engine.run_faulty: speculation factor must be > 0"
   | _ -> ());
+  (* Observability: write-only instruments, see [run_internal]. *)
+  let live = Metrics.is_enabled metrics in
+  let mc_events = Metrics.counter metrics "engine.events" in
+  let mc_dispatches = Metrics.counter metrics "engine.dispatches" in
+  let mc_redispatches = Metrics.counter metrics "engine.redispatches" in
+  let mc_spec_starts = Metrics.counter metrics "engine.spec_starts" in
+  let mc_spec_cancelled = Metrics.counter metrics "engine.spec_cancelled" in
+  let mc_kills = Metrics.counter metrics "engine.kills" in
+  let mc_crashes = Metrics.counter metrics "engine.crashes" in
+  let mc_outages = Metrics.counter metrics "engine.outages" in
+  let mc_slowdowns = Metrics.counter metrics "engine.slowdowns" in
+  let mc_completed = Metrics.counter metrics "engine.completed" in
+  let mc_stranded = Metrics.counter metrics "engine.stranded" in
+  let mg_queue = Metrics.gauge metrics "engine.queue_depth_max" in
+  let mg_makespan = Metrics.gauge metrics "engine.makespan" in
+  let mg_wasted = Metrics.gauge metrics "engine.wasted_work" in
+  let mh_idle = Metrics.histogram metrics "engine.machine_idle" in
+  let busy = if live then Array.make m 0.0 else [||] in
   let base_speed i = match speeds with None -> 1.0 | Some s -> s.(i) in
   let machines =
     Array.init m (fun _ ->
@@ -238,7 +288,8 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
   let seq = ref 0 in
   let push ~time ~machine ~cls sim =
     incr seq;
-    Pqueue.push queue { time; machine; cls; seq = !seq; sim }
+    Pqueue.push queue { time; machine; cls; seq = !seq; sim };
+    if live then Metrics.record_max mg_queue (float_of_int (Pqueue.length queue))
   in
   for i = 0 to m - 1 do
     push ~time:0.0 ~machine:i ~cls:2 Sim_dispatch
@@ -289,6 +340,11 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
     let was_primary = copies.(j) = [] in
     copies.(j) <- i :: copies.(j);
     status.(j) <- Running;
+    Metrics.incr mc_dispatches;
+    if was_primary then begin
+      if task_gen.(j) > 0 then Metrics.incr mc_redispatches
+    end
+    else Metrics.incr mc_spec_starts;
     emit (Started { time; machine = i; task = j });
     let finish = time +. (c.c_remaining /. eff_speed i) in
     push ~time:finish ~machine:i ~cls:1 (Sim_complete { gen = ms.gen });
@@ -313,6 +369,8 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
     | Some c ->
         let j = c.c_task in
         wasted := !wasted +. (time -. c.c_started);
+        Metrics.incr mc_kills;
+        if live then busy.(i) <- busy.(i) +. (time -. c.c_started);
         ms.current <- None;
         ms.gen <- ms.gen + 1;
         emit (Killed { time; machine = i; task = j });
@@ -363,6 +421,7 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
         status.(j) <- Done;
         ms.current <- None;
         ms.gen <- ms.gen + 1;
+        if live then busy.(i) <- busy.(i) +. (time -. c.c_started);
         emit (Completed { time; machine = i; task = j });
         (* Speculative losers: first copy to finish wins, the rest abort. *)
         let losers = List.filter (fun k -> k <> i) copies.(j) in
@@ -371,10 +430,13 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
           (fun k ->
             let mk = machines.(k) in
             (match mk.current with
-            | Some ck -> wasted := !wasted +. (time -. ck.c_started)
+            | Some ck ->
+                wasted := !wasted +. (time -. ck.c_started);
+                if live then busy.(k) <- busy.(k) +. (time -. ck.c_started)
             | None -> assert false);
             mk.current <- None;
             mk.gen <- mk.gen + 1;
+            Metrics.incr mc_spec_cancelled;
             emit (Cancelled { time; machine = k; task = j }))
           losers;
         List.iter (dispatch ~time) (List.sort Int.compare (i :: losers))
@@ -385,6 +447,7 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
     match kind with
     | Fault.Crash ->
         if ms.alive then begin
+          Metrics.incr mc_crashes;
           ms.alive <- false;
           Bitset.remove alive_set i;
           emit (Machine_crashed { time; machine = i });
@@ -401,12 +464,14 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
         end
     | Fault.Outage until ->
         if ms.alive then begin
+          Metrics.incr mc_outages;
           ms.down_until <- Float.max ms.down_until until;
           emit (Machine_down { time; machine = i; until = ms.down_until });
           kill_current ~time i;
           push ~time:ms.down_until ~machine:i ~cls:0 Sim_up
         end
     | Fault.Slowdown factor ->
+        Metrics.incr mc_slowdowns;
         let old_speed = eff_speed i in
         ms.factor <- factor;
         emit (Machine_slowed { time; machine = i; factor });
@@ -453,6 +518,7 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
     match Pqueue.pop queue with
     | None -> ()
     | Some { time; machine; sim; _ } ->
+        Metrics.incr mc_events;
         (match sim with
         | Sim_fault kind -> on_fault ~time machine kind
         | Sim_up -> on_up ~time machine
@@ -476,25 +542,82 @@ let run_faulty_internal ?speeds ?speculation instance realization ~faults
         makespan := Float.max !makespan e.Schedule.finish
     | Stranded -> stranded := j :: !stranded
   done;
+  if live then begin
+    Metrics.add mc_completed !completed;
+    Metrics.add mc_stranded (List.length !stranded);
+    Metrics.set mg_makespan !makespan;
+    Metrics.set mg_wasted !wasted;
+    for i = 0 to m - 1 do
+      (* Everything a machine did not spend processing (including
+         downtime and its post-crash tail) counts as idle. *)
+      Metrics.observe mh_idle (!makespan -. busy.(i))
+    done
+  end;
   {
     fates;
     completed = !completed;
     stranded = !stranded;
     makespan = !makespan;
     wasted = !wasted;
+    metrics = Metrics.snapshot metrics;
   }
 
-let run_faulty ?speeds ?speculation instance realization ~faults ~placement
-    ~order =
-  run_faulty_internal ?speeds ?speculation instance realization ~faults
-    ~placement ~order ~emit:(fun _ -> ())
+let run_faulty ?speeds ?speculation ?(metrics = Metrics.disabled) instance
+    realization ~faults ~placement ~order =
+  run_faulty_internal ?speeds ?speculation ~metrics instance realization
+    ~faults ~placement ~order ~emit:(fun _ -> ())
 
-let run_faulty_traced ?speeds ?speculation instance realization ~faults
-    ~placement ~order =
+let run_faulty_traced ?speeds ?speculation ?(metrics = Metrics.disabled)
+    instance realization ~faults ~placement ~order =
   let events = ref [] in
   let outcome =
-    run_faulty_internal ?speeds ?speculation instance realization ~faults
-      ~placement ~order
+    run_faulty_internal ?speeds ?speculation ~metrics instance realization
+      ~faults ~placement ~order
       ~emit:(fun e -> events := e :: !events)
   in
   (outcome, sort_events (List.rev !events))
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialization of events and outcomes (the trace sink's view).  *)
+(* ------------------------------------------------------------------ *)
+
+let event_json e =
+  let base kind time fields =
+    Json.Obj
+      (("type", Json.String "event")
+      :: ("kind", Json.String kind)
+      :: ("t", Json.float time)
+      :: fields)
+  in
+  match e with
+  | Started { time; machine; task } ->
+      base "started" time [ ("machine", Json.Int machine); ("task", Json.Int task) ]
+  | Completed { time; machine; task } ->
+      base "completed" time
+        [ ("machine", Json.Int machine); ("task", Json.Int task) ]
+  | Killed { time; machine; task } ->
+      base "killed" time [ ("machine", Json.Int machine); ("task", Json.Int task) ]
+  | Cancelled { time; machine; task } ->
+      base "cancelled" time
+        [ ("machine", Json.Int machine); ("task", Json.Int task) ]
+  | Machine_crashed { time; machine } ->
+      base "machine_crashed" time [ ("machine", Json.Int machine) ]
+  | Machine_down { time; machine; until } ->
+      base "machine_down" time
+        [ ("machine", Json.Int machine); ("until", Json.float until) ]
+  | Machine_up { time; machine } ->
+      base "machine_up" time [ ("machine", Json.Int machine) ]
+  | Machine_slowed { time; machine; factor } ->
+      base "machine_slowed" time
+        [ ("machine", Json.Int machine); ("factor", Json.float factor) ]
+
+let outcome_json outcome =
+  Json.Obj
+    [
+      ("type", Json.String "outcome");
+      ("completed", Json.Int outcome.completed);
+      ("stranded", Json.List (List.map (fun j -> Json.Int j) outcome.stranded));
+      ("makespan", Json.float outcome.makespan);
+      ("wasted", Json.float outcome.wasted);
+      ("metrics", Metrics.to_json outcome.metrics);
+    ]

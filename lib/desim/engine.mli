@@ -22,11 +22,36 @@
     (see [Usched_faults]): machines crash permanently mid-run, blink out
     transiently, or degrade into stragglers, and the engine re-dispatches
     killed work to surviving replica holders — the Hadoop fault-tolerance
-    story from the paper's introduction, made executable. *)
+    story from the paper's introduction, made executable.
+
+    {b Observability}: every entry point accepts an optional
+    [Usched_obs.Metrics] registry. When one is passed, the engine records
+    (write-only — metrics never influence the simulation, so outputs are
+    bit-for-bit identical with metrics on or off):
+
+    - [engine.events] (counter): simulation events processed;
+    - [engine.dispatches] (counter): task copies started;
+    - [engine.redispatches] (counter): copies started for a task whose
+      previous copies were all killed (fault recovery);
+    - [engine.spec_starts] / [engine.spec_cancelled] (counters):
+      speculative backup copies started / aborted after losing the race;
+    - [engine.kills] (counter): in-flight copies killed by crash/outage;
+    - [engine.crashes] / [engine.outages] / [engine.slowdowns] (counters);
+    - [engine.completed] / [engine.stranded] (counters);
+    - [engine.queue_depth_max] (gauge): high-water mark of the event
+      queue;
+    - [engine.makespan] / [engine.wasted_work] (gauges);
+    - [engine.machine_idle] (histogram): per-machine time not spent
+      processing, over [[0, makespan]] (downtime and a crashed machine's
+      tail count as idle).
+
+    Registries accumulate across runs when reused; pass a fresh one per
+    run for per-run numbers. *)
 
 module Bitset = Usched_model.Bitset
 module Instance = Usched_model.Instance
 module Realization = Usched_model.Realization
+module Metrics = Usched_obs.Metrics
 
 type event =
   | Started of { time : float; machine : int; task : int }
@@ -52,6 +77,7 @@ exception Unschedulable of int list
 
 val run :
   ?speeds:float array ->
+  ?metrics:Metrics.t ->
   Instance.t ->
   Realization.t ->
   placement:Bitset.t array ->
@@ -68,6 +94,7 @@ val run :
 
 val run_traced :
   ?speeds:float array ->
+  ?metrics:Metrics.t ->
   Instance.t ->
   Realization.t ->
   placement:Bitset.t array ->
@@ -96,6 +123,10 @@ type outcome = {
       (** Total machine-time consumed by copies that did not produce the
           task's result: work killed by crashes/outages plus speculative
           duplicates that lost their race. 0.0 on an empty trace. *)
+  metrics : Metrics.snapshot;
+      (** Snapshot of the run's metrics registry at the end of the run
+          (see the module docstring for instrument names); empty when no
+          [metrics] registry was passed. *)
 }
 
 val outcome_schedule : m:int -> outcome -> Schedule.t option
@@ -105,6 +136,7 @@ val outcome_schedule : m:int -> outcome -> Schedule.t option
 val run_faulty :
   ?speeds:float array ->
   ?speculation:float ->
+  ?metrics:Metrics.t ->
   Instance.t ->
   Realization.t ->
   faults:Usched_faults.Trace.t ->
@@ -149,6 +181,7 @@ val run_faulty :
 val run_faulty_traced :
   ?speeds:float array ->
   ?speculation:float ->
+  ?metrics:Metrics.t ->
   Instance.t ->
   Realization.t ->
   faults:Usched_faults.Trace.t ->
@@ -157,3 +190,17 @@ val run_faulty_traced :
   outcome * event list
 (** Like {!run_faulty}, also returning the chronological event log
     (including kills, cancellations, and machine state changes). *)
+
+(** {1 JSON serialization}
+
+    The trace sink's view of a run ([usched solve --trace]): one JSONL
+    object per event, plus a closing outcome record. *)
+
+val event_json : event -> Usched_report.Json.t
+(** [{"type":"event","kind":"started","t":..,"machine":..,"task":..}] and
+    friends; [Machine_down] adds ["until"], [Machine_slowed] adds
+    ["factor"]. *)
+
+val outcome_json : outcome -> Usched_report.Json.t
+(** [{"type":"outcome","completed":..,"stranded":[..],"makespan":..,
+    "wasted":..,"metrics":{..}}]. *)

@@ -13,7 +13,7 @@ let divisors n =
 let guarantee_series ~m ~alpha =
   divisors m
   |> List.map (fun k -> (m / k, Core.Guarantees.ls_group ~m ~k ~alpha))
-  |> List.sort compare
+  |> List.sort (fun (ra, _) (rb, _) -> Int.compare ra rb)
 
 let measured_series config ~algo_of_replication ~m ~alpha ~replications =
   List.map

@@ -100,4 +100,13 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
-let run_all config = List.iter (fun e -> e.run config) all
+let execute config e =
+  (* Fresh registry per experiment so the manifest's phase timings cover
+     exactly this run. *)
+  let config = Runner.fresh_metrics config in
+  let t0 = Usched_obs.Metrics.now_s () in
+  e.run config;
+  let wall_time_s = Usched_obs.Metrics.now_s () -. t0 in
+  Runner.maybe_manifest config ~id:e.id ~title:e.title ~wall_time_s
+
+let run_all config = List.iter (execute config) all

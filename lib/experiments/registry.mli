@@ -14,4 +14,12 @@ val all : experiment list
     then the ablations. *)
 
 val find : string -> experiment option
+
+val execute : Runner.config -> experiment -> unit
+(** Run one experiment under a fresh metrics registry, measuring its
+    wall time; when [config.csv_dir] is set, a [<id>.manifest.json] run
+    manifest (seed, config, wall time, phase timings) is written next to
+    the experiment's CSVs. Prefer this over calling [e.run] directly. *)
+
 val run_all : Runner.config -> unit
+(** {!execute} every experiment in order. *)

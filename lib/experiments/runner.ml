@@ -7,6 +7,9 @@ module Core = Usched_core
 module Rng = Usched_prng.Rng
 module Summary = Usched_stats.Summary
 module Pool = Usched_parallel.Pool
+module Metrics = Usched_obs.Metrics
+module Fs = Usched_obs.Fs
+module Json = Usched_report.Json
 
 type config = {
   seed : int;
@@ -14,6 +17,7 @@ type config = {
   domains : int;
   exact_n : int;
   csv_dir : string option;
+  metrics : Metrics.t;
 }
 
 let default_config =
@@ -23,16 +27,43 @@ let default_config =
     domains = Pool.recommended_domains ();
     exact_n = 16;
     csv_dir = None;
+    metrics = Metrics.create ();
   }
+
+let fresh_metrics config = { config with metrics = Metrics.create () }
 
 let maybe_csv config ~name ~header rows =
   match config.csv_dir with
   | None -> ()
   | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let path = Filename.concat dir (name ^ ".csv") in
-      Usched_report.Csv.write_file ~path ~header rows;
-      Printf.printf "[csv] wrote %s\n" path
+      Metrics.time (Metrics.timer config.metrics "runner.csv_write") (fun () ->
+          Fs.mkdir_p dir;
+          let path = Filename.concat dir (name ^ ".csv") in
+          Usched_report.Csv.write_file ~path ~header rows;
+          Metrics.incr (Metrics.counter config.metrics "runner.csv_files");
+          Printf.printf "[csv] wrote %s\n" path)
+
+let maybe_manifest config ~id ~title ~wall_time_s =
+  match config.csv_dir with
+  | None -> ()
+  | Some dir ->
+      Fs.mkdir_p dir;
+      let path = Filename.concat dir (id ^ ".manifest.json") in
+      Json.write_file ~path
+        (Json.Obj
+           [
+             ("type", Json.String "run_manifest");
+             ("experiment", Json.String id);
+             ("title", Json.String title);
+             ("seed", Json.Int config.seed);
+             ("reps", Json.Int config.reps);
+             ("domains", Json.Int config.domains);
+             ("exact_n", Json.Int config.exact_n);
+             ("wall_time_s", Json.float wall_time_s);
+             ("unix_time", Json.float (Metrics.now_s ()));
+             ("metrics", Metrics.to_json (Metrics.snapshot config.metrics));
+           ]);
+      Printf.printf "[manifest] wrote %s\n" path
 
 let quick config = { config with reps = Stdlib.min config.reps 5 }
 
@@ -58,6 +89,9 @@ type sweep_result = {
 }
 
 let random_sweep config ~algo ~spec ~realize ~n ~m ~alpha =
+  (* The timer wraps the whole sweep from the main domain; workers are
+     left uninstrumented (metrics registries are single-domain). *)
+  Metrics.time (Metrics.timer config.metrics "phase.sweep") @@ fun () ->
   let alpha_v = Uncertainty.alpha alpha in
   (* Derive one independent stream per repetition up front so results do
      not depend on the parallel execution order. *)
@@ -83,6 +117,7 @@ let random_sweep config ~algo ~spec ~realize ~n ~m ~alpha =
   }
 
 let adversarial_ratio config algo instance =
+  Metrics.time (Metrics.timer config.metrics "phase.adversary") @@ fun () ->
   let placement = algo.Core.Two_phase.phase1 instance in
   let run realization =
     algo.Core.Two_phase.phase2 instance placement realization

@@ -16,17 +16,36 @@ type config = {
   exact_n : int;  (** Use exact B&B optimum up to this many tasks. *)
   csv_dir : string option;
       (** When set, experiments also dump their raw series as CSV files
-          into this directory (created if missing). *)
+          into this directory (created recursively if missing), each
+          accompanied by a [<id>.manifest.json] run manifest. *)
+  metrics : Usched_obs.Metrics.t;
+      (** Per-run instrument registry: sweeps and adversary searches
+          record phase timings ([phase.sweep], [phase.adversary]), CSV
+          output records [runner.csv_write]/[runner.csv_files]. The
+          registry lands in the run manifest. Single-domain — never
+          updated from inside parallel workers. *)
 }
 
 val default_config : config
-(** [seed = 42], [reps = 50], one domain per core (capped), exact optimum
-    up to 16 tasks, no CSV output. *)
+(** [seed = 42], [reps = 50], one domain per core (capped, overridable
+    via [USCHED_DOMAINS]), exact optimum up to 16 tasks, no CSV output, a
+    fresh live metrics registry. *)
+
+val fresh_metrics : config -> config
+(** Same config with a new empty metrics registry — used by the registry
+    so each experiment's manifest reports its own timings. *)
 
 val maybe_csv :
   config -> name:string -> header:string list -> string list list -> unit
 (** Write [<csv_dir>/<name>.csv] when [csv_dir] is set; otherwise do
-    nothing. Creates the directory on first use. *)
+    nothing. Creates the directory (and any missing ancestors) on first
+    use. *)
+
+val maybe_manifest :
+  config -> id:string -> title:string -> wall_time_s:float -> unit
+(** Write [<csv_dir>/<id>.manifest.json] when [csv_dir] is set: seed,
+    reps, domains, exact_n, wall time, and the metrics snapshot (phase
+    timings, CSV accounting) as one JSON object. *)
 
 val quick : config -> config
 (** Same config with [reps] reduced for smoke tests. *)

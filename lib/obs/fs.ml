@@ -1,0 +1,13 @@
+let rec mkdir_p ?(perm = 0o755) dir =
+  if dir = "" || dir = "." || dir = "/" then ()
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p ~perm parent;
+    match Unix.mkdir dir perm with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+        (* Someone (possibly a racing process) beat us to it; only object
+           when the existing entry is not a directory at all. *)
+        if not (try Sys.is_directory dir with Sys_error _ -> false) then
+          failwith (Printf.sprintf "mkdir_p: %s exists and is not a directory" dir)
+  end

@@ -1,0 +1,23 @@
+type t = { oc : out_channel; path : string; mutable closed : bool }
+
+let create ~path =
+  (match Filename.dirname path with
+  | "" | "." -> ()
+  | dir -> Fs.mkdir_p dir);
+  { oc = open_out path; path; closed = false }
+
+let emit t json =
+  if t.closed then invalid_arg "Trace.emit: sink is closed";
+  Usched_report.Json.output_line t.oc json
+
+let path t = t.path
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end
+
+let with_file ~path f =
+  let t = create ~path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

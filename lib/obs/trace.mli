@@ -1,0 +1,24 @@
+(** Structured run tracing: a JSONL sink.
+
+    One JSON object per line ([jq]-friendly), written through
+    [Usched_report.Json]. Sinks create missing parent directories with
+    {!Fs.mkdir_p}. Consumers: [usched solve --trace FILE] serializes
+    engine events and metrics snapshots; the experiment runner writes
+    per-run manifests. (Not to be confused with [Usched_faults.Trace],
+    the failure history of a simulated run.) *)
+
+type t
+
+val create : path:string -> t
+(** Open (truncate) [path] for writing, creating parent directories. *)
+
+val emit : t -> Usched_report.Json.t -> unit
+(** Append one record as a single line. *)
+
+val path : t -> string
+
+val close : t -> unit
+(** Flush and close; idempotent. *)
+
+val with_file : path:string -> (t -> 'a) -> 'a
+(** Bracketed {!create}/{!close}, closing on exceptions too. *)

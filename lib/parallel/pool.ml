@@ -1,5 +1,15 @@
+let env_override () =
+  match Sys.getenv_opt "USCHED_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 1 -> Some v
+      | Some _ | None -> None)
+
 let recommended_domains () =
-  Stdlib.min 8 (Stdlib.max 1 (Domain.recommended_domain_count () - 1))
+  match env_override () with
+  | Some v -> v
+  | None -> Stdlib.min 8 (Stdlib.max 1 (Domain.recommended_domain_count () - 1))
 
 let parallel_init ~domains n f =
   if domains < 1 then invalid_arg "Pool.parallel_init: domains < 1";
@@ -20,7 +30,11 @@ let parallel_init ~domains n f =
              for i = start to stop - 1 do
                results.(i) <- Some (f i)
              done
-           with e -> ignore (Atomic.compare_and_set error None (Some e)));
+           with e ->
+             (* Capture the backtrace with the exception so the re-raise
+                below points at the worker's failure site, not here. *)
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set error None (Some (e, bt))));
           loop ()
         end
       in
@@ -31,7 +45,9 @@ let parallel_init ~domains n f =
     in
     worker ();
     Array.iter Domain.join spawned;
-    (match Atomic.get error with Some e -> raise e | None -> ());
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
     Array.map
       (function
         | Some v -> v

@@ -11,7 +11,11 @@
     spawned, so library code can use these unconditionally. *)
 
 val recommended_domains : unit -> int
-(** [max 1 (cpu cores - 1)], capped at 8. *)
+(** [max 1 (cpu cores - 1)], capped at 8 — unless the [USCHED_DOMAINS]
+    environment variable holds a positive integer, which overrides both
+    the count and the cap (so many-core machines aren't silently
+    throttled). Experiment configs ([Runner.config.domains], the CLI's
+    [--domains]) take this as their default and may override it again. *)
 
 val parallel_init : domains:int -> int -> (int -> 'a) -> 'a array
 (** [parallel_init ~domains n f] is [Array.init n f] computed with up to

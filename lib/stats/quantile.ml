@@ -8,21 +8,28 @@ let interpolate sorted q =
     let w = pos -. float_of_int lo in
     ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
 
-let check_input a q =
-  if Array.length a = 0 then invalid_arg "Quantile: empty sample";
+let check_q q =
   if q < 0.0 || q > 1.0 then invalid_arg "Quantile: q out of [0, 1]"
 
-let quantile a ~q =
-  check_input a q;
+(* NaN-checked sorted copy. Polymorphic [compare] would box every
+   element and order NaN inconsistently; [Float.compare] keeps the sort
+   unboxed, and rejecting NaN up front keeps interpolation total. *)
+let sorted_copy a =
+  if Array.length a = 0 then invalid_arg "Quantile: empty sample";
+  Array.iter
+    (fun v -> if Float.is_nan v then invalid_arg "Quantile: NaN in sample")
+    a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
-  interpolate sorted q
+  Array.sort Float.compare sorted;
+  sorted
+
+let quantile a ~q =
+  check_q q;
+  interpolate (sorted_copy a) q
 
 let quantiles a ~qs =
-  if Array.length a = 0 then invalid_arg "Quantile: empty sample";
-  Array.iter (fun q -> check_input a q) qs;
-  let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.iter check_q qs;
+  let sorted = sorted_copy a in
   Array.map (fun q -> interpolate sorted q) qs
 
 let median a = quantile a ~q:0.5

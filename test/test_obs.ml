@@ -1,0 +1,425 @@
+(* Observability layer: metrics registry semantics, engine instrumentation
+   against hand-computed fault scenarios, the metrics-on/off golden
+   equivalence, JSON/JSONL writer round-trips, and mkdir_p. *)
+
+module Metrics = Usched_obs.Metrics
+module Fs = Usched_obs.Fs
+module Sink = Usched_obs.Trace
+module Json = Usched_report.Json
+module Engine = Usched_desim.Engine
+module Schedule = Usched_desim.Schedule
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Fault = Usched_faults.Fault
+module Trace = Usched_faults.Trace
+module Rng = Usched_prng.Rng
+module Quantile = Usched_stats.Quantile
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------- metrics registry ------------------------ *)
+
+let metrics_basics () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t "c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  checki "counter accumulates" 5 (Metrics.counter_value c);
+  checki "get-or-create shares state" 5
+    (Metrics.counter_value (Metrics.counter t "c"));
+  let g = Metrics.gauge t "g" in
+  Metrics.set g 2.5;
+  Metrics.record_max g 1.0;
+  close "max keeps the larger" 2.5 (Metrics.gauge_value g);
+  Metrics.record_max g 7.0;
+  close "max advances" 7.0 (Metrics.gauge_value g);
+  let tm = Metrics.timer t "t" in
+  Metrics.add_span tm 0.25;
+  Metrics.add_span tm 0.75;
+  let h = Metrics.histogram t "h" in
+  List.iter (Metrics.observe h) [ 3.0; 1.0; 2.0 ];
+  let snap = Metrics.snapshot t in
+  checki "four instruments" 4 (List.length snap);
+  checkb "sorted by name" true
+    (List.map fst snap = List.sort String.compare (List.map fst snap));
+  (match Metrics.find snap "t" with
+  | Some (Metrics.Timer { total_s; spans }) ->
+      close "timer total" 1.0 total_s;
+      checki "timer spans" 2 spans
+  | _ -> Alcotest.fail "timer missing");
+  match Metrics.find snap "h" with
+  | Some (Metrics.Histogram { count; sum; min; max }) ->
+      checki "hist count" 3 count;
+      close "hist sum" 6.0 sum;
+      close "hist min" 1.0 min;
+      close "hist max" 3.0 max
+  | _ -> Alcotest.fail "histogram missing"
+
+let metrics_disabled () =
+  let t = Metrics.disabled in
+  checkb "disabled" true (not (Metrics.is_enabled t));
+  let c = Metrics.counter t "c" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  checki "no-op counter" 0 (Metrics.counter_value c);
+  let g = Metrics.gauge t "g" in
+  Metrics.set g 9.0;
+  close "no-op gauge" 0.0 (Metrics.gauge_value g);
+  let ran = ref false in
+  let x = Metrics.time (Metrics.timer t "t") (fun () -> ran := true; 42) in
+  checki "timer still runs the thunk" 42 x;
+  checkb "thunk ran" true !ran;
+  Metrics.observe (Metrics.histogram t "h") 1.0;
+  checkb "empty snapshot" true (Metrics.snapshot t = [])
+
+let metrics_kind_mismatch () =
+  let t = Metrics.create () in
+  ignore (Metrics.counter t "x");
+  checkb "re-registering as gauge raises" true
+    (try
+       ignore (Metrics.gauge t "x");
+       false
+     with Invalid_argument _ -> true)
+
+(* --------------------- engine instrumentation ---------------------- *)
+
+let submission_order n = Array.init n (fun j -> j)
+
+let get_counter snap name =
+  match Metrics.find snap name with
+  | Some (Metrics.Counter n) -> n
+  | _ -> Alcotest.failf "counter %s missing" name
+
+let get_gauge snap name =
+  match Metrics.find snap name with
+  | Some (Metrics.Gauge g) -> g
+  | _ -> Alcotest.failf "gauge %s missing" name
+
+(* The crash/re-dispatch scenario of test_faults, now checked through the
+   metrics: two tasks of 4 on two machines, full replication, machine 0
+   crashes at 2. Three copies start (one is the re-dispatch of the killed
+   task), one kill, two units wasted, makespan 8. *)
+let engine_crash_metrics () =
+  let instance =
+    Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact [| 4.0; 4.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = Array.init 2 (fun _ -> Bitset.full 2) in
+  let metrics = Metrics.create () in
+  let outcome =
+    Engine.run_faulty ~metrics instance realization
+      ~faults:
+        (Trace.of_events ~m:2
+           [ { Fault.machine = 0; time = 2.0; kind = Fault.Crash } ])
+      ~placement ~order:(submission_order 2)
+  in
+  let snap = outcome.Engine.metrics in
+  checki "dispatches" 3 (get_counter snap "engine.dispatches");
+  checki "redispatches" 1 (get_counter snap "engine.redispatches");
+  checki "kills" 1 (get_counter snap "engine.kills");
+  checki "crashes" 1 (get_counter snap "engine.crashes");
+  checki "no speculation" 0 (get_counter snap "engine.spec_starts");
+  checki "completed" 2 (get_counter snap "engine.completed");
+  checki "stranded" 0 (get_counter snap "engine.stranded");
+  close "wasted gauge mirrors outcome" outcome.Engine.wasted
+    (get_gauge snap "engine.wasted_work");
+  close "wasted is the two killed units" 2.0
+    (get_gauge snap "engine.wasted_work");
+  close "makespan gauge" 8.0 (get_gauge snap "engine.makespan");
+  checkb "events were counted" true (get_counter snap "engine.events" > 0);
+  (* Idle: m0 processed 2 units before dying (idle 6 of makespan 8), m1
+     was busy 0..8 (idle 0). *)
+  match Metrics.find snap "engine.machine_idle" with
+  | Some (Metrics.Histogram { count; sum; min; max }) ->
+      checki "one observation per machine" 2 count;
+      close "total idle" 6.0 sum;
+      close "busiest machine idle" 0.0 min;
+      close "crashed machine idle tail" 6.0 max
+  | _ -> Alcotest.fail "idle histogram missing"
+
+(* Speculation metrics: one task (est 2, actual 8), machine 0 a
+   congenital straggler; the beta=2 backup starts at 4 on machine 1 and
+   wins at 12; the primary is cancelled (12 units wasted). *)
+let engine_speculation_metrics () =
+  let instance =
+    Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 4.0) [| 2.0 |]
+  in
+  let realization = Realization.of_actuals instance [| 8.0 |] in
+  let placement = [| Bitset.full 2 |] in
+  let faults =
+    Trace.of_events ~m:2
+      [ { Fault.machine = 0; time = 0.0; kind = Fault.Slowdown 0.25 } ]
+  in
+  let metrics = Metrics.create () in
+  let outcome =
+    Engine.run_faulty ~speculation:2.0 ~metrics instance realization ~faults
+      ~placement ~order:(submission_order 1)
+  in
+  let snap = outcome.Engine.metrics in
+  checki "primary + backup" 2 (get_counter snap "engine.dispatches");
+  checki "one speculative start" 1 (get_counter snap "engine.spec_starts");
+  checki "loser cancelled" 1 (get_counter snap "engine.spec_cancelled");
+  checki "nothing redispatched" 0 (get_counter snap "engine.redispatches");
+  checki "slowdown seen" 1 (get_counter snap "engine.slowdowns");
+  checki "no kills" 0 (get_counter snap "engine.kills");
+  close "loser's wall-clock wasted" 12.0 (get_gauge snap "engine.wasted_work");
+  close "makespan is the winner's" 12.0 (get_gauge snap "engine.makespan")
+
+let engine_plain_run_metrics () =
+  (* Two machines, three unit tasks fully replicated, submission order:
+     m0 runs t0 then t2 (busy 2), m1 runs t1 (busy 1, idle 1). *)
+  let instance =
+    Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact [| 1.0; 1.0; 1.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = Array.init 3 (fun _ -> Bitset.full 2) in
+  let metrics = Metrics.create () in
+  let schedule =
+    Engine.run ~metrics instance realization ~placement
+      ~order:(submission_order 3)
+  in
+  close "makespan" 2.0 (Schedule.makespan schedule);
+  let snap = Metrics.snapshot metrics in
+  checki "three dispatches" 3 (get_counter snap "engine.dispatches");
+  close "makespan gauge" 2.0 (get_gauge snap "engine.makespan");
+  match Metrics.find snap "engine.machine_idle" with
+  | Some (Metrics.Histogram { count; sum; _ }) ->
+      checki "per machine" 2 count;
+      close "one idle unit" 1.0 sum
+  | _ -> Alcotest.fail "idle histogram missing"
+
+(* Golden: metrics on vs off never changes a single bit of the outputs. *)
+let scenario_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 14 in
+    let* m = int_range 1 5 in
+    let* k = int_range 1 m in
+    let* p = float_range 0.0 1.0 in
+    let* seed = int_bound 1_000_000 in
+    return (n, m, k, p, seed))
+
+let scenario_print (n, m, k, p, seed) =
+  Printf.sprintf "n=%d m=%d k=%d p=%.3f seed=%d" n m k p seed
+
+let scenario = QCheck.make ~print:scenario_print scenario_gen
+
+let build (n, m, k, p, seed) =
+  let rng = Rng.create ~seed () in
+  let ests = Array.init n (fun _ -> Rng.float_range rng ~lo:0.5 ~hi:10.0) in
+  let instance = Instance.of_ests ~m ~alpha:(Uncertainty.alpha 2.0) ests in
+  let realization = Realization.uniform_factor instance rng in
+  let placement =
+    Array.init n (fun j -> Bitset.of_list m (List.init k (fun i -> (j + i) mod m)))
+  in
+  let order = Instance.lpt_order instance in
+  let horizon = 2.0 *. Realization.total realization in
+  let faults = Trace.random_crashes rng ~m ~p ~horizon in
+  (instance, realization, placement, order, faults)
+
+let entries_equal (a : Schedule.entry) (b : Schedule.entry) =
+  a.Schedule.machine = b.Schedule.machine
+  && a.Schedule.start = b.Schedule.start
+  && a.Schedule.finish = b.Schedule.finish
+
+let prop_metrics_golden =
+  QCheck.Test.make ~name:"outputs are bit-for-bit equal with metrics on/off"
+    ~count:300 scenario (fun s ->
+      let instance, realization, placement, order, faults = build s in
+      let plain =
+        Engine.run_faulty ~speculation:1.5 instance realization ~faults
+          ~placement ~order
+      in
+      let observed =
+        Engine.run_faulty ~speculation:1.5 ~metrics:(Metrics.create ())
+          instance realization ~faults ~placement ~order
+      in
+      plain.Engine.makespan = observed.Engine.makespan
+      && plain.Engine.wasted = observed.Engine.wasted
+      && plain.Engine.stranded = observed.Engine.stranded
+      && plain.Engine.completed = observed.Engine.completed
+      && Array.for_all2
+           (fun x y ->
+             match (x, y) with
+             | Engine.Stranded, Engine.Stranded -> true
+             | Engine.Finished e, Engine.Finished f -> entries_equal e f
+             | _ -> false)
+           plain.Engine.fates observed.Engine.fates)
+
+let prop_plain_run_metrics_golden =
+  QCheck.Test.make ~name:"run is bit-for-bit equal with metrics on/off"
+    ~count:300 scenario (fun s ->
+      let instance, realization, placement, order, _ = build s in
+      let a = Engine.run instance realization ~placement ~order in
+      let b =
+        Engine.run ~metrics:(Metrics.create ()) instance realization ~placement
+          ~order
+      in
+      Schedule.n a = Schedule.n b
+      && List.for_all
+           (fun j -> entries_equal (Schedule.entry a j) (Schedule.entry b j))
+           (List.init (Schedule.n a) Fun.id))
+
+(* --------------------------- JSON writer --------------------------- *)
+
+let json_serialization () =
+  checks "escaping" {|{"s":"a\"b\\c\nd\te\u0001"}|}
+    (Json.to_string (Json.Obj [ ("s", Json.String "a\"b\\c\nd\te\001") ]));
+  checks "nested"
+    {|{"l":[1,true,null,"x"],"o":{"k":2.5}}|}
+    (Json.to_string
+       (Json.Obj
+          [
+            ("l", Json.List [ Json.Int 1; Json.Bool true; Json.Null; Json.String "x" ]);
+            ("o", Json.Obj [ ("k", Json.Float 2.5) ]);
+          ]));
+  checks "non-finite floats become null" {|[null,null,null]|}
+    (Json.to_string
+       (Json.List [ Json.float nan; Json.float infinity; Json.float neg_infinity ]));
+  checks "integral float stays a number" "1" (Json.to_string (Json.Float 1.0));
+  checkb "float repr round-trips" true
+    (let f = 0.1 +. 0.2 in
+     float_of_string (Json.to_string (Json.Float f)) = f)
+
+let json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int (-42));
+        ("b", Json.Float 3.141592653589793);
+        ("c", Json.String "quote\" slash\\ nl\n tab\t unicode \xc3\xa9");
+        ("d", Json.List [ Json.Bool false; Json.Null; Json.Obj [] ]);
+        ("e", Json.Obj [ ("nested", Json.List [ Json.Int 0 ]) ]);
+      ]
+  in
+  checkb "parse (print v) = v" true (Json.of_string_exn (Json.to_string v) = v);
+  checkb "unicode escape" true
+    (Json.of_string_exn {|"Aé"|} = Json.String "A\xc3\xa9");
+  checkb "surrogate pair" true
+    (Json.of_string_exn {|"😀"|} = Json.String "\xf0\x9f\x98\x80");
+  checkb "exponent number" true (Json.of_string_exn "1e3" = Json.Float 1000.0);
+  checkb "integer stays int" true (Json.of_string_exn "17" = Json.Int 17);
+  checkb "member lookup" true
+    (Json.member "a" (Json.of_string_exn {|{"a":1}|}) = Some (Json.Int 1));
+  List.iter
+    (fun bad ->
+      checkb (Printf.sprintf "rejects %S" bad) true
+        (match Json.of_string bad with Error _ -> true | Ok _ -> false))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let temp_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "usched_obs_%d_%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Fs.mkdir_p dir;
+  dir
+
+let jsonl_sink () =
+  let dir = temp_dir () in
+  (* Parent directories spring into existence. *)
+  let path = Filename.concat dir "a/b/trace.jsonl" in
+  let records =
+    [
+      Json.Obj [ ("type", Json.String "meta"); ("seed", Json.Int 1) ];
+      Json.Obj [ ("type", Json.String "event"); ("t", Json.Float 0.5) ];
+      Json.Obj [ ("type", Json.String "outcome") ];
+    ]
+  in
+  Sink.with_file ~path (fun sink -> List.iter (Sink.emit sink) records);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  checki "one line per record" (List.length records) (List.length lines);
+  checkb "each line parses back to its record" true
+    (List.for_all2 (fun line r -> Json.of_string_exn line = r) lines records)
+
+let mkdir_p_cases () =
+  let dir = temp_dir () in
+  let nested = Filename.concat dir "x/y/z" in
+  Fs.mkdir_p nested;
+  checkb "nested created" true (Sys.is_directory nested);
+  Fs.mkdir_p nested;
+  checkb "idempotent" true (Sys.is_directory nested);
+  let file = Filename.concat dir "plain" in
+  let oc = open_out file in
+  close_out oc;
+  checkb "file in the way fails" true
+    (try
+       Fs.mkdir_p (Filename.concat file "sub");
+       false
+     with Failure _ | Unix.Unix_error _ -> true)
+
+(* --------------------------- quantiles ----------------------------- *)
+
+let quantile_rejects_nan () =
+  checkb "NaN input raises" true
+    (try
+       ignore (Quantile.median [| 1.0; nan; 2.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_quantiles_sound =
+  QCheck.Test.make
+    ~name:"quantiles are NaN-free, in-range, and order-preserving" ~count:500
+    QCheck.(
+      pair
+        (array_of_size Gen.(int_range 1 40) (float_range (-1000.0) 1000.0))
+        (array_of_size Gen.(int_range 1 8) (float_range 0.0 1.0)))
+    (fun (sample, qs) ->
+      Array.sort Float.compare qs;
+      let res = Quantile.quantiles sample ~qs in
+      let lo = Array.fold_left Float.min infinity sample in
+      let hi = Array.fold_left Float.max neg_infinity sample in
+      let in_range = Array.for_all (fun v -> v >= lo && v <= hi) res in
+      let nan_free = Array.for_all (fun v -> not (Float.is_nan v)) res in
+      let monotone = ref true in
+      for i = 0 to Array.length res - 2 do
+        if res.(i) > res.(i + 1) then monotone := false
+      done;
+      in_range && nan_free && !monotone)
+
+let () =
+  Random.self_init ();
+  let qtest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "basics" `Quick metrics_basics;
+          Alcotest.test_case "disabled registry" `Quick metrics_disabled;
+          Alcotest.test_case "kind mismatch" `Quick metrics_kind_mismatch;
+        ] );
+      ( "engine instrumentation",
+        [
+          Alcotest.test_case "crash / re-dispatch counts" `Quick
+            engine_crash_metrics;
+          Alcotest.test_case "speculation counts" `Quick
+            engine_speculation_metrics;
+          Alcotest.test_case "plain run" `Quick engine_plain_run_metrics;
+          qtest prop_metrics_golden;
+          qtest prop_plain_run_metrics_golden;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "serialization" `Quick json_serialization;
+          Alcotest.test_case "round trip" `Quick json_round_trip;
+          Alcotest.test_case "jsonl sink" `Quick jsonl_sink;
+        ] );
+      ( "fs",
+        [ Alcotest.test_case "mkdir_p" `Quick mkdir_p_cases ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "rejects NaN" `Quick quantile_rejects_nan;
+          qtest prop_quantiles_sound;
+        ] );
+    ]
