@@ -18,6 +18,7 @@ module Workload = Usched_model.Workload
 module Rng = Usched_prng.Rng
 module Engine = Usched_desim.Engine
 module Trace = Usched_faults.Trace
+module Recovery = Usched_faults.Recovery
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: paper artifacts.                                           *)
@@ -139,6 +140,51 @@ let benches () =
             ignore
               (Engine.run_faulty instance realization ~faults:empty
                  ~placement:sets ~order))));
+    (* Recovery engine: healing under heavy crashes on a thin (k=2)
+       placement, and the overhead of the recovery code path with a
+       structurally-neutral policy on the same crash trace as
+       faulty/crash-heavy. *)
+    (let placement =
+       (Core.Group_replication.ls_group ~k:2).Core.Two_phase.phase1 instance
+     in
+     let sets = Core.Placement.sets placement in
+     let order = Instance.lpt_order instance in
+     let healthy =
+       Usched_desim.Schedule.makespan
+         (Engine.run instance realization ~placement:sets ~order)
+     in
+     let m = Instance.m instance in
+     let crashes =
+       Trace.random_crashes (Rng.create ~seed:14 ()) ~m ~p:0.3 ~horizon:healthy
+     in
+     let recovery =
+       Recovery.make ~detection_latency:1.0 ~rereplication_target:2
+         ~bandwidth:100.0 ()
+     in
+     Test.make ~name:"recovery/heal r=2 p=0.3 (n=1k,m=210)"
+       (Staged.stage (fun () ->
+            ignore
+              (Engine.run_faulty ~recovery instance realization ~faults:crashes
+                 ~placement:sets ~order))));
+    (let placement =
+       (Core.Group_replication.ls_group ~k:42).Core.Two_phase.phase1 instance
+     in
+     let sets = Core.Placement.sets placement in
+     let order = Instance.lpt_order instance in
+     let healthy =
+       Usched_desim.Schedule.makespan
+         (Engine.run instance realization ~placement:sets ~order)
+     in
+     let m = Instance.m instance in
+     let crashes =
+       Trace.random_crashes (Rng.create ~seed:13 ()) ~m ~p:0.3 ~horizon:healthy
+     in
+     let neutral = Recovery.make () in
+     Test.make ~name:"recovery/neutral-policy overhead (n=1k,m=210)"
+       (Staged.stage (fun () ->
+            ignore
+              (Engine.run_faulty ~recovery:neutral instance realization
+                 ~faults:crashes ~placement:sets ~order))));
     (* Substrates. *)
     Test.make ~name:"prng/xoshiro256 float"
       (Staged.stage (fun () -> ignore (Rng.float rng)));
@@ -198,27 +244,27 @@ let run_benches ~quota_s () =
    regression tracking (see BENCH_baseline.json and the CI artifact). *)
 let write_json_report ~path ~quota_s results =
   let module Json = Usched_report.Json in
-  (match Filename.dirname path with
-  | "" | "." -> ()
-  | dir -> Usched_obs.Fs.mkdir_p dir);
-  Json.write_file ~path
-    (Json.Obj
-       [
-         ("type", Json.String "bench_report");
-         ("version", Json.Int 1);
-         ("quota_s", Json.float quota_s);
-         ( "results",
-           Json.List
-             (List.map
-                (fun r ->
-                  Json.Obj
-                    [
-                      ("name", Json.String r.name);
-                      ("ns_per_run", Json.float r.ns_per_run);
-                      ("minor_allocs_per_run", Json.float r.minor_allocs_per_run);
-                    ])
-                results) );
-       ]);
+  let report =
+    Json.Obj
+      [
+        ("type", Json.String "bench_report");
+        ("version", Json.Int 1);
+        ("quota_s", Json.float quota_s);
+        ( "results",
+          Json.List
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("name", Json.String r.name);
+                     ("ns_per_run", Json.float r.ns_per_run);
+                     ("minor_allocs_per_run", Json.float r.minor_allocs_per_run);
+                   ])
+               results) );
+      ]
+  in
+  (* Atomic: CI consumes this report, never a half-written one. *)
+  Usched_obs.Fs.write_atomic ~path (Json.to_string report ^ "\n");
   Printf.printf "\n[bench] wrote %s\n" path
 
 let () =

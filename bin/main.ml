@@ -158,6 +158,32 @@ let algorithm_conv =
   let print ppf algo = Format.fprintf ppf "%s" algo.Core.Two_phase.name in
   Arg.conv ~docv:"ALGO" (parse, print)
 
+(* Validated float converters: plain [Arg.float] happily accepts "nan",
+   which sails past range checks like [x < 0.0 || x > 1.0] and only
+   blows up deep inside the engine. Reject it (and out-of-range values)
+   at parse time with a proper cmdliner error instead. *)
+let float_conv_of ~docv ~expect ok =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when ok f -> Ok f
+    | Some f -> Error (`Msg (Printf.sprintf "%s must be %s (got %g)" docv expect f))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s value %S" docv s))
+  in
+  Arg.conv ~docv (parse, fun ppf f -> Format.fprintf ppf "%g" f)
+
+let prob_conv =
+  float_conv_of ~docv:"PROB" ~expect:"a probability in [0, 1]" (fun f ->
+      f >= 0.0 && f <= 1.0)
+
+let pos_float_conv ~docv =
+  (* NaN fails [f > 0.]; infinity is allowed (an infinite bandwidth means
+     instantaneous transfers, an infinite beta disables speculation). *)
+  float_conv_of ~docv ~expect:"> 0" (fun f -> f > 0.0)
+
+let nonneg_float_conv ~docv =
+  float_conv_of ~docv ~expect:"a finite value >= 0" (fun f ->
+      Float.is_finite f && f >= 0.0)
+
 let solve_cmd =
   let file =
     Arg.(required & pos 0 (some file) None
@@ -170,18 +196,45 @@ let solve_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Realization seed.") in
   let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print the Gantt chart.") in
   let fail_rate =
-    Arg.(value & opt float 0.0
+    Arg.(value & opt prob_conv 0.0
          & info [ "fail-rate" ] ~docv:"P"
              ~doc:"Also replay the schedule with each machine crashing \
                    mid-run with probability $(docv) (crash times uniform \
                    over the healthy makespan).")
   in
   let speculate =
-    Arg.(value & opt (some float) None
+    Arg.(value & opt (some (pos_float_conv ~docv:"BETA")) None
          & info [ "speculate" ] ~docv:"BETA"
              ~doc:"Enable speculative re-execution in the faulty replay: an \
                    idle replica holder may start a backup copy once a task \
                    runs past $(docv) times its estimate.")
+  in
+  let recover =
+    Arg.(value & opt int 0
+         & info [ "recover" ] ~docv:"R"
+             ~doc:"Online re-replication in the faulty replay: when failures \
+                   drop a task's live replica count below $(docv), copy its \
+                   data from a surviving holder to a healthy machine.")
+  in
+  let detect_latency =
+    Arg.(value & opt (nonneg_float_conv ~docv:"LATENCY") 0.0
+         & info [ "detect-latency" ] ~docv:"LATENCY"
+             ~doc:"Failure-detection latency: the scheduler only learns of a \
+                   failure $(docv) time units after it happens (0 = \
+                   instantaneous detection).")
+  in
+  let bandwidth =
+    Arg.(value & opt (pos_float_conv ~docv:"BW") infinity
+         & info [ "bandwidth" ] ~docv:"BW"
+             ~doc:"Re-replication bandwidth in data-size units per time unit \
+                   (default: infinite, i.e. instantaneous copies).")
+  in
+  let checkpoint =
+    Arg.(value & opt (nonneg_float_conv ~docv:"C") 0.0
+         & info [ "checkpoint" ] ~docv:"C"
+             ~doc:"Checkpoint interval in work units: a copy killed by an \
+                   outage resumes from its last checkpoint when the machine \
+                   rejoins (0 = restart from scratch).")
   in
   let trace =
     Arg.(value & opt (some string) None
@@ -192,16 +245,25 @@ let solve_cmd =
                    snapshots, and summary records. Parent directories are \
                    created as needed.")
   in
-  let run file algo seed gantt fail_rate speculate trace_path =
-    if fail_rate < 0.0 || fail_rate > 1.0 then begin
-      Printf.eprintf "usched: --fail-rate must be in [0, 1] (got %g)\n" fail_rate;
-      exit 2
-    end;
-    (match speculate with
-    | Some b when b <= 0.0 ->
-        Printf.eprintf "usched: --speculate must be > 0 (got %g)\n" b;
-        exit 2
-    | _ -> ());
+  let run file algo seed gantt fail_rate speculate recover detect_latency
+      bandwidth checkpoint trace_path =
+    let recovery =
+      if
+        recover = 0 && detect_latency = 0.0
+        && bandwidth = infinity
+        && checkpoint = 0.0
+      then Usched_faults.Recovery.none
+      else
+        match
+          Usched_faults.Recovery.make ~detection_latency:detect_latency
+            ~rereplication_target:recover ~bandwidth
+            ~checkpoint_interval:checkpoint ()
+        with
+        | r -> r
+        | exception Invalid_argument msg ->
+            Printf.eprintf "usched: %s\n" msg;
+            exit 2
+    in
     let instance = Model.Io.load_instance ~path:file in
     let rng = Usched_prng.Rng.create ~seed () in
     let realization = Model.Realization.log_uniform_factor instance rng in
@@ -231,6 +293,23 @@ let solve_cmd =
            ("fail_rate", Json.float fail_rate);
            ( "speculate",
              match speculate with None -> Json.Null | Some b -> Json.float b );
+           ( "recovery",
+             if Usched_faults.Recovery.is_none recovery then Json.Null
+             else
+               Json.Obj
+                 [
+                   ( "detection_latency",
+                     Json.float recovery.Usched_faults.Recovery.detection_latency
+                   );
+                   ( "rereplication_target",
+                     Json.Int recovery.Usched_faults.Recovery.rereplication_target
+                   );
+                   (* [Json.float infinity] is [Null]: JSON has no inf. *)
+                   ("bandwidth", Json.float recovery.Usched_faults.Recovery.bandwidth);
+                   ( "checkpoint_interval",
+                     Json.float recovery.Usched_faults.Recovery.checkpoint_interval
+                   );
+                 ] );
          ]);
     Printf.printf
       "%s on %s: C_max = %.4f (lower bound %.4f, ratio <= %.4f)\n\
@@ -269,7 +348,8 @@ let solve_cmd =
              ("lower_bound", Json.float lb);
            ])
     end;
-    if fail_rate > 0.0 || speculate <> None then begin
+    let rec_active = Usched_faults.Recovery.is_active recovery in
+    if fail_rate > 0.0 || speculate <> None || rec_active then begin
       let faults =
         Usched_faults.Trace.random_crashes rng ~m ~p:fail_rate ~horizon:healthy
       in
@@ -277,10 +357,14 @@ let solve_cmd =
          emit
            (Json.Obj
               [ ("type", Json.String "phase"); ("name", Json.String "faulty") ]));
-      let metrics = if tracing then Metrics.create () else Metrics.disabled in
+      (* Live metrics whenever recovery is on: the summary below reads
+         transfer/resume counters out of the outcome snapshot. *)
+      let metrics =
+        if tracing || rec_active then Metrics.create () else Metrics.disabled
+      in
       let outcome, events =
-        Usched_desim.Engine.run_faulty_traced ?speculation:speculate ~metrics
-          instance realization ~faults
+        Usched_desim.Engine.run_faulty_traced ?speculation:speculate ~recovery
+          ~metrics instance realization ~faults
           ~placement:(Core.Placement.sets placement)
           ~order:(Model.Instance.lpt_order instance)
       in
@@ -308,6 +392,18 @@ let solve_cmd =
         outcome.Usched_desim.Engine.makespan
         (outcome.Usched_desim.Engine.makespan /. healthy)
         outcome.Usched_desim.Engine.wasted;
+      if rec_active then begin
+        let counter name =
+          match Metrics.find outcome.Usched_desim.Engine.metrics name with
+          | Some (Metrics.Counter c) -> c
+          | _ -> 0
+        in
+        Printf.printf
+          "recovery %s: %d re-replication(s), %d checkpoint resume(s)\n"
+          (Format.asprintf "%a" Usched_faults.Recovery.pp recovery)
+          (counter "engine.rereplications")
+          (counter "engine.checkpoint_resumes")
+      end;
       if gantt then
         match Usched_desim.Engine.outcome_schedule ~m outcome with
         | Some faulty -> print_string (Usched_desim.Gantt.render faulty)
@@ -319,7 +415,9 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run a two-phase algorithm on an instance file.")
-    Term.(const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate $ trace)
+    Term.(
+      const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate $ recover
+      $ detect_latency $ bandwidth $ checkpoint $ trace)
 
 let minimax_cmd =
   let m = Arg.(value & opt int 3 & info [ "m"; "machines" ] ~doc:"Machines.") in

@@ -75,6 +75,35 @@ let without_machine t i =
   if i < 0 || i >= t.m then invalid_arg "Placement.without_machine: machine id";
   without_machines t [ i ]
 
+let with_replica t ~task ~machine =
+  if task < 0 || task >= Array.length t.sets then
+    invalid_arg "Placement.with_replica: task id";
+  if machine < 0 || machine >= t.m then
+    invalid_arg "Placement.with_replica: machine id";
+  if Bitset.mem t.sets.(task) machine then t
+  else begin
+    let sets = Array.copy t.sets in
+    let set = Bitset.copy sets.(task) in
+    Bitset.add set machine;
+    sets.(task) <- set;
+    { m = t.m; sets }
+  end
+
+let under_replicated t ~r ~alive =
+  if r < 0 then invalid_arg "Placement.under_replicated: r < 0";
+  if Bitset.capacity alive <> t.m then
+    invalid_arg "Placement.under_replicated: alive set capacity mismatch";
+  let acc = ref [] in
+  for j = Array.length t.sets - 1 downto 0 do
+    if Bitset.cardinal (Bitset.inter t.sets.(j) alive) < r then acc := j :: !acc
+  done;
+  !acc
+
+let machine_loads t =
+  let loads = Array.make t.m 0 in
+  Array.iter (Bitset.iter (fun i -> loads.(i) <- loads.(i) + 1)) t.sets;
+  loads
+
 let survivors t ~task ~alive =
   if Bitset.capacity alive <> t.m then
     invalid_arg "Placement.survivors: alive set capacity mismatch";

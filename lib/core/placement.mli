@@ -68,6 +68,25 @@ val without_machines : t -> int list -> t option
     [None] when some task's data lived only on lost machines. Raises
     [Invalid_argument] on out-of-range machine ids. *)
 
+val with_replica : t -> task:int -> machine:int -> t
+(** The placement after re-replication lands a copy of [task]'s data on
+    [machine] — the static view of what the recovery engine's healer
+    does mid-run. Returns [t] itself when the machine already holds the
+    task; otherwise the changed set is replaced by a fresh copy (other
+    tasks keep sharing their sets). Raises [Invalid_argument] on
+    out-of-range ids. *)
+
+val under_replicated : t -> r:int -> alive:Bitset.t -> int list
+(** Tasks (ascending) with fewer than [r] live replica holders — the
+    healer's work queue under re-replication target [r]. Raises
+    [Invalid_argument] when [r < 0] or [alive] has the wrong
+    capacity. *)
+
+val machine_loads : t -> int array
+(** Per-machine replica count [|{j : i ∈ M_j}|] — the uniform-size
+    specialization of {!memory_loads}, and the load the healer's
+    least-loaded destination choice minimizes. *)
+
 val survivors : t -> task:int -> alive:Bitset.t -> int
 (** Number of machines still holding a replica of [task] given the set
     of machines currently alive — the quantity the fault-injected

@@ -3,6 +3,7 @@ module Instance = Usched_model.Instance
 module Realization = Usched_model.Realization
 module Fault = Usched_faults.Fault
 module Trace = Usched_faults.Trace
+module Recovery = Usched_faults.Recovery
 module Metrics = Usched_obs.Metrics
 module Json = Usched_report.Json
 
@@ -15,6 +16,21 @@ type event =
   | Machine_down of { time : float; machine : int; until : float }
   | Machine_up of { time : float; machine : int }
   | Machine_slowed of { time : float; machine : int; factor : float }
+  | Failure_detected of { time : float; machine : int }
+  | Rereplication_started of { time : float; task : int; src : int; dst : int }
+  | Rereplication_completed of {
+      time : float;
+      task : int;
+      src : int;
+      dst : int;
+    }
+  | Rereplication_aborted of { time : float; task : int; src : int; dst : int }
+  | Checkpoint_resumed of {
+      time : float;
+      machine : int;
+      task : int;
+      progress : float;
+    }
 
 exception Unschedulable of int list
 
@@ -152,7 +168,12 @@ let sort_events events =
     | Machine_crashed { time; _ }
     | Machine_down { time; _ }
     | Machine_up { time; _ }
-    | Machine_slowed { time; _ } -> time
+    | Machine_slowed { time; _ }
+    | Failure_detected { time; _ }
+    | Rereplication_started { time; _ }
+    | Rereplication_completed { time; _ }
+    | Rereplication_aborted { time; _ }
+    | Checkpoint_resumed { time; _ } -> time
   in
   List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b)) events
 
@@ -193,12 +214,14 @@ let outcome_schedule ~m outcome =
 
 (* A copy of a task in flight on one machine. [remaining] is re-synced at
    every speed change, so completion predictions stay exact under
-   mid-task slowdowns. *)
+   mid-task slowdowns. [c_base] is work banked by earlier checkpointed
+   attempts (always 0 without a recovery policy). *)
 type copy = {
   c_task : int;
   c_started : float;
   mutable c_remaining : float; (* actual-time units of work left *)
   mutable c_last : float; (* when [c_remaining] was last synced *)
+  c_base : float; (* actual-time units resumed from a checkpoint *)
 }
 
 type mstate = {
@@ -207,17 +230,30 @@ type mstate = {
   mutable factor : float; (* straggler speed multiplier *)
   mutable gen : int; (* invalidates queued completion events *)
   mutable current : copy option;
+  (* Recovery bookkeeping — all fields stay at their initial value when
+     the policy is [Recovery.none]. *)
+  mutable orphan : int option;
+      (* copy killed by a failure the scheduler has not yet detected *)
+  mutable undetected : float option;
+      (* earliest failure time awaiting detection *)
+  mutable blinks : int; (* outages suffered so far, drives backoff *)
+  mutable trust_after : float; (* no dispatches before this time *)
+  mutable ckpt : (int * float) option;
+      (* task and work preserved on local disk by its last checkpoint *)
 }
 
 type tstatus = Pending | Running | Done | Lost
 
 (* Simulation event payloads; class ranks order simultaneous events on
-   one machine: faults strike before completions, completions before
-   dispatch decisions, speculation checks last. *)
+   one machine: faults (and failure detections) strike before
+   completions (and data-transfer arrivals), completions before dispatch
+   decisions, speculation checks last. *)
 type sim =
   | Sim_fault of Fault.kind
   | Sim_up
+  | Sim_detect
   | Sim_complete of { gen : int }
+  | Sim_transfer of { task : int; src : int; dst : int; id : int }
   | Sim_dispatch
   | Sim_speculate of { task : int; gen : int }
 
@@ -234,8 +270,8 @@ let compare_sim a b =
       | c -> c)
   | c -> c
 
-let run_faulty_internal ?speeds ?speculation ~metrics instance realization
-    ~faults ~placement ~order ~emit =
+let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
+    realization ~faults ~placement ~order ~emit =
   check_inputs ?speeds ~name:"Engine.run_faulty" instance ~placement ~order;
   let n = Instance.n instance and m = Instance.m instance in
   if Trace.m faults <> m then
@@ -244,6 +280,16 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
   | Some beta when not (beta > 0.0) ->
       invalid_arg "Engine.run_faulty: speculation factor must be > 0"
   | _ -> ());
+  (* [Recovery.none] is recognized physically: the engine then runs the
+     exact pre-recovery code path (same branches, same float operations,
+     same event sequence numbers), which the golden qcheck property in
+     test_recovery checks bit-for-bit against a structurally-neutral
+     active policy. *)
+  let rec_active = Recovery.is_active recovery in
+  let det_latency = recovery.Recovery.detection_latency in
+  let target_r = recovery.Recovery.rereplication_target in
+  let bandwidth = recovery.Recovery.bandwidth in
+  let ckpt_interval = recovery.Recovery.checkpoint_interval in
   (* Observability: write-only instruments, see [run_internal]. *)
   let live = Metrics.is_enabled metrics in
   let mc_events = Metrics.counter metrics "engine.events" in
@@ -265,7 +311,18 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
   let base_speed i = match speeds with None -> 1.0 | Some s -> s.(i) in
   let machines =
     Array.init m (fun _ ->
-        { alive = true; down_until = 0.0; factor = 1.0; gen = 0; current = None })
+        {
+          alive = true;
+          down_until = 0.0;
+          factor = 1.0;
+          gen = 0;
+          current = None;
+          orphan = None;
+          undetected = None;
+          blinks = 0;
+          trust_after = 0.0;
+          ckpt = None;
+        })
   in
   let eff_speed i = base_speed i *. machines.(i).factor in
   let available ~time i =
@@ -276,6 +333,24 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
   let copies = Array.make n ([] : int list) in
   let task_gen = Array.make n 0 in
   let spec_ready = Array.make n false in
+  (* Who holds each task's data *now*. Under an active policy transfers
+     grow these sets mid-run, so they are private copies; under
+     [Recovery.none] they are the placement arrays themselves and never
+     change. All holder-semantics reads below go through [data]. *)
+  let data =
+    if rec_active then Array.map Bitset.copy placement else placement
+  in
+  (* In-flight re-replication per task: (src, dst, id). The id guards
+     against stale [Sim_transfer] deliveries after an abort. *)
+  let transfer = Array.make n (None : (int * int * int) option) in
+  let transfer_id = ref 0 in
+  (* Replicas stored on (or reserved for) each machine: the healer's
+     least-loaded destination choice. *)
+  let replica_load = Array.make m 0 in
+  if rec_active then
+    Array.iter
+      (Bitset.iter (fun i -> replica_load.(i) <- replica_load.(i) + 1))
+      data;
   let entries =
     Array.make n { Schedule.machine = 0; start = 0.0; finish = 0.0 }
   in
@@ -307,7 +382,7 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
       else begin
         cursor.(i) <- pos + 1;
         let j = order.(pos) in
-        if status.(j) = Pending && Bitset.mem placement.(j) i then Some j
+        if status.(j) = Pending && Bitset.mem data.(j) i then Some j
         else scan (pos + 1)
       end
     in
@@ -325,15 +400,92 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
         push ~time ~machine:i ~cls:2 Sim_dispatch
     done
   in
-  let start_copy ~time i j =
+  (* Online re-replication: copy every under-replicated task's data from
+     its lowest-numbered available holder to the least-loaded available
+     non-holder, one transfer per task at a time. Transfers survive
+     outages of either endpoint (the stream is buffered; the data lands
+     on the destination disk) but abort when an endpoint crashes. *)
+  let transfer_duration j = Instance.size instance j /. bandwidth in
+  let heal ~time =
+    if target_r > 0 then
+      for j = 0 to n - 1 do
+        match status.(j) with
+        | Done | Lost -> ()
+        | Pending | Running ->
+            if transfer.(j) = None then begin
+              let live = Bitset.cardinal (Bitset.inter alive_set data.(j)) in
+              if live >= 1 && live < target_r then begin
+                let src = ref (-1) in
+                (try
+                   Bitset.iter
+                     (fun i ->
+                       if available ~time i then begin
+                         src := i;
+                         raise Exit
+                       end)
+                     data.(j)
+                 with Exit -> ());
+                if !src >= 0 then begin
+                  let dst = ref (-1) and best = ref max_int in
+                  for i = 0 to m - 1 do
+                    if
+                      available ~time i
+                      && (not (Bitset.mem data.(j) i))
+                      && replica_load.(i) < !best
+                    then begin
+                      dst := i;
+                      best := replica_load.(i)
+                    end
+                  done;
+                  if !dst >= 0 then begin
+                    incr transfer_id;
+                    transfer.(j) <- Some (!src, !dst, !transfer_id);
+                    replica_load.(!dst) <- replica_load.(!dst) + 1;
+                    emit
+                      (Rereplication_started
+                         { time; task = j; src = !src; dst = !dst });
+                    push
+                      ~time:(time +. transfer_duration j)
+                      ~machine:!dst ~cls:1
+                      (Sim_transfer
+                         { task = j; src = !src; dst = !dst; id = !transfer_id })
+                  end
+                end
+              end
+            end
+      done
+  in
+  let abort_transfers ~time x =
+    for j = 0 to n - 1 do
+      match transfer.(j) with
+      | Some (src, dst, _) when src = x || dst = x ->
+          transfer.(j) <- None;
+          replica_load.(dst) <- replica_load.(dst) - 1;
+          emit (Rereplication_aborted { time; task = j; src; dst });
+          Metrics.incr (Metrics.counter metrics "engine.transfer_aborts")
+      | _ -> ()
+    done
+  in
+  let start_copy ?resume ~time i j =
     let ms = machines.(i) in
     let c =
-      {
-        c_task = j;
-        c_started = time;
-        c_remaining = Realization.actual realization j;
-        c_last = time;
-      }
+      match resume with
+      | None ->
+          {
+            c_task = j;
+            c_started = time;
+            c_remaining = Realization.actual realization j;
+            c_last = time;
+            c_base = 0.0;
+          }
+      | Some banked ->
+          {
+            c_task = j;
+            c_started = time;
+            c_remaining = Realization.actual realization j -. banked;
+            c_last = time;
+            c_base = banked;
+          }
     in
     ms.current <- Some c;
     ms.gen <- ms.gen + 1;
@@ -346,6 +498,12 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
     end
     else Metrics.incr mc_spec_starts;
     emit (Started { time; machine = i; task = j });
+    (match resume with
+    | Some banked ->
+        ms.ckpt <- None;
+        emit (Checkpoint_resumed { time; machine = i; task = j; progress = banked });
+        Metrics.incr (Metrics.counter metrics "engine.checkpoint_resumes")
+    | None -> ());
     let finish = time +. (c.c_remaining /. eff_speed i) in
     push ~time:finish ~machine:i ~cls:1 (Sim_complete { gen = ms.gen });
     match speculation with
@@ -359,33 +517,122 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
           (Sim_speculate { task = j; gen = task_gen.(j) })
     | _ -> ()
   in
-  (* Kill the in-flight copy of machine [i] (crash or outage): the work is
-     lost; the task returns to the pool when no other copy survives, or
-     becomes [Lost] when its data has no surviving holder. *)
-  let kill_current ~time i =
+  (* Return a copy-less task to the scheduler's pool — or declare it
+     [Lost] when no live machine holds its data and no transfer is
+     carrying it out. Under a detection latency this is what gets
+     deferred until the failure becomes known. *)
+  let release_task ~time j =
+    task_gen.(j) <- task_gen.(j) + 1;
+    spec_ready.(j) <- false;
+    if
+      Bitset.is_empty (Bitset.inter alive_set data.(j)) && transfer.(j) = None
+    then status.(j) <- Lost
+    else begin
+      status.(j) <- Pending;
+      rewind_cursors j;
+      wake_idle ~time
+    end
+  in
+  (* Kill the in-flight copy of machine [i] (crash or outage): the work
+     is lost — except what a checkpoint salvages on an outage — and the
+     task returns to the pool (immediately, or at failure detection when
+     the policy models a latency). *)
+  let kill_current ?(salvage = false) ~time i =
     let ms = machines.(i) in
     match ms.current with
     | None -> ()
     | Some c ->
         let j = c.c_task in
-        wasted := !wasted +. (time -. c.c_started);
+        let wall = time -. c.c_started in
+        let waste = ref wall in
+        if salvage && ckpt_interval > 0.0 then begin
+          (* Work processed this attempt, synced exactly as a slowdown
+             resync would do it. *)
+          let remaining_now =
+            Float.max 0.0 (c.c_remaining -. ((time -. c.c_last) *. eff_speed i))
+          in
+          let attempt_total = Realization.actual realization j -. c.c_base in
+          let done_attempt = attempt_total -. remaining_now in
+          let total_done = c.c_base +. done_attempt in
+          let preserved =
+            Float.min total_done
+              (Float.floor (total_done /. ckpt_interval) *. ckpt_interval)
+          in
+          if preserved > 0.0 then begin
+            ms.ckpt <- Some (j, preserved);
+            if done_attempt > 0.0 then begin
+              (* Credit the preserved share of this attempt against the
+                 waste, pro-rated by wall time so mid-attempt speed
+                 changes cannot make the waste negative. *)
+              let credit =
+                Float.max 0.0 (Float.min done_attempt (preserved -. c.c_base))
+              in
+              waste := wall *. (1.0 -. (credit /. done_attempt))
+            end
+          end
+        end;
+        wasted := !wasted +. !waste;
         Metrics.incr mc_kills;
-        if live then busy.(i) <- busy.(i) +. (time -. c.c_started);
+        if live then busy.(i) <- busy.(i) +. wall;
         ms.current <- None;
         ms.gen <- ms.gen + 1;
         emit (Killed { time; machine = i; task = j });
         copies.(j) <- List.filter (fun k -> k <> i) copies.(j);
-        if copies.(j) = [] then begin
-          task_gen.(j) <- task_gen.(j) + 1;
-          spec_ready.(j) <- false;
-          if Bitset.is_empty (Bitset.inter alive_set placement.(j)) then
-            status.(j) <- Lost
-          else begin
-            status.(j) <- Pending;
-            rewind_cursors j;
-            wake_idle ~time
-          end
-        end
+        if copies.(j) = [] then
+          if rec_active && det_latency > 0.0 then ms.orphan <- Some j
+          else release_task ~time j
+  in
+  (* The disk of a dead machine [i] is gone: strand every waiting task
+     whose last replica it held (unless a transfer is carrying a copy
+     out, which keeps the task alive until the transfer resolves). *)
+  let strand_scan i =
+    for j = 0 to n - 1 do
+      if
+        status.(j) = Pending
+        && Bitset.mem data.(j) i
+        && Bitset.is_empty (Bitset.inter alive_set data.(j))
+        && transfer.(j) = None
+      then status.(j) <- Lost
+    done
+  in
+  (* The moment the scheduler learns of machine [i]'s failure — either
+     the detector fires [det_latency] after the fault, or the machine
+     truthfully reports its own outage when it rejoins, whichever comes
+     first. Only then is the orphaned copy released for re-dispatch. *)
+  let acknowledge ~time i =
+    let ms = machines.(i) in
+    match ms.undetected with
+    | None -> ()
+    | Some t0 ->
+        ms.undetected <- None;
+        emit (Failure_detected { time; machine = i });
+        Metrics.observe
+          (Metrics.histogram metrics "engine.detection_lag")
+          (time -. t0);
+        (match ms.orphan with
+        | Some j ->
+            ms.orphan <- None;
+            if status.(j) = Running && copies.(j) = [] then
+              release_task ~time j
+        | None -> ());
+        if not ms.alive then strand_scan i
+  in
+  let on_transfer ~time ~task ~src ~dst ~id =
+    match transfer.(task) with
+    | Some (_, _, id') when id' = id ->
+        transfer.(task) <- None;
+        Bitset.add data.(task) dst;
+        emit (Rereplication_completed { time; task; src; dst });
+        Metrics.incr (Metrics.counter metrics "engine.rereplications");
+        Metrics.observe
+          (Metrics.histogram metrics "engine.transfer_time")
+          (transfer_duration task);
+        if status.(task) = Pending then begin
+          rewind_cursors task;
+          wake_idle ~time
+        end;
+        heal ~time
+    | _ -> () (* aborted (and possibly re-issued): stale delivery *)
   in
   let find_speculation i =
     (* First task in priority order that is running a single overdue copy
@@ -397,20 +644,34 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
         if
           status.(j) = Running && spec_ready.(j)
           && (match copies.(j) with [ k ] -> k <> i | _ -> false)
-          && Bitset.mem placement.(j) i
+          && Bitset.mem data.(j) i
         then Some j
         else scan (pos + 1)
     in
     if speculation = None then None else scan 0
   in
+  (* A machine holding a checkpoint of a waiting task resumes it in
+     preference to fresh work: the banked progress makes it the cheapest
+     copy anyone can start. *)
+  let resume_candidate i =
+    match machines.(i).ckpt with
+    | Some (j, banked) when status.(j) = Pending && Bitset.mem data.(j) i ->
+        Some (j, banked)
+    | _ -> None
+  in
   let dispatch ~time i =
-    if available ~time i && machines.(i).current = None then
-      match find_task i with
-      | Some j -> start_copy ~time i j
+    let ms = machines.(i) in
+    if available ~time i && ms.current = None && time >= ms.trust_after then
+      match resume_candidate i with
+      | Some (j, banked) -> start_copy ~resume:banked ~time i j
       | None -> (
-          match find_speculation i with
+          match find_task i with
           | Some j -> start_copy ~time i j
-          | None -> () (* idle; woken again if work returns to the pool *))
+          | None -> (
+              match find_speculation i with
+              | Some j -> start_copy ~time i j
+              | None -> () (* idle; woken again if work returns to the pool *))
+          )
   in
   let complete ~time i gen =
     let ms = machines.(i) in
@@ -451,23 +712,42 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
           ms.alive <- false;
           Bitset.remove alive_set i;
           emit (Machine_crashed { time; machine = i });
+          (* Physical consequences are immediate: the disk (and any
+             checkpoint on it) is gone, in-flight transfers touching the
+             machine die, the running copy dies. *)
+          ms.ckpt <- None;
+          if rec_active then abort_transfers ~time i;
           kill_current ~time i;
-          (* The disk died with the machine: strand every waiting task
-             whose last replica it held. *)
-          for j = 0 to n - 1 do
-            if
-              status.(j) = Pending
-              && Bitset.mem placement.(j) i
-              && Bitset.is_empty (Bitset.inter alive_set placement.(j))
-            then status.(j) <- Lost
-          done
+          if rec_active && det_latency > 0.0 then begin
+            (* The scheduler only reacts once the detector fires. *)
+            if ms.undetected = None then ms.undetected <- Some time;
+            push ~time:(time +. det_latency) ~machine:i ~cls:0 Sim_detect
+          end
+          else begin
+            (* Strand every waiting task whose last replica the dead disk
+               held, then re-replicate whatever it left under target. *)
+            strand_scan i;
+            if rec_active then heal ~time
+          end
         end
     | Fault.Outage until ->
         if ms.alive then begin
           Metrics.incr mc_outages;
           ms.down_until <- Float.max ms.down_until until;
           emit (Machine_down { time; machine = i; until = ms.down_until });
-          kill_current ~time i;
+          kill_current ~salvage:true ~time i;
+          if rec_active then begin
+            ms.blinks <- ms.blinks + 1;
+            let b = Recovery.backoff recovery ~blinks:ms.blinks in
+            if b > 0.0 then
+              ms.trust_after <- Float.max ms.trust_after (ms.down_until +. b);
+            (* Detection only matters when a copy was orphaned: the
+               outage's other effects wait for the rejoin anyway. *)
+            if det_latency > 0.0 && ms.orphan <> None then begin
+              if ms.undetected = None then ms.undetected <- Some time;
+              push ~time:(time +. det_latency) ~machine:i ~cls:0 Sim_detect
+            end
+          end;
           push ~time:ms.down_until ~machine:i ~cls:0 Sim_up
         end
     | Fault.Slowdown factor ->
@@ -490,8 +770,23 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
     let ms = machines.(i) in
     if ms.alive && time >= ms.down_until then begin
       emit (Machine_up { time; machine = i });
-      dispatch ~time i
+      if rec_active then begin
+        (* The machine reports its own fate truthfully on rejoin, which
+           may beat the detector; its return may also unblock healing
+           (as a transfer source or destination). *)
+        acknowledge ~time i;
+        heal ~time
+      end;
+      if time >= ms.trust_after then dispatch ~time i
+      else
+        (* Backoff: the machine blinked recently, so it only receives
+           new work once its distrust window expires. *)
+        push ~time:ms.trust_after ~machine:i ~cls:2 Sim_dispatch
     end
+  in
+  let on_detect ~time i =
+    acknowledge ~time i;
+    heal ~time
   in
   let on_speculate ~time task gen =
     if
@@ -508,7 +803,7 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
           (fun i ->
             if i <> runner && available ~time i && machines.(i).current = None
             then raise (Found i))
-          placement.(task)
+          data.(task)
       with
       | () -> ()
       | exception Found i -> start_copy ~time i task
@@ -522,11 +817,18 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
         (match sim with
         | Sim_fault kind -> on_fault ~time machine kind
         | Sim_up -> on_up ~time machine
+        | Sim_detect -> on_detect ~time machine
         | Sim_complete { gen } -> complete ~time machine gen
+        | Sim_transfer { task; src; dst; id } ->
+            on_transfer ~time ~task ~src ~dst ~id
         | Sim_dispatch -> dispatch ~time machine
         | Sim_speculate { task; gen } -> on_speculate ~time task gen);
         loop ()
   in
+  (* An active healer starts working before the first dispatch: a
+     placement below the replication target (k = 1, say) is brought up
+     to [target_r] from time zero. *)
+  if rec_active then heal ~time:0.0;
   loop ();
   let fates =
     Array.init n (fun j ->
@@ -562,17 +864,19 @@ let run_faulty_internal ?speeds ?speculation ~metrics instance realization
     metrics = Metrics.snapshot metrics;
   }
 
-let run_faulty ?speeds ?speculation ?(metrics = Metrics.disabled) instance
-    realization ~faults ~placement ~order =
-  run_faulty_internal ?speeds ?speculation ~metrics instance realization
-    ~faults ~placement ~order ~emit:(fun _ -> ())
+let run_faulty ?speeds ?speculation ?(recovery = Recovery.none)
+    ?(metrics = Metrics.disabled) instance realization ~faults ~placement
+    ~order =
+  run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
+    realization ~faults ~placement ~order ~emit:(fun _ -> ())
 
-let run_faulty_traced ?speeds ?speculation ?(metrics = Metrics.disabled)
-    instance realization ~faults ~placement ~order =
+let run_faulty_traced ?speeds ?speculation ?(recovery = Recovery.none)
+    ?(metrics = Metrics.disabled) instance realization ~faults ~placement
+    ~order =
   let events = ref [] in
   let outcome =
-    run_faulty_internal ?speeds ?speculation ~metrics instance realization
-      ~faults ~placement ~order
+    run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
+      realization ~faults ~placement ~order
       ~emit:(fun e -> events := e :: !events)
   in
   (outcome, sort_events (List.rev !events))
@@ -610,6 +914,24 @@ let event_json e =
   | Machine_slowed { time; machine; factor } ->
       base "machine_slowed" time
         [ ("machine", Json.Int machine); ("factor", Json.float factor) ]
+  | Failure_detected { time; machine } ->
+      base "failure_detected" time [ ("machine", Json.Int machine) ]
+  | Rereplication_started { time; task; src; dst } ->
+      base "rereplication_started" time
+        [ ("task", Json.Int task); ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Rereplication_completed { time; task; src; dst } ->
+      base "rereplication_completed" time
+        [ ("task", Json.Int task); ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Rereplication_aborted { time; task; src; dst } ->
+      base "rereplication_aborted" time
+        [ ("task", Json.Int task); ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Checkpoint_resumed { time; machine; task; progress } ->
+      base "checkpoint_resumed" time
+        [
+          ("machine", Json.Int machine);
+          ("task", Json.Int task);
+          ("progress", Json.float progress);
+        ]
 
 let outcome_json outcome =
   Json.Obj

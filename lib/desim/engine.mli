@@ -45,6 +45,20 @@
       processing, over [[0, makespan]] (downtime and a crashed machine's
       tail count as idle).
 
+    Under an active recovery policy (and only then — they are registered
+    lazily at their first use, so a policy that never triggers them
+    leaves the snapshot untouched):
+
+    - [engine.rereplications] (counter): data transfers completed;
+    - [engine.transfer_aborts] (counter): transfers killed mid-copy by
+      an endpoint crash;
+    - [engine.transfer_time] (histogram): per-completed-transfer
+      duration;
+    - [engine.checkpoint_resumes] (counter): copies resumed from a
+      checkpoint;
+    - [engine.detection_lag] (histogram): failure-to-knowledge delay per
+      acknowledged failure.
+
     Registries accumulate across runs when reused; pass a fresh one per
     run for per-run numbers. *)
 
@@ -66,6 +80,31 @@ type event =
   | Machine_down of { time : float; machine : int; until : float }
   | Machine_up of { time : float; machine : int }
   | Machine_slowed of { time : float; machine : int; factor : float }
+  | Failure_detected of { time : float; machine : int }
+      (** The scheduler learned of the machine's failure — the detector
+          fired, or the machine truthfully reported an outage on rejoin.
+          Only emitted under a recovery policy with a detection latency,
+          and only for failures the scheduler must react to. *)
+  | Rereplication_started of { time : float; task : int; src : int; dst : int }
+      (** The healer began copying the task's data from holder [src] to
+          [dst] (recovery policies with [rereplication_target > 0]). *)
+  | Rereplication_completed of {
+      time : float;
+      task : int;
+      src : int;
+      dst : int;
+    }  (** [dst] now holds the task's data: its eligibility set grew. *)
+  | Rereplication_aborted of { time : float; task : int; src : int; dst : int }
+      (** An endpoint crashed mid-transfer; the partial copy is useless. *)
+  | Checkpoint_resumed of {
+      time : float;
+      machine : int;
+      task : int;
+      progress : float;
+    }
+      (** The machine restarted the task from its local checkpoint with
+          [progress] actual-time units of work already banked (always
+          follows a [Started] event at the same time). *)
 
 exception Unschedulable of int list
 (** Raised by {!run} when the listed tasks can never be scheduled.
@@ -109,7 +148,8 @@ type fate =
       (** The surviving copy's machine and start/finish times. *)
   | Stranded
       (** Every machine holding the task's data crashed before any copy
-          could finish — the data is gone and the task cannot complete. *)
+          could finish or transfer out — the data is gone and the task
+          cannot complete. *)
 
 type outcome = {
   fates : fate array;  (** Per task id. *)
@@ -136,6 +176,7 @@ val outcome_schedule : m:int -> outcome -> Schedule.t option
 val run_faulty :
   ?speeds:float array ->
   ?speculation:float ->
+  ?recovery:Usched_faults.Recovery.t ->
   ?metrics:Metrics.t ->
   Instance.t ->
   Realization.t ->
@@ -153,9 +194,9 @@ val run_faulty :
       holder crashes before some copy finishes becomes [Stranded] —
       reported, never raised.
     - {b Outage} over [[t, until)]: like a crash at [t] (in-flight work
-      is lost, no checkpointing) except the disk survives: the machine
-      keeps its data, accepts no work during the interval, and rejoins at
-      [until].
+      is lost, unless checkpointed — see below) except the disk
+      survives: the machine keeps its data, accepts no work during the
+      interval, and rejoins at [until].
     - {b Slowdown} by [f] at [t]: from [t] on the machine processes work
       at [f] times its configured speed; the completion of an in-flight
       copy is re-predicted from its remaining work.
@@ -166,12 +207,22 @@ val run_faulty :
       data may start a backup copy (at most one duplicate; the copy is
       restarted from scratch). The first copy to finish wins; the other
       is aborted and its machine-time counted in [wasted].
+    - {b Recovery} ([recovery], default {!Usched_faults.Recovery.none}):
+      the scheduler heals instead of merely reacting — see
+      [Usched_faults.Recovery] for the four mechanisms (failure
+      detection with latency, online re-replication that grows
+      eligibility sets mid-run, checkpoint/resume across outages,
+      capped-backoff distrust of blinking machines). With the default
+      [none] policy the engine runs the exact pre-recovery code path:
+      same branches, same float operations, same events, same metrics —
+      bit-for-bit.
 
     Determinism: simultaneous events are ordered by time, then machine
-    id, then class (fault events before completions before dispatch
-    decisions), then insertion order — so a crash kills a task finishing
-    at exactly the same instant on the same machine, and an empty trace
-    reproduces {!run} bit-for-bit (identical float arithmetic, identical
+    id, then class (fault events and failure detections before
+    completions and data-transfer arrivals, before dispatch decisions),
+    then insertion order — so a crash kills a task finishing at exactly
+    the same instant on the same machine, and an empty trace reproduces
+    {!run} bit-for-bit (identical float arithmetic, identical
     tie-breaking).
 
     Raises [Invalid_argument] on malformed inputs, when the trace's
@@ -181,6 +232,7 @@ val run_faulty :
 val run_faulty_traced :
   ?speeds:float array ->
   ?speculation:float ->
+  ?recovery:Usched_faults.Recovery.t ->
   ?metrics:Metrics.t ->
   Instance.t ->
   Realization.t ->
@@ -189,7 +241,8 @@ val run_faulty_traced :
   order:int array ->
   outcome * event list
 (** Like {!run_faulty}, also returning the chronological event log
-    (including kills, cancellations, and machine state changes). *)
+    (including kills, cancellations, machine state changes, and the
+    recovery events: detections, re-replications, checkpoint resumes). *)
 
 (** {1 JSON serialization}
 

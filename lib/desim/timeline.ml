@@ -59,6 +59,22 @@ let render_events events =
             Printf.sprintf "t=%-10.4f m%-3d up\n" time machine
         | Engine.Machine_slowed { time; machine; factor } ->
             Printf.sprintf "t=%-10.4f m%-3d slowed   x%.3f\n" time machine factor
+        | Engine.Failure_detected { time; machine } ->
+            Printf.sprintf "t=%-10.4f m%-3d detected (failure acknowledged)\n"
+              time machine
+        | Engine.Rereplication_started { time; task; src; dst } ->
+            Printf.sprintf "t=%-10.4f m%-3d replicate task %d -> m%d (started)\n"
+              time src task dst
+        | Engine.Rereplication_completed { time; task; src; dst } ->
+            Printf.sprintf "t=%-10.4f m%-3d replicate task %d <- m%d (done)\n"
+              time dst task src
+        | Engine.Rereplication_aborted { time; task; src; dst } ->
+            Printf.sprintf
+              "t=%-10.4f m%-3d replicate task %d -> m%d (ABORTED)\n" time src
+              task dst
+        | Engine.Checkpoint_resumed { time; machine; task; progress } ->
+            Printf.sprintf "t=%-10.4f m%-3d resume   task %d (%.3f banked)\n"
+              time machine task progress
       in
       Buffer.add_string buffer line)
     events;

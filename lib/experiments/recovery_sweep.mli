@@ -1,0 +1,7 @@
+(** recovery-sweep: stranded tasks, degradation, and wasted work vs
+    detection latency and re-replication bandwidth (paired failure
+    traces across policies), plus a checkpoint/resume comparison on
+    outage-only traces. The online-healing counterpart of
+    [fault-sweep]'s static replication-degree table. *)
+
+val run : Runner.config -> unit

@@ -82,6 +82,11 @@ let all =
       run = Fault_sweep.run;
     };
     {
+      id = "recovery-sweep";
+      title = "Recovery sweep: detection, re-replication, checkpoints";
+      run = Recovery_sweep.run;
+    };
+    {
       id = "hetero";
       title = "Heterogeneous machines: replication vs slow nodes";
       run = Hetero.run;

@@ -39,7 +39,8 @@ let maybe_csv config ~name ~header rows =
       Metrics.time (Metrics.timer config.metrics "runner.csv_write") (fun () ->
           Fs.mkdir_p dir;
           let path = Filename.concat dir (name ^ ".csv") in
-          Usched_report.Csv.write_file ~path ~header rows;
+          (* Atomic: a run killed mid-write must not leave a torn CSV. *)
+          Fs.write_atomic ~path (Usched_report.Csv.to_string ~header rows);
           Metrics.incr (Metrics.counter config.metrics "runner.csv_files");
           Printf.printf "[csv] wrote %s\n" path)
 
@@ -49,20 +50,24 @@ let maybe_manifest config ~id ~title ~wall_time_s =
   | Some dir ->
       Fs.mkdir_p dir;
       let path = Filename.concat dir (id ^ ".manifest.json") in
-      Json.write_file ~path
-        (Json.Obj
-           [
-             ("type", Json.String "run_manifest");
-             ("experiment", Json.String id);
-             ("title", Json.String title);
-             ("seed", Json.Int config.seed);
-             ("reps", Json.Int config.reps);
-             ("domains", Json.Int config.domains);
-             ("exact_n", Json.Int config.exact_n);
-             ("wall_time_s", Json.float wall_time_s);
-             ("unix_time", Json.float (Metrics.now_s ()));
-             ("metrics", Metrics.to_json (Metrics.snapshot config.metrics));
-           ]);
+      let manifest =
+        Json.Obj
+          [
+            ("type", Json.String "run_manifest");
+            ("experiment", Json.String id);
+            ("title", Json.String title);
+            ("seed", Json.Int config.seed);
+            ("reps", Json.Int config.reps);
+            ("domains", Json.Int config.domains);
+            ("exact_n", Json.Int config.exact_n);
+            ("wall_time_s", Json.float wall_time_s);
+            ("unix_time", Json.float (Metrics.now_s ()));
+            ("metrics", Metrics.to_json (Metrics.snapshot config.metrics));
+          ]
+      in
+      (* Atomic: readers see the previous manifest or this one, nothing
+         in between. *)
+      Fs.write_atomic ~path (Json.to_string manifest ^ "\n");
       Printf.printf "[manifest] wrote %s\n" path
 
 let quick config = { config with reps = Stdlib.min config.reps 5 }

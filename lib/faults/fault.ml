@@ -5,22 +5,6 @@ type kind =
 
 type event = { machine : int; time : float; kind : kind }
 
-let check ~m e =
-  if e.machine < 0 || e.machine >= m then
-    invalid_arg (Printf.sprintf "Fault.check: machine %d outside [0, %d)" e.machine m);
-  if not (Float.is_finite e.time) || e.time < 0.0 then
-    invalid_arg (Printf.sprintf "Fault.check: bad event time %g" e.time);
-  match e.kind with
-  | Crash -> ()
-  | Outage until ->
-      if not (Float.is_finite until) || until <= e.time then
-        invalid_arg
-          (Printf.sprintf "Fault.check: outage [%g, %g) is empty" e.time until)
-  | Slowdown factor ->
-      if not (factor > 0.0 && factor <= 1.0) then
-        invalid_arg
-          (Printf.sprintf "Fault.check: slowdown factor %g outside (0, 1]" factor)
-
 let pp ppf e =
   match e.kind with
   | Crash -> Format.fprintf ppf "crash(m%d @ %g)" e.machine e.time
@@ -28,3 +12,24 @@ let pp ppf e =
       Format.fprintf ppf "outage(m%d @ %g until %g)" e.machine e.time until
   | Slowdown factor ->
       Format.fprintf ppf "slowdown(m%d @ %g x%g)" e.machine e.time factor
+
+(* Validation errors name the offending event via [pp] so a bad entry in
+   a long generated trace is identifiable without a debugger. *)
+let reject e fmt =
+  Format.kasprintf
+    (fun msg -> invalid_arg (Format.asprintf "Fault.check: %s in %a" msg pp e))
+    fmt
+
+let check ~m e =
+  if e.machine < 0 || e.machine >= m then
+    reject e "machine %d outside [0, %d)" e.machine m;
+  if not (Float.is_finite e.time) || e.time < 0.0 then
+    reject e "bad event time %g" e.time;
+  match e.kind with
+  | Crash -> ()
+  | Outage until ->
+      if not (Float.is_finite until) || until <= e.time then
+        reject e "outage [%g, %g) is empty" e.time until
+  | Slowdown factor ->
+      if not (factor > 0.0 && factor <= 1.0) then
+        reject e "slowdown factor %g outside (0, 1]" factor

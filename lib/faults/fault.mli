@@ -12,8 +12,9 @@
       in-flight work is lost and so is its locally stored data (the
       HDFS "lost disk" event — eligibility sets shrink);
     - {b transient outage}: the machine is unavailable on
-      [[time, until)]; in-flight work is lost (no checkpointing) but the
-      data on disk survives, so the machine rejoins at [until];
+      [[time, until)]; in-flight work is lost (unless a {!Recovery}
+      policy checkpoints it) but the data on disk survives, so the
+      machine rejoins at [until];
     - {b straggler slowdown}: from [time] on, the machine runs at
       [factor] times its configured speed (the MapReduce straggler that
       speculation exists to beat). *)
@@ -31,7 +32,8 @@ type event = { machine : int; time : float; kind : kind }
 val check : m:int -> event -> unit
 (** Raises [Invalid_argument] unless [machine] is in [[0, m)], [time] is
     finite and non-negative, outages end strictly after they start, and
-    slowdown factors lie in [(0, 1]]. *)
+    slowdown factors lie in [(0, 1]]. The message names the offending
+    event via {!pp}. *)
 
 val pp : Format.formatter -> event -> unit
 (** Renders as [crash(m2 @ 3.5)], [outage(m0 @ 1 until 4)],

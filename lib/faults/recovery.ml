@@ -1,0 +1,63 @@
+(* Recovery policies. See recovery.mli for the model description.
+
+   [none] must stay a single shared constant: the engine recognizes it
+   physically ([==]) to take the exact pre-recovery code path, while a
+   structurally-equal policy built by [make ()] exercises the recovery
+   machinery (the golden test relies on that distinction). *)
+
+type t = {
+  detection_latency : float;
+  rereplication_target : int;
+  bandwidth : float;
+  checkpoint_interval : float;
+  max_retries : int;
+}
+
+let none =
+  {
+    detection_latency = 0.0;
+    rereplication_target = 0;
+    bandwidth = infinity;
+    checkpoint_interval = 0.0;
+    max_retries = 0;
+  }
+
+let bad fmt = Format.kasprintf invalid_arg fmt
+
+let check_finite_nonneg ~what x =
+  if Float.is_nan x then bad "Recovery.make: %s is NaN" what;
+  if x < 0.0 then bad "Recovery.make: negative %s (%g)" what x;
+  if x = infinity then bad "Recovery.make: infinite %s" what
+
+let make ?(detection_latency = 0.0) ?(rereplication_target = 0)
+    ?(bandwidth = infinity) ?(checkpoint_interval = 0.0) ?(max_retries = 0) ()
+    =
+  check_finite_nonneg ~what:"detection latency" detection_latency;
+  check_finite_nonneg ~what:"checkpoint interval" checkpoint_interval;
+  if Float.is_nan bandwidth then bad "Recovery.make: bandwidth is NaN";
+  if not (bandwidth > 0.0) then
+    bad "Recovery.make: bandwidth must be > 0 (got %g)" bandwidth;
+  if rereplication_target < 0 then
+    bad "Recovery.make: negative re-replication target (%d)"
+      rereplication_target;
+  if max_retries < 0 then
+    bad "Recovery.make: negative max retries (%d)" max_retries;
+  { detection_latency; rereplication_target; bandwidth; checkpoint_interval;
+    max_retries }
+
+let is_none t = t == none
+let is_active t = not (is_none t)
+
+let backoff t ~blinks =
+  if t.max_retries = 0 || t.detection_latency <= 0.0 || blinks <= 0 then 0.0
+  else
+    t.detection_latency
+    *. Float.pow 2.0 (float_of_int (min (blinks - 1) (t.max_retries - 1)))
+
+let pp ppf t =
+  if is_none t then Format.fprintf ppf "recovery(none)"
+  else
+    Format.fprintf ppf
+      "recovery(detect=%g, target=%d, bw=%g, ckpt=%g, retries=%d)"
+      t.detection_latency t.rereplication_target t.bandwidth
+      t.checkpoint_interval t.max_retries

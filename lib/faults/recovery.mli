@@ -1,0 +1,91 @@
+(** Recovery policies: how the scheduler reacts to failures.
+
+    PR 1 made failures executable but left the engine only {e passively}
+    robust: killed work is re-dispatched to pre-placed replicas, and a
+    task whose last replica holder dies is irrecoverably stranded. A
+    recovery policy makes the engine {e heal} (the HDFS/MapReduce story
+    from the paper's introduction, taken one step further):
+
+    - {b failure detection}: a machine's crash or outage becomes known
+      to the scheduler only after [detection_latency] simulated time
+      units. Until then the victim's in-flight task is believed to still
+      be running — its re-dispatch (and any re-replication triggered by
+      the failure) waits for detection. Machines report their own state
+      truthfully on rejoin, so an outage shorter than the latency is
+      detected at rejoin time at the latest.
+    - {b online re-replication}: whenever a task's live replica count
+      drops below [rereplication_target], its data is copied from a
+      surviving holder to the least-loaded healthy machine, paying
+      [size / bandwidth] time for the transfer. Eligibility sets grow
+      back mid-run; a task strands only when its last holder dies before
+      any copy completes or transfers out.
+    - {b checkpoint/resume}: with [checkpoint_interval = c > 0], a copy
+      checkpoints every [c] units of {e processed work} to its machine's
+      local disk. A copy killed by an outage resumes from the last
+      checkpoint when the machine rejoins (crashes destroy the disk and
+      the checkpoints with it).
+    - {b capped-backoff retry}: with [max_retries > 0], a machine that
+      just blinked is not trusted with new work immediately: after its
+      [b]-th outage it only receives dispatches
+      [detection_latency * 2^(min (b-1) (max_retries-1))] time units
+      after rejoining. It still serves data transfers meanwhile.
+
+    {!none} disables all four mechanisms and is recognized {e
+    physically} ([==]) by the engine, which then takes exactly the
+    pre-recovery code path — [Engine.run_faulty] with the default policy
+    is bit-for-bit the engine of PR 1. A policy built by [make ()] with
+    all defaults is {e structurally} neutral but still exercises the
+    recovery machinery; the golden qcheck property in [test_recovery]
+    proves both produce identical schedules, events, outcomes, and
+    metrics. *)
+
+type t = private {
+  detection_latency : float;  (** Failure-to-knowledge lag, [>= 0]. *)
+  rereplication_target : int;
+      (** Heal tasks back up to this many live replicas; [0] = off. *)
+  bandwidth : float;
+      (** Data units copied per time unit, [> 0]; [infinity] makes
+          transfers instantaneous. *)
+  checkpoint_interval : float;
+      (** Units of processed work between checkpoints; [0] = off. *)
+  max_retries : int;
+      (** Number of distinct backoff levels for blinking machines;
+          [0] = no backoff. *)
+}
+
+val none : t
+(** No detection latency, no re-replication, no checkpointing, no
+    backoff: the engine's default, bit-for-bit identical to the
+    pre-recovery fault engine. *)
+
+val make :
+  ?detection_latency:float ->
+  ?rereplication_target:int ->
+  ?bandwidth:float ->
+  ?checkpoint_interval:float ->
+  ?max_retries:int ->
+  unit ->
+  t
+(** Validated constructor; every omitted field defaults to its {!none}
+    value. Raises [Invalid_argument] when [detection_latency] or
+    [checkpoint_interval] is negative, NaN, or infinite, when
+    [bandwidth] is not [> 0] (NaN rejected; [infinity] allowed), or
+    when [rereplication_target] or [max_retries] is negative. *)
+
+val is_none : t -> bool
+(** Physical equality with {!none}: true only for the shared constant,
+    so [make ()] — structurally equal — still drives the engine through
+    the (behaviour-neutral) recovery code path. *)
+
+val is_active : t -> bool
+(** [not (is_none t)]. *)
+
+val backoff : t -> blinks:int -> float
+(** Extra distrust delay after a machine's [blinks]-th outage
+    ([blinks >= 1]):
+    [detection_latency * 2^(min (blinks-1) (max_retries-1))], or [0]
+    when [max_retries = 0] or [detection_latency = 0]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [recovery(none)] or
+    [recovery(detect=0.5, target=2, bw=4, ckpt=1, retries=3)]. *)

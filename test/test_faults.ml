@@ -160,6 +160,74 @@ let speculation_needs_a_holder () =
   close "no backup possible" 8.0 outcome.Engine.makespan;
   close "no waste" 0.0 outcome.Engine.wasted
 
+(* -------------------- tie-breaks at equal times --------------------- *)
+
+(* Faults sort before completions at the same timestamp (event class 0
+   vs 1): a copy finishing exactly when its machine's outage begins is
+   killed, not completed — and killed exactly once. *)
+let outage_at_completion_time () =
+  let instance =
+    Instance.of_ests ~m:1 ~alpha:Uncertainty.alpha_exact [| 4.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.full 1 |] in
+  let outcome, events =
+    Engine.run_faulty_traced instance realization
+      ~faults:
+        (trace_of ~m:1
+           [ { Fault.machine = 0; time = 4.0; kind = Fault.Outage 6.0 } ])
+      ~placement ~order:(submission_order 1)
+  in
+  checki "killed exactly once" 1
+    (List.length
+       (List.filter
+          (function Engine.Killed _ -> true | _ -> false)
+          events));
+  close "the whole attempt counted as waste, once" 4.0 outcome.Engine.wasted;
+  close "restart after the outage" 10.0 outcome.Engine.makespan
+
+(* Two faults on the same machine at the same instant: the first kills
+   the running copy, the second finds nothing left to kill — the copy's
+   work is wasted once, whatever the trace order. *)
+let simultaneous_crash_and_outage order_name evs () =
+  let instance =
+    Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact [| 4.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.full 2 |] in
+  let outcome, events =
+    Engine.run_faulty_traced instance realization ~faults:(trace_of ~m:2 evs)
+      ~placement ~order:(submission_order 1)
+  in
+  checki (order_name ^ ": killed exactly once") 1
+    (List.length
+       (List.filter
+          (function Engine.Killed _ -> true | _ -> false)
+          events));
+  close (order_name ^ ": wasted once, not twice") 2.0 outcome.Engine.wasted;
+  checki (order_name ^ ": completes on the survivor") 1
+    outcome.Engine.completed;
+  let e = finished_entry outcome 0 in
+  checki (order_name ^ ": survivor machine") 1 e.Schedule.machine;
+  close (order_name ^ ": redispatch at the fault instant") 2.0
+    e.Schedule.start
+
+let crash_then_outage () =
+  simultaneous_crash_and_outage "crash-first"
+    [
+      crash ~machine:0 ~time:2.0;
+      { Fault.machine = 0; time = 2.0; kind = Fault.Outage 5.0 };
+    ]
+    ()
+
+let outage_then_crash () =
+  simultaneous_crash_and_outage "outage-first"
+    [
+      { Fault.machine = 0; time = 2.0; kind = Fault.Outage 5.0 };
+      crash ~machine:0 ~time:2.0;
+    ]
+    ()
+
 (* ------------------------ qcheck properties ------------------------ *)
 
 (* Random scenario: n tasks, m machines, ring placement with k replicas,
@@ -370,6 +438,15 @@ let () =
             speculation_backup_wins;
           Alcotest.test_case "speculation needs a second data holder" `Quick
             speculation_needs_a_holder;
+        ] );
+      ( "tie-breaks",
+        [
+          Alcotest.test_case "outage at the exact completion time kills once"
+            `Quick outage_at_completion_time;
+          Alcotest.test_case "crash and outage at the same instant (crash first)"
+            `Quick crash_then_outage;
+          Alcotest.test_case "crash and outage at the same instant (outage first)"
+            `Quick outage_then_crash;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -359,6 +359,67 @@ let mkdir_p_cases () =
        false
      with Failure _ | Unix.Unix_error _ -> true)
 
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let atomic_write_cases () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "sub/report.json" in
+  Fs.write_atomic ~path "first";
+  checkb "content written" true (read_file path = "first");
+  checkb "no temp file left" false (Sys.file_exists (Fs.temp_path path));
+  Fs.write_atomic ~path "second";
+  checkb "overwrite replaces" true (read_file path = "second")
+
+exception Boom
+
+let atomic_write_failure_keeps_old_content () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "out.csv" in
+  Fs.write_atomic ~path "precious";
+  checkb "writer exception propagates" true
+    (try
+       (Fs.with_atomic_oc ~path (fun oc ->
+            output_string oc "torn torn torn";
+            raise Boom)
+         : unit);
+       false
+     with Boom -> true);
+  checkb "old content survives a failed rewrite" true
+    (read_file path = "precious");
+  checkb "failed writer leaves no temp file" false
+    (Sys.file_exists (Fs.temp_path path))
+
+let sink_discard_on_exception () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "trace.jsonl" in
+  Sink.with_file ~path (fun s -> Sink.emit s (Json.Obj []));
+  checkb "baseline trace published" true (Sys.file_exists path);
+  let before = read_file path in
+  checkb "exception propagates" true
+    (try
+       (Sink.with_file ~path (fun s ->
+            Sink.emit s (Json.Obj [ ("half", Json.Int 1) ]);
+            raise Boom)
+         : unit);
+       false
+     with Boom -> true);
+  checkb "old trace untouched" true (read_file path = before);
+  checkb "no temp file left" false (Sys.file_exists (Fs.temp_path path));
+  (* Publication only happens at close: mid-stream the target is the old
+     file (or absent), never a prefix of the new one. *)
+  let fresh = Filename.concat dir "fresh.jsonl" in
+  let sink = Sink.create ~path:fresh in
+  Sink.emit sink (Json.Obj []);
+  checkb "target absent until close" false (Sys.file_exists fresh);
+  Sink.close sink;
+  checkb "published at close" true (Sys.file_exists fresh);
+  Sink.close sink (* idempotent *)
+
 (* --------------------------- quantiles ----------------------------- *)
 
 let quantile_rejects_nan () =
@@ -416,7 +477,14 @@ let () =
           Alcotest.test_case "jsonl sink" `Quick jsonl_sink;
         ] );
       ( "fs",
-        [ Alcotest.test_case "mkdir_p" `Quick mkdir_p_cases ] );
+        [
+          Alcotest.test_case "mkdir_p" `Quick mkdir_p_cases;
+          Alcotest.test_case "atomic writes" `Quick atomic_write_cases;
+          Alcotest.test_case "failed write keeps old content" `Quick
+            atomic_write_failure_keeps_old_content;
+          Alcotest.test_case "sink discards on exception" `Quick
+            sink_discard_on_exception;
+        ] );
       ( "quantiles",
         [
           Alcotest.test_case "rejects NaN" `Quick quantile_rejects_nan;

@@ -90,6 +90,45 @@ let sets_are_fresh_array () =
   sets.(0) <- Bitset.create 2;
   checkb "placement unchanged" true (Placement.allowed p ~task:0 ~machine:0)
 
+(* ----------------- recovery-layer static helpers ------------------- *)
+
+let with_replica_grows_one_set () =
+  let p = Placement.singletons ~m:3 [| 0; 1 |] in
+  let q = Placement.with_replica p ~task:0 ~machine:2 in
+  checkb "replica added" true (Placement.allowed q ~task:0 ~machine:2);
+  checkb "original untouched" false (Placement.allowed p ~task:0 ~machine:2);
+  checkb "other task shared" true (Placement.set q 1 == Placement.set p 1);
+  checki "replication grew" 2 (Placement.replication q 0);
+  (* Already a holder: the placement is returned physically unchanged. *)
+  checkb "idempotent on holders" true (Placement.with_replica q ~task:0 ~machine:2 == q);
+  Alcotest.check_raises "bad task"
+    (Invalid_argument "Placement.with_replica: task id") (fun () ->
+      ignore (Placement.with_replica p ~task:9 ~machine:0))
+
+let under_replicated_reports_ascending () =
+  let p =
+    Placement.of_sets ~m:3
+      [| Bitset.of_list 3 [ 0; 1 ]; Bitset.singleton 3 2; Bitset.singleton 3 0 |]
+  in
+  let alive = Bitset.of_list 3 [ 0; 1 ] in
+  Alcotest.(check (list int))
+    "tasks below r=2 among alive machines" [ 1; 2 ]
+    (Placement.under_replicated p ~r:2 ~alive);
+  Alcotest.(check (list int))
+    "r=1 only flags the dead-data task" [ 1 ]
+    (Placement.under_replicated p ~r:1 ~alive);
+  Alcotest.(check (list int))
+    "r=0 flags nothing" []
+    (Placement.under_replicated p ~r:0 ~alive)
+
+let machine_loads_count_replicas () =
+  let p =
+    Placement.of_sets ~m:3
+      [| Bitset.of_list 3 [ 0; 1 ]; Bitset.singleton 3 0 |]
+  in
+  Alcotest.(check (array int))
+    "replica count per machine" [| 2; 1; 0 |] (Placement.machine_loads p)
+
 let () =
   Alcotest.run "placement"
     [
@@ -112,5 +151,12 @@ let () =
             failure_without_replication_fatal;
           Alcotest.test_case "original untouched" `Quick failure_original_untouched;
           Alcotest.test_case "bad machine id" `Quick failure_bad_machine_rejected;
+        ] );
+      ( "recovery helpers",
+        [
+          Alcotest.test_case "with_replica" `Quick with_replica_grows_one_set;
+          Alcotest.test_case "under_replicated" `Quick
+            under_replicated_reports_ascending;
+          Alcotest.test_case "machine_loads" `Quick machine_loads_count_replicas;
         ] );
     ]
