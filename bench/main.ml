@@ -17,6 +17,7 @@ module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Rng = Usched_prng.Rng
 module Engine = Usched_desim.Engine
+module Dispatch = Usched_desim.Dispatch
 module Trace = Usched_faults.Trace
 module Recovery = Usched_faults.Recovery
 
@@ -65,6 +66,19 @@ let benches () =
     Realization.uniform_factor mixed (Rng.create ~seed:12 ())
   in
   let rng = Rng.create ~seed:11 () in
+  (* Dispatch-layer fixtures: the alternative policies rescan eligible
+     tasks per decision (no cursor amortization), so they get a smaller
+     instance; the default policy also runs at full size to expose any
+     dispatch-layer overhead against the committed baseline. *)
+  let disp = bench_instance ~n:300 ~m:32 in
+  let disp_realization =
+    Realization.uniform_factor disp (Rng.create ~seed:15 ())
+  in
+  let disp_sets =
+    Core.Placement.sets
+      ((Core.Group_replication.ls_group ~k:4).Core.Two_phase.phase1 disp)
+  in
+  let disp_order = Instance.lpt_order disp in
   [
     (* Phase-1 placement algorithms (n=1000, m=210). *)
     Test.make ~name:"phase1/lpt-no-choice (n=1k,m=210)"
@@ -185,12 +199,34 @@ let benches () =
             ignore
               (Engine.run_faulty ~recovery:neutral instance realization
                  ~faults:crashes ~placement:sets ~order))));
+    (* Dispatch layer: the default policy at full size, on the same
+       placement/order as faulty/empty-trace overhead but through the
+       healthy engine. *)
+    (let placement =
+       (Core.Group_replication.ls_group ~k:42).Core.Two_phase.phase1 instance
+     in
+     let sets = Core.Placement.sets placement in
+     let order = Instance.lpt_order instance in
+     Test.make ~name:"dispatch/list-priority (n=1k,m=210)"
+       (Staged.stage (fun () ->
+            ignore
+              (Engine.run ~dispatch:Dispatch.List_priority instance realization
+                 ~placement:sets ~order))));
     (* Substrates. *)
     Test.make ~name:"prng/xoshiro256 float"
       (Staged.stage (fun () -> ignore (Rng.float rng)));
     Test.make ~name:"workload/uniform n=1000"
       (Staged.stage (fun () -> ignore (bench_instance ~n:1000 ~m:210)));
   ]
+  @ List.map
+      (fun policy ->
+        Test.make
+          ~name:(Printf.sprintf "dispatch/%s (n=300,m=32)" (Dispatch.name policy))
+          (Staged.stage (fun () ->
+               ignore
+                 (Engine.run ~dispatch:policy disp disp_realization
+                    ~placement:disp_sets ~order:disp_order))))
+      Dispatch.builtin
 
 type bench_result = {
   name : string;

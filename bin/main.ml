@@ -158,6 +158,15 @@ let algorithm_conv =
   let print ppf algo = Format.fprintf ppf "%s" algo.Core.Two_phase.name in
   Arg.conv ~docv:"ALGO" (parse, print)
 
+let policy_conv =
+  let parse s =
+    match Usched_desim.Dispatch.spec_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf p = Format.fprintf ppf "%s" (Usched_desim.Dispatch.name p) in
+  Arg.conv ~docv:"POLICY" (parse, print)
+
 (* Validated float converters: plain [Arg.float] happily accepts "nan",
    which sails past range checks like [x < 0.0 || x > 1.0] and only
    blows up deep inside the engine. Reject it (and out-of-range values)
@@ -236,6 +245,16 @@ let solve_cmd =
                    outage resumes from its last checkpoint when the machine \
                    rejoins (0 = restart from scratch).")
   in
+  let policy =
+    Arg.(value & opt policy_conv Usched_desim.Dispatch.default
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:(Printf.sprintf
+                     "Engine dispatch policy for the placement replays \
+                      (healthy and faulty): %s. The default reproduces the \
+                      paper's list-priority rule; any other choice also \
+                      prints its replay makespan next to the algorithm's."
+                     Usched_desim.Dispatch.known_names))
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -246,7 +265,7 @@ let solve_cmd =
                    created as needed.")
   in
   let run file algo seed gantt fail_rate speculate recover detect_latency
-      bandwidth checkpoint trace_path =
+      bandwidth checkpoint policy trace_path =
     let recovery =
       if
         recover = 0 && detect_latency = 0.0
@@ -291,6 +310,7 @@ let solve_cmd =
            ("n", Json.Int n);
            ("m", Json.Int m);
            ("fail_rate", Json.float fail_rate);
+           ("policy", Json.String (Usched_desim.Dispatch.name policy));
            ( "speculate",
              match speculate with None -> Json.Null | Some b -> Json.float b );
            ( "recovery",
@@ -319,6 +339,20 @@ let solve_cmd =
       (Core.Placement.memory_max placement ~sizes:(Model.Instance.sizes instance));
     if gantt then print_string (Usched_desim.Gantt.render schedule);
     print_string (Usched_desim.Timeline.render_stats schedule);
+    if policy <> Usched_desim.Dispatch.default then begin
+      (* Same placement, same LPT order, only the dispatch rule differs —
+         the ratio isolates the policy from the algorithm's own ordering. *)
+      let replay dispatch =
+        Usched_desim.Schedule.makespan
+          (Usched_desim.Engine.run ~dispatch instance realization
+             ~placement:(Core.Placement.sets placement)
+             ~order:(Model.Instance.lpt_order instance))
+      in
+      let pm = replay policy in
+      Printf.printf "dispatch policy %s: replay C_max = %.4f (%.4fx default)\n"
+        (Usched_desim.Dispatch.name policy)
+        pm (pm /. replay Usched_desim.Dispatch.default)
+    end;
     if tracing then begin
       (* Replay the placement through the engine under LPT order — the
          same replay the faulty path uses — with events and metrics on. *)
@@ -327,7 +361,8 @@ let solve_cmd =
            [ ("type", Json.String "phase"); ("name", Json.String "healthy") ]);
       let metrics = Metrics.create () in
       let replay, events =
-        Usched_desim.Engine.run_traced ~metrics instance realization
+        Usched_desim.Engine.run_traced ~dispatch:policy ~metrics instance
+          realization
           ~placement:(Core.Placement.sets placement)
           ~order:(Model.Instance.lpt_order instance)
       in
@@ -363,8 +398,8 @@ let solve_cmd =
         if tracing || rec_active then Metrics.create () else Metrics.disabled
       in
       let outcome, events =
-        Usched_desim.Engine.run_faulty_traced ?speculation:speculate ~recovery
-          ~metrics instance realization ~faults
+        Usched_desim.Engine.run_faulty_traced ?speculation:speculate
+          ~dispatch:policy ~recovery ~metrics instance realization ~faults
           ~placement:(Core.Placement.sets placement)
           ~order:(Model.Instance.lpt_order instance)
       in
@@ -417,7 +452,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Run a two-phase algorithm on an instance file.")
     Term.(
       const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate $ recover
-      $ detect_latency $ bandwidth $ checkpoint $ trace)
+      $ detect_latency $ bandwidth $ checkpoint $ policy $ trace)
 
 let minimax_cmd =
   let m = Arg.(value & opt int 3 & info [ "m"; "machines" ] ~doc:"Machines.") in

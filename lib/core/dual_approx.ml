@@ -113,7 +113,8 @@ let feasible_at ~epsilon ~t ~m p =
         Hashtbl.replace class_table c (j :: members))
       big;
     let classes =
-      List.sort compare (Hashtbl.fold (fun c _ acc -> c :: acc) class_table [])
+      List.sort Int.compare
+        (Hashtbl.fold (fun c _ acc -> c :: acc) class_table [])
     in
     let class_sizes =
       Array.of_list (List.map (fun c -> float_of_int c *. quantum) classes)

@@ -27,7 +27,7 @@ let partition_value ~m ~alpha counts =
           Hashtbl.add opt_cache h v;
           v
     in
-    let distinct = List.sort_uniq compare (Array.to_list counts) in
+    let distinct = List.sort_uniq Int.compare (Array.to_list counts) in
     List.fold_left
       (fun acc b ->
         if b = 0 then acc

@@ -19,9 +19,12 @@ let run t instance realization = snd (run_full t instance realization)
 let makespan t instance realization =
   Schedule.makespan (run t instance realization)
 
-let engine_phase2 ~order instance placement realization =
-  Engine.run instance realization ~placement:(Placement.sets placement)
-    ~order:(order instance)
+let engine_phase2 ?dispatch ~order instance placement realization =
+  Engine.run ?dispatch instance realization
+    ~placement:(Placement.sets placement) ~order:(order instance)
+
+let dispatch_phase2 ~dispatch ~order instance placement realization =
+  engine_phase2 ~dispatch ~order instance placement realization
 
 let lpt_order_phase2 instance placement realization =
   engine_phase2 ~order:Instance.lpt_order instance placement realization

@@ -1,0 +1,196 @@
+module Bitset = Usched_model.Bitset
+module Rng = Usched_prng.Rng
+
+type spec =
+  | List_priority
+  | Least_loaded_holder
+  | Earliest_estimated_completion
+  | Random_tiebreak of int
+
+let default = List_priority
+
+let name = function
+  | List_priority -> "list-priority"
+  | Least_loaded_holder -> "least-loaded"
+  | Earliest_estimated_completion -> "earliest-completion"
+  | Random_tiebreak seed -> Printf.sprintf "random:%d" seed
+
+let known_names = "list-priority | least-loaded | earliest-completion | random:SEED"
+
+let spec_of_string s =
+  match String.split_on_char ':' s with
+  | [ "list-priority" ] -> Ok List_priority
+  | [ "least-loaded" ] -> Ok Least_loaded_holder
+  | [ "earliest-completion" ] -> Ok Earliest_estimated_completion
+  | [ "random" ] -> Ok (Random_tiebreak 0)
+  | [ "random"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some seed -> Ok (Random_tiebreak seed)
+      | None -> Error (Printf.sprintf "invalid random tie-break seed %S" seed))
+  | _ ->
+      Error
+        (Printf.sprintf "unknown dispatch policy %S (expected %s)" s known_names)
+
+let builtin = [ List_priority; Least_loaded_holder; Earliest_estimated_completion; Random_tiebreak 0 ]
+
+type view = {
+  n : int;
+  m : int;
+  order : int array;
+  pos_of : int array;
+  dispatchable : bool array;
+  holders : Bitset.t array;
+  est : int -> float;
+  speed : int -> float;
+  load : float array;
+  available : time:float -> int -> bool;
+}
+
+type t = {
+  spec : spec;
+  select : time:float -> machine:int -> int option;
+  notify : task:int -> unit;
+}
+
+let spec t = t.spec
+let policy_name t = name t.spec
+
+(* The paper's rule, exactly as the monolithic engine implemented it: a
+   per-machine cursor over the priority order. Every position skipped by
+   the scan is unavailable to this machine at scan time; positions only
+   become available again through [notify] (a killed task returning to
+   the pool, or a re-replication growing a holder set), which rewinds
+   every cursor that moved past them. Without such notifications the
+   cursors are monotone and the total scan is O(m*n). *)
+let make_list_priority v =
+  let cursor = Array.make v.m 0 in
+  let select ~time:_ ~machine:i =
+    let rec scan pos =
+      if pos >= v.n then None
+      else begin
+        cursor.(i) <- pos + 1;
+        let j = v.order.(pos) in
+        if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then Some j
+        else scan (pos + 1)
+      end
+    in
+    scan cursor.(i)
+  in
+  let notify ~task =
+    let p = v.pos_of.(task) in
+    for i = 0 to v.m - 1 do
+      if cursor.(i) > p then cursor.(i) <- p
+    done
+  in
+  { spec = List_priority; select; notify }
+
+(* Locality/load-aware rule: the idle machine takes the highest-priority
+   eligible task for which it is a least-loaded available holder — no
+   other available holder of the task's data has strictly smaller
+   dispatched load. A machine thus defers work that a less-loaded
+   replica holder could take, and grabs first the tasks it is the best
+   (or only) home for. Falls back to the highest-priority eligible task
+   when no task prefers this machine, so the rule stays
+   work-conserving. *)
+let make_least_loaded v =
+  let select ~time ~machine:i =
+    let fallback = ref (-1) in
+    let rec scan pos =
+      if pos >= v.n then if !fallback >= 0 then Some !fallback else None
+      else
+        let j = v.order.(pos) in
+        if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then begin
+          if !fallback < 0 then fallback := j;
+          let li = v.load.(i) in
+          let better = ref false in
+          Bitset.iter
+            (fun k ->
+              if
+                (not !better) && k <> i
+                && v.available ~time k
+                && v.load.(k) < li
+              then better := true)
+            v.holders.(j);
+          if !better then scan (pos + 1) else Some j
+        end
+        else scan (pos + 1)
+    in
+    scan 0
+  in
+  { spec = Least_loaded_holder; select; notify = (fun ~task:_ -> ()) }
+
+(* Shortest-estimated-processing-time on this machine: take the eligible
+   task minimizing est(j) / speed(i) — the copy this machine can finish
+   earliest, by estimates only (the scheduler is semi-clairvoyant and
+   never sees actuals). Ties resolve to the priority order. *)
+let make_earliest_completion v =
+  let select ~time:_ ~machine:i =
+    let best = ref (-1) and best_cost = ref infinity in
+    for pos = 0 to v.n - 1 do
+      let j = v.order.(pos) in
+      if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then begin
+        let cost = v.est j /. v.speed i in
+        if cost < !best_cost then begin
+          best := j;
+          best_cost := cost
+        end
+      end
+    done;
+    if !best >= 0 then Some !best else None
+  in
+  { spec = Earliest_estimated_completion; select; notify = (fun ~task:_ -> ()) }
+
+(* List priority with seeded random resolution of genuine priority ties:
+   among the eligible tasks whose estimate equals the highest-priority
+   eligible one's, pick uniformly. With all-distinct estimates this
+   coincides with [List_priority]; on identical- or few-valued workloads
+   it randomizes the order within each tie class. Deterministic given
+   the seed (one RNG draw per tied decision). *)
+let make_random_tiebreak seed v =
+  let rng = Rng.create ~seed () in
+  let candidates = Array.make v.n 0 in
+  let select ~time:_ ~machine:i =
+    let rec first pos =
+      if pos >= v.n then None
+      else
+        let j = v.order.(pos) in
+        if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then Some (pos, j)
+        else first (pos + 1)
+    in
+    match first 0 with
+    | None -> None
+    | Some (pos0, j0) ->
+        let e0 = v.est j0 in
+        let count = ref 0 in
+        for pos = pos0 to v.n - 1 do
+          let j = v.order.(pos) in
+          if v.dispatchable.(j) && Bitset.mem v.holders.(j) i && v.est j = e0
+          then begin
+            candidates.(!count) <- j;
+            incr count
+          end
+        done;
+        if !count <= 1 then Some j0
+        else Some candidates.(Rng.int rng !count)
+  in
+  { spec = Random_tiebreak seed; select; notify = (fun ~task:_ -> ()) }
+
+let make spec v =
+  (match v.n with
+  | n when n <> Array.length v.order || n <> Array.length v.pos_of ->
+      invalid_arg "Dispatch.make: order/pos_of length differs from task count"
+  | _ -> ());
+  match spec with
+  | List_priority -> make_list_priority v
+  | Least_loaded_holder -> make_least_loaded v
+  | Earliest_estimated_completion -> make_earliest_completion v
+  | Random_tiebreak seed -> make_random_tiebreak seed v
+
+let select t ~time ~machine = t.select ~time ~machine
+let notify_available t ~task = t.notify ~task
+
+(* THE re-dispatch determinism contract, in exactly one place: machines
+   freed at the same instant (a speculative race ending, say) look for
+   new work in increasing machine id. Documented in the engine's
+   interface; pinned by test_dispatch. *)
+let redispatch_order _t machines = List.sort Int.compare machines

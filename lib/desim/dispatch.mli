@@ -1,0 +1,112 @@
+(** First-class, pluggable dispatch policies for the phase-2 engine.
+
+    Every online algorithm in the paper is {e eligibility-restricted
+    list scheduling}: an idle machine consults a rule to pick which
+    eligible task to start. The replication-scheduling literature shows
+    this rule is the interesting knob (delay-optimal replica dispatch,
+    data-locality-aware assignment); this module makes it a value the
+    engine takes as a parameter instead of a hard-coded scan.
+
+    A policy sees only the {e scheduler-visible} state ({!view}): the
+    priority order, which tasks are in the pool, who currently holds
+    each task's data (replica sets grow mid-run under re-replication),
+    per-machine dispatched load and configured speeds, and machine
+    availability. Policies never see actual processing times — the
+    semi-clairvoyant model — and they never refuse available work: when
+    some eligible task exists, {!select} returns one ({e
+    work-conservation}; the engine's completeness argument and the
+    policy/fault reachability property in the tests rely on it).
+
+    Policies are {b stateful per run}: {!make} instantiates fresh state
+    (the default policy's cursors, the random policy's seeded RNG), so a
+    policy value must not be shared between concurrent runs. Identical
+    inputs give identical decisions — every policy is deterministic,
+    including [Random_tiebreak], whose randomness is a pure function of
+    its seed. *)
+
+module Bitset = Usched_model.Bitset
+
+type spec =
+  | List_priority
+      (** The paper's default: the highest-priority eligible task, via
+          per-machine cursors over the order (O(m·n) amortized). This is
+          bit-for-bit the rule the pre-refactor engine hard-coded. *)
+  | Least_loaded_holder
+      (** The highest-priority eligible task for which this machine is a
+          least-loaded available holder of the data; a machine defers
+          tasks that a strictly less-loaded replica holder could take,
+          falling back to plain priority order when nothing prefers it.
+          Load is dispatched estimate-units, never actuals. *)
+  | Earliest_estimated_completion
+      (** The eligible task this machine finishes earliest by estimate:
+          minimize [est(j) / speed(i)] (SPT restricted to held data);
+          ties resolve to the priority order. *)
+  | Random_tiebreak of int
+      (** [List_priority] with genuine priority ties — eligible tasks
+          sharing the leading estimate — broken uniformly at random from
+          the seeded generator. Coincides with [List_priority] when
+          estimates are distinct; deterministic given the seed. *)
+
+val default : spec
+(** [List_priority]. *)
+
+val name : spec -> string
+(** Stable CLI/trace name: ["list-priority"], ["least-loaded"],
+    ["earliest-completion"], ["random:SEED"]. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Inverse of {!name} (["random"] alone means seed 0). The error
+    message lists the valid names — surfaced verbatim by the [--policy]
+    cmdliner converter. *)
+
+val known_names : string
+(** Human-readable list of accepted names, for usage strings. *)
+
+val builtin : spec list
+(** One representative of every policy family (random seeded 0), in
+    presentation order — what sweeps and benches iterate over. *)
+
+(** The scheduler-visible state a policy decides from. The arrays are
+    live views owned by the engine: [dispatchable.(j)] is whether task
+    [j] is in the pool right now, [holders.(j)] the machines whose disk
+    currently has [j]'s data, [load.(i)] the estimate-units dispatched
+    to machine [i] so far. *)
+type view = {
+  n : int;
+  m : int;
+  order : int array;  (** fixed task priority order *)
+  pos_of : int array;  (** inverse permutation of [order] *)
+  dispatchable : bool array;
+  holders : Bitset.t array;
+  est : int -> float;
+  speed : int -> float;  (** configured base speed (not slowdowns) *)
+  load : float array;
+  available : time:float -> int -> bool;
+}
+
+type t
+
+val make : spec -> view -> t
+(** Instantiate the policy with fresh per-run state over the given
+    view. Raises [Invalid_argument] when [order]/[pos_of] disagree with
+    [n]. *)
+
+val spec : t -> spec
+val policy_name : t -> string
+
+val select : t -> time:float -> machine:int -> int option
+(** The task idle machine [machine] should start now, or [None] when it
+    holds no eligible task. Work-conserving: [None] implies no
+    dispatchable task has [machine] among its holders. *)
+
+val notify_available : t -> task:int -> unit
+(** The task (re-)entered the pool or grew its holder set — a kill
+    returned it, or a re-replication landed. Stateful policies must
+    reconsider it ([List_priority] rewinds its cursors); stateless scans
+    ignore the notification. *)
+
+val redispatch_order : t -> int list -> int list
+(** The order in which machines freed at the same instant look for new
+    work: increasing machine id. This is the single home of the
+    documented re-dispatch determinism contract (the engine previously
+    duplicated it inline). *)

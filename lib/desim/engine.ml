@@ -1,3 +1,18 @@
+(* The phase-2 engine, as a thin composition of the desim layers:
+
+   - [Machine_state]: per-machine clocks, speeds, up/down state, the
+     in-flight copy, and the recovery bookkeeping (checkpoint store,
+     orphaned copies, detection and backoff timers);
+   - [Event_core]: the typed priority-queue event loop and the
+     simultaneous-event ordering contract;
+   - [Dispatch]: the pluggable policy deciding which eligible task an
+     idle machine starts, and the re-dispatch order of machines freed
+     at the same instant.
+
+   What remains here is the physics: what a crash, outage, slowdown,
+   completion, transfer, checkpoint, or speculation event does to the
+   shared task state, and the observability taps around it. *)
+
 module Bitset = Usched_model.Bitset
 module Instance = Usched_model.Instance
 module Realization = Usched_model.Realization
@@ -65,11 +80,13 @@ let check_inputs ?speeds ~name instance ~placement ~order =
       seen.(j) <- true)
     order
 
-(* Events are (idle time, machine id); the id breaks ties deterministically. *)
-let compare_idle (ta, ia) (tb, ib) =
-  match Float.compare ta tb with 0 -> Int.compare ia ib | c -> c
+let inverse_order ~n order =
+  let pos_of = Array.make n 0 in
+  Array.iteri (fun pos j -> pos_of.(j) <- pos) order;
+  pos_of
 
-let run_internal ?speeds ~metrics instance realization ~placement ~order ~emit =
+let run_internal ?speeds ~dispatch ~metrics instance realization ~placement
+    ~order ~emit =
   check_inputs ?speeds ~name:"Engine.run" instance ~placement ~order;
   let n = Instance.n instance and m = Instance.m instance in
   let speed_of i = match speeds with None -> 1.0 | Some s -> s.(i) in
@@ -83,62 +100,58 @@ let run_internal ?speeds ~metrics instance realization ~placement ~order ~emit =
   let mg_makespan = Metrics.gauge metrics "engine.makespan" in
   let mh_idle = Metrics.histogram metrics "engine.machine_idle" in
   let busy = if live then Array.make m 0.0 else [||] in
-  let scheduled = Array.make n false in
+  (* [dispatchable.(j)]: task j is in the pool. In the healthy engine a
+     task leaves the pool exactly once, so eligibility never grows and
+     the default policy's cursors are monotone. *)
+  let dispatchable = Array.make n true in
   let entries =
     Array.make n { Schedule.machine = 0; start = 0.0; finish = 0.0 }
   in
   let remaining = ref n in
-  (* cursor.(i): every order position before it is permanently unavailable
-     to machine i (already scheduled, or data not on i) — eligibility never
-     grows, so cursors only move forward and the total scan is O(m*n). *)
-  let cursor = Array.make m 0 in
-  let queue = Pqueue.create ~compare:compare_idle () in
+  let loads = Array.make m 0.0 in
+  let policy =
+    Dispatch.make dispatch
+      {
+        Dispatch.n;
+        m;
+        order;
+        pos_of = inverse_order ~n order;
+        dispatchable;
+        holders = placement;
+        est = Instance.est instance;
+        speed = speed_of;
+        load = loads;
+        available = (fun ~time:_ _ -> true);
+      }
+  in
+  let queue = Event_core.create () in
   for i = 0 to m - 1 do
-    Pqueue.push queue (0.0, i)
+    Event_core.push queue ~time:0.0 ~machine:i ~cls:Event_core.cls_decision ()
   done;
-  let find_task i =
-    (* The scan is contiguous from the cursor: every skipped position is
-       permanently unavailable to i, and the found position becomes
-       scheduled, so the cursor always lands just past the last visited
-       position. *)
-    let rec scan pos =
-      if pos >= n then None
-      else begin
-        cursor.(i) <- pos + 1;
-        let j = order.(pos) in
-        if (not scheduled.(j)) && Bitset.mem placement.(j) i then Some j
-        else scan (pos + 1)
-      end
-    in
-    scan cursor.(i)
-  in
-  let rec loop () =
-    match Pqueue.pop queue with
-    | None -> ()
-    | Some (time, i) ->
-        Metrics.incr mc_events;
-        (match find_task i with
-        | None -> () (* machine i retires: nothing it holds remains *)
-        | Some j ->
-            let finish = time +. (Realization.actual realization j /. speed_of i) in
-            entries.(j) <- { Schedule.machine = i; start = time; finish };
-            scheduled.(j) <- true;
-            remaining := !remaining - 1;
-            emit (Started { time; machine = i; task = j });
-            emit (Completed { time = finish; machine = i; task = j });
-            Metrics.incr mc_dispatches;
-            if live then busy.(i) <- busy.(i) +. (finish -. time);
-            Pqueue.push queue (finish, i);
-            if live then
-              Metrics.record_max mg_queue (float_of_int (Pqueue.length queue)));
-        loop ()
-  in
-  if live then Metrics.record_max mg_queue (float_of_int (Pqueue.length queue));
-  loop ();
+  if live then
+    Metrics.record_max mg_queue (float_of_int (Event_core.length queue));
+  Event_core.drain queue ~handle:(fun ~time ~machine:i () ->
+      Metrics.incr mc_events;
+      match Dispatch.select policy ~time ~machine:i with
+      | None -> () (* machine i retires: nothing it holds remains *)
+      | Some j ->
+          let finish = time +. (Realization.actual realization j /. speed_of i) in
+          entries.(j) <- { Schedule.machine = i; start = time; finish };
+          dispatchable.(j) <- false;
+          loads.(i) <- loads.(i) +. Instance.est instance j;
+          remaining := !remaining - 1;
+          emit (Started { time; machine = i; task = j });
+          emit (Completed { time = finish; machine = i; task = j });
+          Metrics.incr mc_dispatches;
+          if live then busy.(i) <- busy.(i) +. (finish -. time);
+          Event_core.push queue ~time:finish ~machine:i
+            ~cls:Event_core.cls_decision ();
+          if live then
+            Metrics.record_max mg_queue (float_of_int (Event_core.length queue)));
   if !remaining > 0 then begin
     let left = ref [] in
     for j = n - 1 downto 0 do
-      if not scheduled.(j) then left := j :: !left
+      if dispatchable.(j) then left := j :: !left
     done;
     raise (Unschedulable !left)
   end;
@@ -154,10 +167,10 @@ let run_internal ?speeds ~metrics instance realization ~placement ~order ~emit =
   end;
   Schedule.make ~m entries
 
-let run ?speeds ?(metrics = Metrics.disabled) instance realization ~placement
-    ~order =
-  run_internal ?speeds ~metrics instance realization ~placement ~order
-    ~emit:(fun _ -> ())
+let run ?speeds ?(dispatch = Dispatch.default) ?(metrics = Metrics.disabled)
+    instance realization ~placement ~order =
+  run_internal ?speeds ~dispatch ~metrics instance realization ~placement
+    ~order ~emit:(fun _ -> ())
 
 let sort_events events =
   let time_of = function
@@ -177,12 +190,12 @@ let sort_events events =
   in
   List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b)) events
 
-let run_traced ?speeds ?(metrics = Metrics.disabled) instance realization
-    ~placement ~order =
+let run_traced ?speeds ?(dispatch = Dispatch.default)
+    ?(metrics = Metrics.disabled) instance realization ~placement ~order =
   let events = ref [] in
   let schedule =
-    run_internal ?speeds ~metrics instance realization ~placement ~order
-      ~emit:(fun e -> events := e :: !events)
+    run_internal ?speeds ~dispatch ~metrics instance realization ~placement
+      ~order ~emit:(fun e -> events := e :: !events)
   in
   (schedule, sort_events (List.rev !events))
 
@@ -212,40 +225,10 @@ let outcome_schedule ~m outcome =
             (function Finished e -> e | Stranded -> assert false)
             outcome.fates))
 
-(* A copy of a task in flight on one machine. [remaining] is re-synced at
-   every speed change, so completion predictions stay exact under
-   mid-task slowdowns. [c_base] is work banked by earlier checkpointed
-   attempts (always 0 without a recovery policy). *)
-type copy = {
-  c_task : int;
-  c_started : float;
-  mutable c_remaining : float; (* actual-time units of work left *)
-  mutable c_last : float; (* when [c_remaining] was last synced *)
-  c_base : float; (* actual-time units resumed from a checkpoint *)
-}
-
-type mstate = {
-  mutable alive : bool;
-  mutable down_until : float; (* unavailable while [now < down_until] *)
-  mutable factor : float; (* straggler speed multiplier *)
-  mutable gen : int; (* invalidates queued completion events *)
-  mutable current : copy option;
-  (* Recovery bookkeeping — all fields stay at their initial value when
-     the policy is [Recovery.none]. *)
-  mutable orphan : int option;
-      (* copy killed by a failure the scheduler has not yet detected *)
-  mutable undetected : float option;
-      (* earliest failure time awaiting detection *)
-  mutable blinks : int; (* outages suffered so far, drives backoff *)
-  mutable trust_after : float; (* no dispatches before this time *)
-  mutable ckpt : (int * float) option;
-      (* task and work preserved on local disk by its last checkpoint *)
-}
-
 type tstatus = Pending | Running | Done | Lost
 
-(* Simulation event payloads; class ranks order simultaneous events on
-   one machine: faults (and failure detections) strike before
+(* Simulation event payloads; [Event_core] classes rank simultaneous
+   events on one machine: faults (and failure detections) strike before
    completions (and data-transfer arrivals), completions before dispatch
    decisions, speculation checks last. *)
 type sim =
@@ -257,21 +240,8 @@ type sim =
   | Sim_dispatch
   | Sim_speculate of { task : int; gen : int }
 
-type sim_event = { time : float; machine : int; cls : int; seq : int; sim : sim }
-
-let compare_sim a b =
-  match Float.compare a.time b.time with
-  | 0 -> (
-      match Int.compare a.machine b.machine with
-      | 0 -> (
-          match Int.compare a.cls b.cls with
-          | 0 -> Int.compare a.seq b.seq
-          | c -> c)
-      | c -> c)
-  | c -> c
-
-let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
-    realization ~faults ~placement ~order ~emit =
+let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
+    instance realization ~faults ~placement ~order ~emit =
   check_inputs ?speeds ~name:"Engine.run_faulty" instance ~placement ~order;
   let n = Instance.n instance and m = Instance.m instance in
   if Trace.m faults <> m then
@@ -308,28 +278,18 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
   let mg_wasted = Metrics.gauge metrics "engine.wasted_work" in
   let mh_idle = Metrics.histogram metrics "engine.machine_idle" in
   let busy = if live then Array.make m 0.0 else [||] in
-  let base_speed i = match speeds with None -> 1.0 | Some s -> s.(i) in
-  let machines =
-    Array.init m (fun _ ->
-        {
-          alive = true;
-          down_until = 0.0;
-          factor = 1.0;
-          gen = 0;
-          current = None;
-          orphan = None;
-          undetected = None;
-          blinks = 0;
-          trust_after = 0.0;
-          ckpt = None;
-        })
-  in
-  let eff_speed i = base_speed i *. machines.(i).factor in
-  let available ~time i =
-    let ms = machines.(i) in
-    ms.alive && ms.down_until <= time
-  in
+  let st = Machine_state.create ?speeds ~m () in
+  let machine = Machine_state.get st in
+  let eff_speed = Machine_state.eff_speed st in
+  let base_speed = Machine_state.base_speed st in
+  let available ~time i = Machine_state.available st ~time i in
+  let alive_set = Machine_state.alive_set st in
   let status = Array.make n Pending in
+  let dispatchable = Array.make n true in
+  let set_status j s =
+    status.(j) <- s;
+    dispatchable.(j) <- (s = Pending)
+  in
   let copies = Array.make n ([] : int list) in
   let task_gen = Array.make n 0 in
   let spec_ready = Array.make n false in
@@ -354,50 +314,41 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
   let entries =
     Array.make n { Schedule.machine = 0; start = 0.0; finish = 0.0 }
   in
-  let alive_set = Bitset.full m in
   let wasted = ref 0.0 in
-  let pos_of = Array.make n 0 in
-  Array.iteri (fun pos j -> pos_of.(j) <- pos) order;
-  let cursor = Array.make m 0 in
-  let queue = Pqueue.create ~compare:compare_sim () in
-  let seq = ref 0 in
+  let loads = Array.make m 0.0 in
+  let policy =
+    Dispatch.make dispatch
+      {
+        Dispatch.n;
+        m;
+        order;
+        pos_of = inverse_order ~n order;
+        dispatchable;
+        holders = data;
+        est = Instance.est instance;
+        speed = base_speed;
+        load = loads;
+        available;
+      }
+  in
+  let queue = Event_core.create () in
   let push ~time ~machine ~cls sim =
-    incr seq;
-    Pqueue.push queue { time; machine; cls; seq = !seq; sim };
-    if live then Metrics.record_max mg_queue (float_of_int (Pqueue.length queue))
+    Event_core.push queue ~time ~machine ~cls sim;
+    if live then
+      Metrics.record_max mg_queue (float_of_int (Event_core.length queue))
   in
   for i = 0 to m - 1 do
-    push ~time:0.0 ~machine:i ~cls:2 Sim_dispatch
+    push ~time:0.0 ~machine:i ~cls:Event_core.cls_decision Sim_dispatch
   done;
   List.iter
     (fun (e : Fault.event) ->
-      push ~time:e.Fault.time ~machine:e.Fault.machine ~cls:0
+      push ~time:e.Fault.time ~machine:e.Fault.machine ~cls:Event_core.cls_fault
         (Sim_fault e.Fault.kind))
     (Trace.events faults);
-  (* Dispatch scan: identical to [run]'s cursor scan, except that tasks
-     killed mid-run return to [Pending] and rewind the cursors below. *)
-  let find_task i =
-    let rec scan pos =
-      if pos >= n then None
-      else begin
-        cursor.(i) <- pos + 1;
-        let j = order.(pos) in
-        if status.(j) = Pending && Bitset.mem data.(j) i then Some j
-        else scan (pos + 1)
-      end
-    in
-    scan cursor.(i)
-  in
-  let rewind_cursors j =
-    let p = pos_of.(j) in
-    for i = 0 to m - 1 do
-      if cursor.(i) > p then cursor.(i) <- p
-    done
-  in
   let wake_idle ~time =
     for i = 0 to m - 1 do
-      if available ~time i && machines.(i).current = None then
-        push ~time ~machine:i ~cls:2 Sim_dispatch
+      if Machine_state.idle st ~time i then
+        push ~time ~machine:i ~cls:Event_core.cls_decision Sim_dispatch
     done
   in
   (* Online re-replication: copy every under-replicated task's data from
@@ -446,7 +397,7 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
                          { time; task = j; src = !src; dst = !dst });
                     push
                       ~time:(time +. transfer_duration j)
-                      ~machine:!dst ~cls:1
+                      ~machine:!dst ~cls:Event_core.cls_arrival
                       (Sim_transfer
                          { task = j; src = !src; dst = !dst; id = !transfer_id })
                   end
@@ -467,31 +418,23 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
     done
   in
   let start_copy ?resume ~time i j =
-    let ms = machines.(i) in
+    let ms = machine i in
     let c =
       match resume with
       | None ->
-          {
-            c_task = j;
-            c_started = time;
-            c_remaining = Realization.actual realization j;
-            c_last = time;
-            c_base = 0.0;
-          }
+          Machine_state.fresh_copy ~task:j ~time
+            ~work:(Realization.actual realization j)
       | Some banked ->
-          {
-            c_task = j;
-            c_started = time;
-            c_remaining = Realization.actual realization j -. banked;
-            c_last = time;
-            c_base = banked;
-          }
+          Machine_state.resumed_copy ~task:j ~time
+            ~work:(Realization.actual realization j)
+            ~banked
     in
     ms.current <- Some c;
     ms.gen <- ms.gen + 1;
     let was_primary = copies.(j) = [] in
     copies.(j) <- i :: copies.(j);
-    status.(j) <- Running;
+    set_status j Running;
+    loads.(i) <- loads.(i) +. Instance.est instance j;
     Metrics.incr mc_dispatches;
     if was_primary then begin
       if task_gen.(j) > 0 then Metrics.incr mc_redispatches
@@ -504,8 +447,9 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
         emit (Checkpoint_resumed { time; machine = i; task = j; progress = banked });
         Metrics.incr (Metrics.counter metrics "engine.checkpoint_resumes")
     | None -> ());
-    let finish = time +. (c.c_remaining /. eff_speed i) in
-    push ~time:finish ~machine:i ~cls:1 (Sim_complete { gen = ms.gen });
+    let finish = time +. (c.Machine_state.c_remaining /. eff_speed i) in
+    push ~time:finish ~machine:i ~cls:Event_core.cls_arrival
+      (Sim_complete { gen = ms.gen });
     match speculation with
     | Some beta when was_primary ->
         (* Arm the straggler check from estimates only: the scheduler is
@@ -513,7 +457,7 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
         let expected = Instance.est instance j /. base_speed i in
         push
           ~time:(time +. (beta *. expected))
-          ~machine:i ~cls:3
+          ~machine:i ~cls:Event_core.cls_audit
           (Sim_speculate { task = j; gen = task_gen.(j) })
     | _ -> ()
   in
@@ -526,10 +470,10 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
     spec_ready.(j) <- false;
     if
       Bitset.is_empty (Bitset.inter alive_set data.(j)) && transfer.(j) = None
-    then status.(j) <- Lost
+    then set_status j Lost
     else begin
-      status.(j) <- Pending;
-      rewind_cursors j;
+      set_status j Pending;
+      Dispatch.notify_available policy ~task:j;
       wake_idle ~time
     end
   in
@@ -538,22 +482,24 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
      task returns to the pool (immediately, or at failure detection when
      the policy models a latency). *)
   let kill_current ?(salvage = false) ~time i =
-    let ms = machines.(i) in
+    let ms = machine i in
     match ms.current with
     | None -> ()
     | Some c ->
-        let j = c.c_task in
-        let wall = time -. c.c_started in
+        let j = c.Machine_state.c_task in
+        let wall = time -. c.Machine_state.c_started in
         let waste = ref wall in
         if salvage && ckpt_interval > 0.0 then begin
           (* Work processed this attempt, synced exactly as a slowdown
              resync would do it. *)
           let remaining_now =
-            Float.max 0.0 (c.c_remaining -. ((time -. c.c_last) *. eff_speed i))
+            Machine_state.remaining_at c ~time ~speed:(eff_speed i)
           in
-          let attempt_total = Realization.actual realization j -. c.c_base in
+          let attempt_total =
+            Realization.actual realization j -. c.Machine_state.c_base
+          in
           let done_attempt = attempt_total -. remaining_now in
-          let total_done = c.c_base +. done_attempt in
+          let total_done = c.Machine_state.c_base +. done_attempt in
           let preserved =
             Float.min total_done
               (Float.floor (total_done /. ckpt_interval) *. ckpt_interval)
@@ -565,7 +511,8 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
                  waste, pro-rated by wall time so mid-attempt speed
                  changes cannot make the waste negative. *)
               let credit =
-                Float.max 0.0 (Float.min done_attempt (preserved -. c.c_base))
+                Float.max 0.0
+                  (Float.min done_attempt (preserved -. c.Machine_state.c_base))
               in
               waste := wall *. (1.0 -. (credit /. done_attempt))
             end
@@ -592,7 +539,7 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
         && Bitset.mem data.(j) i
         && Bitset.is_empty (Bitset.inter alive_set data.(j))
         && transfer.(j) = None
-      then status.(j) <- Lost
+      then set_status j Lost
     done
   in
   (* The moment the scheduler learns of machine [i]'s failure — either
@@ -600,7 +547,7 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
      truthfully reports its own outage when it rejoins, whichever comes
      first. Only then is the orphaned copy released for re-dispatch. *)
   let acknowledge ~time i =
-    let ms = machines.(i) in
+    let ms = machine i in
     match ms.undetected with
     | None -> ()
     | Some t0 ->
@@ -628,7 +575,7 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
           (Metrics.histogram metrics "engine.transfer_time")
           (transfer_duration task);
         if status.(task) = Pending then begin
-          rewind_cursors task;
+          Dispatch.notify_available policy ~task;
           wake_idle ~time
         end;
         heal ~time
@@ -636,7 +583,9 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
   in
   let find_speculation i =
     (* First task in priority order that is running a single overdue copy
-       whose data machine [i] also holds. *)
+       whose data machine [i] also holds. Speculation is a safety
+       mechanism, not a placement decision, so it stays with the engine
+       rather than the dispatch policy. *)
     let rec scan pos =
       if pos >= n then None
       else
@@ -654,18 +603,18 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
      preference to fresh work: the banked progress makes it the cheapest
      copy anyone can start. *)
   let resume_candidate i =
-    match machines.(i).ckpt with
+    match (machine i).ckpt with
     | Some (j, banked) when status.(j) = Pending && Bitset.mem data.(j) i ->
         Some (j, banked)
     | _ -> None
   in
-  let dispatch ~time i =
-    let ms = machines.(i) in
+  let dispatch_machine ~time i =
+    let ms = machine i in
     if available ~time i && ms.current = None && time >= ms.trust_after then
       match resume_candidate i with
       | Some (j, banked) -> start_copy ~resume:banked ~time i j
       | None -> (
-          match find_task i with
+          match Dispatch.select policy ~time ~machine:i with
           | Some j -> start_copy ~time i j
           | None -> (
               match find_speculation i with
@@ -674,43 +623,46 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
           )
   in
   let complete ~time i gen =
-    let ms = machines.(i) in
+    let ms = machine i in
     match ms.current with
     | Some c when gen = ms.gen ->
-        let j = c.c_task in
-        entries.(j) <- { Schedule.machine = i; start = c.c_started; finish = time };
-        status.(j) <- Done;
+        let j = c.Machine_state.c_task in
+        entries.(j) <-
+          { Schedule.machine = i; start = c.Machine_state.c_started; finish = time };
+        set_status j Done;
         ms.current <- None;
         ms.gen <- ms.gen + 1;
-        if live then busy.(i) <- busy.(i) +. (time -. c.c_started);
+        if live then
+          busy.(i) <- busy.(i) +. (time -. c.Machine_state.c_started);
         emit (Completed { time; machine = i; task = j });
         (* Speculative losers: first copy to finish wins, the rest abort. *)
         let losers = List.filter (fun k -> k <> i) copies.(j) in
         copies.(j) <- [];
         List.iter
           (fun k ->
-            let mk = machines.(k) in
+            let mk = machine k in
             (match mk.current with
             | Some ck ->
-                wasted := !wasted +. (time -. ck.c_started);
-                if live then busy.(k) <- busy.(k) +. (time -. ck.c_started)
+                wasted := !wasted +. (time -. ck.Machine_state.c_started);
+                if live then
+                  busy.(k) <- busy.(k) +. (time -. ck.Machine_state.c_started)
             | None -> assert false);
             mk.current <- None;
             mk.gen <- mk.gen + 1;
             Metrics.incr mc_spec_cancelled;
             emit (Cancelled { time; machine = k; task = j }))
           losers;
-        List.iter (dispatch ~time) (List.sort Int.compare (i :: losers))
+        List.iter (dispatch_machine ~time)
+          (Dispatch.redispatch_order policy (i :: losers))
     | _ -> () (* stale completion: the copy was killed or cancelled *)
   in
   let on_fault ~time i kind =
-    let ms = machines.(i) in
+    let ms = machine i in
     match kind with
     | Fault.Crash ->
         if ms.alive then begin
           Metrics.incr mc_crashes;
-          ms.alive <- false;
-          Bitset.remove alive_set i;
+          Machine_state.mark_crashed st i;
           emit (Machine_crashed { time; machine = i });
           (* Physical consequences are immediate: the disk (and any
              checkpoint on it) is gone, in-flight transfers touching the
@@ -721,7 +673,8 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
           if rec_active && det_latency > 0.0 then begin
             (* The scheduler only reacts once the detector fires. *)
             if ms.undetected = None then ms.undetected <- Some time;
-            push ~time:(time +. det_latency) ~machine:i ~cls:0 Sim_detect
+            push ~time:(time +. det_latency) ~machine:i
+              ~cls:Event_core.cls_fault Sim_detect
           end
           else begin
             (* Strand every waiting task whose last replica the dead disk
@@ -745,10 +698,11 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
                outage's other effects wait for the rejoin anyway. *)
             if det_latency > 0.0 && ms.orphan <> None then begin
               if ms.undetected = None then ms.undetected <- Some time;
-              push ~time:(time +. det_latency) ~machine:i ~cls:0 Sim_detect
+              push ~time:(time +. det_latency) ~machine:i
+                ~cls:Event_core.cls_fault Sim_detect
             end
           end;
-          push ~time:ms.down_until ~machine:i ~cls:0 Sim_up
+          push ~time:ms.down_until ~machine:i ~cls:Event_core.cls_fault Sim_up
         end
     | Fault.Slowdown factor ->
         Metrics.incr mc_slowdowns;
@@ -757,17 +711,16 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
         emit (Machine_slowed { time; machine = i; factor });
         (match ms.current with
         | Some c ->
-            c.c_remaining <- c.c_remaining -. ((time -. c.c_last) *. old_speed);
-            c.c_last <- time;
+            Machine_state.sync_remaining c ~time ~speed:old_speed;
             ms.gen <- ms.gen + 1;
             push
-              ~time:(time +. (c.c_remaining /. eff_speed i))
-              ~machine:i ~cls:1
+              ~time:(time +. (c.Machine_state.c_remaining /. eff_speed i))
+              ~machine:i ~cls:Event_core.cls_arrival
               (Sim_complete { gen = ms.gen })
         | None -> ())
   in
   let on_up ~time i =
-    let ms = machines.(i) in
+    let ms = machine i in
     if ms.alive && time >= ms.down_until then begin
       emit (Machine_up { time; machine = i });
       if rec_active then begin
@@ -777,11 +730,12 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
         acknowledge ~time i;
         heal ~time
       end;
-      if time >= ms.trust_after then dispatch ~time i
+      if time >= ms.trust_after then dispatch_machine ~time i
       else
         (* Backoff: the machine blinked recently, so it only receives
            new work once its distrust window expires. *)
-        push ~time:ms.trust_after ~machine:i ~cls:2 Sim_dispatch
+        push ~time:ms.trust_after ~machine:i ~cls:Event_core.cls_decision
+          Sim_dispatch
     end
   in
   let on_detect ~time i =
@@ -795,41 +749,36 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
     then begin
       spec_ready.(task) <- true;
       (* Grab an idle surviving holder right now if one exists; otherwise
-         the next machine to go idle picks the task up in [dispatch]. *)
+         the next machine to go idle picks the task up in
+         [dispatch_machine]. *)
       let runner = List.hd copies.(task) in
       let exception Found of int in
       match
         Bitset.iter
           (fun i ->
-            if i <> runner && available ~time i && machines.(i).current = None
-            then raise (Found i))
+            if i <> runner && Machine_state.idle st ~time i then
+              raise (Found i))
           data.(task)
       with
       | () -> ()
       | exception Found i -> start_copy ~time i task
     end
   in
-  let rec loop () =
-    match Pqueue.pop queue with
-    | None -> ()
-    | Some { time; machine; sim; _ } ->
-        Metrics.incr mc_events;
-        (match sim with
-        | Sim_fault kind -> on_fault ~time machine kind
-        | Sim_up -> on_up ~time machine
-        | Sim_detect -> on_detect ~time machine
-        | Sim_complete { gen } -> complete ~time machine gen
-        | Sim_transfer { task; src; dst; id } ->
-            on_transfer ~time ~task ~src ~dst ~id
-        | Sim_dispatch -> dispatch ~time machine
-        | Sim_speculate { task; gen } -> on_speculate ~time task gen);
-        loop ()
-  in
   (* An active healer starts working before the first dispatch: a
      placement below the replication target (k = 1, say) is brought up
      to [target_r] from time zero. *)
   if rec_active then heal ~time:0.0;
-  loop ();
+  Event_core.drain queue ~handle:(fun ~time ~machine sim ->
+      Metrics.incr mc_events;
+      match sim with
+      | Sim_fault kind -> on_fault ~time machine kind
+      | Sim_up -> on_up ~time machine
+      | Sim_detect -> on_detect ~time machine
+      | Sim_complete { gen } -> complete ~time machine gen
+      | Sim_transfer { task; src; dst; id } ->
+          on_transfer ~time ~task ~src ~dst ~id
+      | Sim_dispatch -> dispatch_machine ~time machine
+      | Sim_speculate { task; gen } -> on_speculate ~time task gen);
   let fates =
     Array.init n (fun j ->
         match status.(j) with
@@ -864,19 +813,19 @@ let run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
     metrics = Metrics.snapshot metrics;
   }
 
-let run_faulty ?speeds ?speculation ?(recovery = Recovery.none)
-    ?(metrics = Metrics.disabled) instance realization ~faults ~placement
-    ~order =
-  run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
-    realization ~faults ~placement ~order ~emit:(fun _ -> ())
+let run_faulty ?speeds ?speculation ?(dispatch = Dispatch.default)
+    ?(recovery = Recovery.none) ?(metrics = Metrics.disabled) instance
+    realization ~faults ~placement ~order =
+  run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
+    instance realization ~faults ~placement ~order ~emit:(fun _ -> ())
 
-let run_faulty_traced ?speeds ?speculation ?(recovery = Recovery.none)
-    ?(metrics = Metrics.disabled) instance realization ~faults ~placement
-    ~order =
+let run_faulty_traced ?speeds ?speculation ?(dispatch = Dispatch.default)
+    ?(recovery = Recovery.none) ?(metrics = Metrics.disabled) instance
+    realization ~faults ~placement ~order =
   let events = ref [] in
   let outcome =
-    run_faulty_internal ?speeds ?speculation ~recovery ~metrics instance
-      realization ~faults ~placement ~order
+    run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
+      instance realization ~faults ~placement ~order
       ~emit:(fun e -> events := e :: !events)
   in
   (outcome, sort_events (List.rev !events))

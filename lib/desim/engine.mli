@@ -1,4 +1,9 @@
-(** The phase-2 execution engine.
+(** The phase-2 execution engine — a thin composition of the layered
+    desim core: [Machine_state] (per-machine clocks, speeds, up/down
+    state, checkpoint store), [Event_core] (the typed priority-queue
+    event loop with its simultaneous-event ordering contract), and
+    {!Dispatch} (the pluggable policy deciding which eligible task an
+    idle machine starts).
 
     Every online policy in the paper is an instance of {e
     eligibility-restricted list scheduling}: tasks carry a fixed priority
@@ -15,8 +20,19 @@
       order;
     - static strategies: singleton placements (the order is irrelevant).
 
+    The {e which-eligible-task} rule is a first-class parameter: every
+    entry point takes [?dispatch:Dispatch.spec] (default
+    [Dispatch.List_priority], bit-for-bit the historical behavior).
+    Alternative policies — least-loaded holder, earliest estimated
+    completion, seeded random tie-breaking — only see scheduler-visible
+    state, so the semi-clairvoyant model is preserved whichever policy
+    runs.
+
     Determinism: simultaneous idle machines are served in increasing
-    machine id; the task order breaks all other ties.
+    machine id (machines freed at the same instant re-dispatch in
+    increasing machine id too — [Dispatch.redispatch_order] is the
+    single home of that contract); the dispatch policy breaks all other
+    ties (the default follows the task order).
 
     {!run_faulty} extends the same engine with dynamic fault injection
     (see [Usched_faults]): machines crash permanently mid-run, blink out
@@ -116,6 +132,7 @@ exception Unschedulable of int list
 
 val run :
   ?speeds:float array ->
+  ?dispatch:Dispatch.spec ->
   ?metrics:Metrics.t ->
   Instance.t ->
   Realization.t ->
@@ -125,7 +142,10 @@ val run :
 (** Simulate to completion. [speeds] (default all 1.0) gives each
     machine a speed: a task with actual processing requirement [p]
     occupies machine [i] for [p / speeds.(i)] — the uniform (related)
-    machines extension. Raises [Invalid_argument] when [placement] or
+    machines extension. [dispatch] (default [Dispatch.List_priority])
+    selects the rule an idle machine uses to pick among its eligible
+    tasks; every policy is work-conserving, so {!Unschedulable} does not
+    depend on the policy. Raises [Invalid_argument] when [placement] or
     [order] is malformed (wrong length, empty machine set, order not a
     permutation), when [speeds] has the wrong length or a non-positive
     entry, and {!Unschedulable} if some task can never be scheduled
@@ -133,6 +153,7 @@ val run :
 
 val run_traced :
   ?speeds:float array ->
+  ?dispatch:Dispatch.spec ->
   ?metrics:Metrics.t ->
   Instance.t ->
   Realization.t ->
@@ -176,6 +197,7 @@ val outcome_schedule : m:int -> outcome -> Schedule.t option
 val run_faulty :
   ?speeds:float array ->
   ?speculation:float ->
+  ?dispatch:Dispatch.spec ->
   ?recovery:Usched_faults.Recovery.t ->
   ?metrics:Metrics.t ->
   Instance.t ->
@@ -207,6 +229,12 @@ val run_faulty :
       data may start a backup copy (at most one duplicate; the copy is
       restarted from scratch). The first copy to finish wins; the other
       is aborted and its machine-time counted in [wasted].
+    - {b Dispatch} ([dispatch], default [Dispatch.List_priority]): the
+      rule an idle machine uses to pick among eligible tasks, including
+      re-dispatch after kills and picks among re-replicated data.
+      Policies see only scheduler-visible state (never actuals); the
+      checkpoint-resume preference and speculation remain engine
+      mechanisms, applied identically under every policy.
     - {b Recovery} ([recovery], default {!Usched_faults.Recovery.none}):
       the scheduler heals instead of merely reacting — see
       [Usched_faults.Recovery] for the four mechanisms (failure
@@ -232,6 +260,7 @@ val run_faulty :
 val run_faulty_traced :
   ?speeds:float array ->
   ?speculation:float ->
+  ?dispatch:Dispatch.spec ->
   ?recovery:Usched_faults.Recovery.t ->
   ?metrics:Metrics.t ->
   Instance.t ->

@@ -1,0 +1,47 @@
+type 'a event = {
+  time : float;
+  machine : int;
+  cls : int;
+  seq : int;
+  payload : 'a;
+}
+
+let cls_fault = 0
+let cls_arrival = 1
+let cls_decision = 2
+let cls_audit = 3
+
+(* Total order on simultaneous events: time, then machine id, then
+   class, then insertion order. This is THE tie-break rule of the
+   simulation — every determinism statement in the engine docs reduces
+   to this comparator plus [Dispatch.redispatch_order]. *)
+let compare_event a b =
+  match Float.compare a.time b.time with
+  | 0 -> (
+      match Int.compare a.machine b.machine with
+      | 0 -> (
+          match Int.compare a.cls b.cls with
+          | 0 -> Int.compare a.seq b.seq
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+type 'a t = { queue : 'a event Pqueue.t; mutable seq : int }
+
+let create () = { queue = Pqueue.create ~compare:compare_event (); seq = 0 }
+
+let push t ~time ~machine ~cls payload =
+  t.seq <- t.seq + 1;
+  Pqueue.push t.queue { time; machine; cls; seq = t.seq; payload }
+
+let length t = Pqueue.length t.queue
+
+let drain t ~handle =
+  let rec loop () =
+    match Pqueue.pop t.queue with
+    | None -> ()
+    | Some { time; machine; payload; _ } ->
+        handle ~time ~machine payload;
+        loop ()
+  in
+  loop ()

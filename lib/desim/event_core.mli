@@ -1,0 +1,48 @@
+(** The typed event loop at the bottom of the desim stack.
+
+    A single priority queue of timestamped events, each addressed to a
+    machine and carrying an arbitrary payload. The engine's whole
+    determinism story lives in the comparator here: simultaneous events
+    fire ordered by machine id, then by {e class} (faults and failure
+    detections strike before completions and data-transfer arrivals,
+    completions before dispatch decisions, speculation audits last),
+    then by insertion order. Handlers may push further events while the
+    queue drains. *)
+
+type 'a event = {
+  time : float;
+  machine : int;
+  cls : int;
+  seq : int;  (** Insertion order, assigned by {!push}. *)
+  payload : 'a;
+}
+
+(** {2 Event classes}
+
+    Ranks for simultaneous events on one machine, smallest first. *)
+
+val cls_fault : int
+(** Faults, machine rejoins, failure detections. *)
+
+val cls_arrival : int
+(** Copy completions and data-transfer arrivals. *)
+
+val cls_decision : int
+(** Dispatch decisions (a machine looks for work). *)
+
+val cls_audit : int
+(** Speculation checks — run after every state change of the instant. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> time:float -> machine:int -> cls:int -> 'a -> unit
+(** Enqueue an event; insertion order within equal (time, machine, cls)
+    is preserved. *)
+
+val length : 'a t -> int
+(** Current queue depth (the engine's high-water gauge reads this). *)
+
+val drain : 'a t -> handle:(time:float -> machine:int -> 'a -> unit) -> unit
+(** Pop-and-handle until the queue is empty. The handler may push. *)

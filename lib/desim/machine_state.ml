@@ -1,0 +1,90 @@
+module Bitset = Usched_model.Bitset
+
+type copy = {
+  c_task : int;
+  c_started : float;
+  mutable c_remaining : float; (* actual-time units of work left *)
+  mutable c_last : float; (* when [c_remaining] was last synced *)
+  c_base : float; (* actual-time units resumed from a checkpoint *)
+}
+
+type machine = {
+  mutable alive : bool;
+  mutable down_until : float; (* unavailable while [now < down_until] *)
+  mutable factor : float; (* straggler speed multiplier *)
+  mutable gen : int; (* invalidates queued completion events *)
+  mutable current : copy option;
+  (* Recovery bookkeeping — all fields stay at their initial value when
+     the policy is [Recovery.none]. *)
+  mutable orphan : int option;
+      (* copy killed by a failure the scheduler has not yet detected *)
+  mutable undetected : float option;
+      (* earliest failure time awaiting detection *)
+  mutable blinks : int; (* outages suffered so far, drives backoff *)
+  mutable trust_after : float; (* no dispatches before this time *)
+  mutable ckpt : (int * float) option;
+      (* task and work preserved on local disk by its last checkpoint *)
+}
+
+type t = {
+  m : int;
+  speeds : float array option;
+  machines : machine array;
+  alive_set : Bitset.t;
+}
+
+let create ?speeds ~m () =
+  {
+    m;
+    speeds;
+    machines =
+      Array.init m (fun _ ->
+          {
+            alive = true;
+            down_until = 0.0;
+            factor = 1.0;
+            gen = 0;
+            current = None;
+            orphan = None;
+            undetected = None;
+            blinks = 0;
+            trust_after = 0.0;
+            ckpt = None;
+          });
+    alive_set = Bitset.full m;
+  }
+
+let m t = t.m
+let get t i = t.machines.(i)
+let alive_set t = t.alive_set
+let base_speed t i = match t.speeds with None -> 1.0 | Some s -> s.(i)
+let eff_speed t i = base_speed t i *. t.machines.(i).factor
+
+let available t ~time i =
+  let ms = t.machines.(i) in
+  ms.alive && ms.down_until <= time
+
+let idle t ~time i = available t ~time i && t.machines.(i).current = None
+
+let mark_crashed t i =
+  t.machines.(i).alive <- false;
+  Bitset.remove t.alive_set i
+
+let fresh_copy ~task ~time ~work =
+  { c_task = task; c_started = time; c_remaining = work; c_last = time; c_base = 0.0 }
+
+let resumed_copy ~task ~time ~work ~banked =
+  {
+    c_task = task;
+    c_started = time;
+    c_remaining = work -. banked;
+    c_last = time;
+    c_base = banked;
+  }
+
+let sync_remaining c ~time ~speed =
+  c.c_remaining <- c.c_remaining -. ((time -. c.c_last) *. speed);
+  c.c_last <- time
+
+let remaining_at c ~time ~speed =
+  Float.max 0.0 (c.c_remaining -. ((time -. c.c_last) *. speed))

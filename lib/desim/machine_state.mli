@@ -1,0 +1,83 @@
+(** Per-machine dynamic state of the fault-injected simulation.
+
+    Extracted from the engine monolith: each machine carries its
+    liveness, outage clock, straggler speed factor, the copy it is
+    processing, and the recovery bookkeeping (orphaned copies, pending
+    failure detections, blink count for backoff, and the machine-local
+    checkpoint store). The engine mutates these fields directly — the
+    module is a state container plus the clock/speed helpers, not an
+    abstraction boundary; keeping the fields transparent is what lets
+    the refactored engine stay bit-for-bit identical to the monolith. *)
+
+module Bitset = Usched_model.Bitset
+
+(** A copy of a task in flight on one machine. [c_remaining] is
+    re-synced at every speed change, so completion predictions stay
+    exact under mid-task slowdowns. [c_base] is work banked by earlier
+    checkpointed attempts (always 0 without a recovery policy). *)
+type copy = {
+  c_task : int;
+  c_started : float;
+  mutable c_remaining : float;  (** actual-time units of work left *)
+  mutable c_last : float;  (** when [c_remaining] was last synced *)
+  c_base : float;  (** actual-time units resumed from a checkpoint *)
+}
+
+type machine = {
+  mutable alive : bool;
+  mutable down_until : float;
+      (** unavailable while [now < down_until] *)
+  mutable factor : float;  (** straggler speed multiplier *)
+  mutable gen : int;  (** invalidates queued completion events *)
+  mutable current : copy option;
+  mutable orphan : int option;
+      (** copy killed by a failure the scheduler has not yet detected *)
+  mutable undetected : float option;
+      (** earliest failure time awaiting detection *)
+  mutable blinks : int;  (** outages suffered so far, drives backoff *)
+  mutable trust_after : float;  (** no dispatches before this time *)
+  mutable ckpt : (int * float) option;
+      (** task and work preserved on local disk by its last checkpoint *)
+}
+
+type t
+
+val create : ?speeds:float array -> m:int -> unit -> t
+(** All machines up, at their configured base speed (default 1.0),
+    holding nothing. *)
+
+val m : t -> int
+val get : t -> int -> machine
+
+val alive_set : t -> Bitset.t
+(** Machines that have not crashed (shared, kept in sync by
+    {!mark_crashed}). *)
+
+val base_speed : t -> int -> float
+(** The configured speed, before any slowdown factor. *)
+
+val eff_speed : t -> int -> float
+(** [base_speed * factor]: the rate at which the machine currently
+    processes work. *)
+
+val available : t -> time:float -> int -> bool
+(** Alive and not inside an outage window. *)
+
+val idle : t -> time:float -> int -> bool
+(** {!available} and processing nothing. *)
+
+val mark_crashed : t -> int -> unit
+(** Permanently removes the machine: clears [alive] and updates
+    {!alive_set}. *)
+
+val fresh_copy : task:int -> time:float -> work:float -> copy
+val resumed_copy : task:int -> time:float -> work:float -> banked:float -> copy
+
+val sync_remaining : copy -> time:float -> speed:float -> unit
+(** Bank the work processed since the last sync at [speed] (used at
+    speed changes; intentionally unclamped, matching the engine's
+    slowdown arithmetic). *)
+
+val remaining_at : copy -> time:float -> speed:float -> float
+(** Non-mutating, clamped view of the work left at [time] if the copy
+    ran at [speed] since its last sync (used by checkpoint salvage). *)

@@ -1,0 +1,232 @@
+(* policy-sweep: what the dispatch rule is worth, placement held fixed.
+   The paper's engine hard-wires list-priority dispatch (the
+   highest-priority eligible task); the layered desim core makes that
+   rule a parameter. Part A replays paired healthy workloads under every
+   built-in policy — once on a spread-prone uniform workload and once on
+   an identical workload, where random tie-breaking actually has ties to
+   break. Part B replays paired crash traces with online re-replication
+   to check the policies' fault behavior: under full replication every
+   work-conserving policy completes the same task set, so the question
+   is degradation, not completion. *)
+
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Workload = Usched_model.Workload
+module Schedule = Usched_desim.Schedule
+module Engine = Usched_desim.Engine
+module Dispatch = Usched_desim.Dispatch
+module Trace = Usched_faults.Trace
+module Recovery = Usched_faults.Recovery
+module Core = Usched_core
+module Table = Usched_report.Table
+module Rng = Usched_prng.Rng
+module Summary = Usched_stats.Summary
+
+let m = 6
+let n = 36
+let alpha = 1.5
+
+let ring_placement ~k =
+  Core.Placement.of_sets ~m
+    (Array.init n (fun j ->
+         Bitset.of_list m (List.init k (fun i -> (j + i) mod m))))
+
+let generate spec rng =
+  let instance =
+    Workload.generate spec ~n ~m ~alpha:(Uncertainty.alpha alpha) rng
+  in
+  (instance, Realization.log_uniform_factor instance rng)
+
+let policies = List.map (fun p -> (Dispatch.name p, p)) Dispatch.builtin
+
+(* ------------- part A: healthy makespan by dispatch rule ------------- *)
+
+let healthy_sweep config =
+  let reps = Stdlib.max 10 config.Runner.reps in
+  Printf.printf
+    "A. Healthy replays: n=%d, m=%d, ring k=2 placement, LPT order. Every\n\
+     policy replays the same paired workload per rep; ratios are against\n\
+     the default list-priority rule on that same workload.\n\n"
+    n m;
+  let workloads =
+    [
+      ("uniform:1:10", Workload.Uniform { lo = 1.0; hi = 10.0 });
+      ("identical:5", Workload.Identical 5.0);
+    ]
+  in
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("workload", Table.Left);
+          ("policy", Table.Left);
+          ("mean ratio", Table.Right);
+          ("worst ratio", Table.Right);
+          ("best ratio", Table.Right);
+          ("vs LB", Table.Right);
+        ]
+  in
+  let csv_rows = ref [] in
+  List.iter
+    (fun (wname, spec) ->
+      let cells = List.map (fun (name, p) -> (name, p, Summary.create (), Summary.create ())) policies in
+      let master = Rng.create ~seed:(config.Runner.seed + 7177) () in
+      for _ = 1 to reps do
+        let rng = Rng.split master in
+        let instance, realization = generate spec rng in
+        let order = Instance.lpt_order instance in
+        let placement = Core.Placement.sets (ring_placement ~k:2) in
+        let lb =
+          Core.Lower_bounds.best ~m (Realization.actuals realization)
+        in
+        let base =
+          Schedule.makespan
+            (Engine.run ~dispatch:Dispatch.default instance realization
+               ~placement ~order)
+        in
+        List.iter
+          (fun (_, dispatch, ratio, vs_lb) ->
+            let mk =
+              Schedule.makespan
+                (Engine.run ~dispatch instance realization ~placement ~order)
+            in
+            Summary.add ratio (mk /. base);
+            Summary.add vs_lb (mk /. lb))
+          cells
+      done;
+      List.iter
+        (fun (name, _, ratio, vs_lb) ->
+          Table.add_row table
+            [
+              wname;
+              name;
+              Table.cell_float (Summary.mean ratio);
+              Table.cell_float (Summary.max ratio);
+              Table.cell_float (Summary.min ratio);
+              Table.cell_float (Summary.mean vs_lb);
+            ];
+          csv_rows :=
+            [
+              wname;
+              name;
+              Printf.sprintf "%.6f" (Summary.mean ratio);
+              Printf.sprintf "%.6f" (Summary.max ratio);
+              Printf.sprintf "%.6f" (Summary.min ratio);
+              Printf.sprintf "%.6f" (Summary.mean vs_lb);
+            ]
+            :: !csv_rows)
+        cells)
+    workloads;
+  print_string (Table.render table);
+  Runner.maybe_csv config ~name:"policy_sweep_healthy"
+    ~header:
+      [ "workload"; "policy"; "mean_ratio"; "worst_ratio"; "best_ratio";
+        "mean_vs_lb" ]
+    (List.rev !csv_rows);
+  Printf.printf
+    "\nOn the uniform workload estimates are almost surely distinct, so\n\
+     random tie-breaking coincides with list-priority; on the identical\n\
+     workload every eligible task ties and the rules genuinely diverge.\n"
+
+(* ------------- part B: dispatch rules under crashes ------------------ *)
+
+let faulty_sweep config =
+  let reps = Stdlib.max 10 config.Runner.reps in
+  let crash_rate = 0.4 in
+  Printf.printf
+    "\nB. Crash replays: same construction, crash rate %.2f (times uniform\n\
+     in the healthy makespan), online re-replication back up to 2 live\n\
+     replicas. Paired traces across policies.\n\n"
+    crash_rate;
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("policy", Table.Left);
+          ("stranded runs", Table.Right);
+          ("tasks done", Table.Right);
+          ("mean degr", Table.Right);
+          ("wasted", Table.Right);
+        ]
+  in
+  let recovery = Recovery.make ~rereplication_target:2 () in
+  let cells =
+    List.map
+      (fun (name, p) ->
+        (name, p, ref 0, Summary.create (), Summary.create (), Summary.create ()))
+      policies
+  in
+  let runs = ref 0 in
+  let master = Rng.create ~seed:(config.Runner.seed + 7178) () in
+  for _ = 1 to reps do
+    let rng = Rng.split master in
+    let instance, realization =
+      generate (Workload.Uniform { lo = 1.0; hi = 10.0 }) rng
+    in
+    let order = Instance.lpt_order instance in
+    let total_work = Realization.total realization in
+    let placement = Core.Placement.sets (ring_placement ~k:2) in
+    let healthy =
+      Schedule.makespan (Engine.run instance realization ~placement ~order)
+    in
+    let faults = Trace.random_crashes rng ~m ~p:crash_rate ~horizon:healthy in
+    incr runs;
+    List.iter
+      (fun (_, dispatch, stranded_runs, completion, degradation, wasted) ->
+        let outcome =
+          Engine.run_faulty ~dispatch ~recovery instance realization ~faults
+            ~placement ~order
+        in
+        if outcome.Engine.stranded <> [] then incr stranded_runs;
+        Summary.add completion
+          (float_of_int outcome.Engine.completed /. float_of_int n);
+        Summary.add wasted (outcome.Engine.wasted /. total_work);
+        if outcome.Engine.stranded = [] then
+          Summary.add degradation (outcome.Engine.makespan /. healthy))
+      cells
+  done;
+  let csv_rows = ref [] in
+  List.iter
+    (fun (name, _, stranded_runs, completion, degradation, wasted) ->
+      Table.add_row table
+        [
+          name;
+          Printf.sprintf "%d/%d" !stranded_runs !runs;
+          Printf.sprintf "%.1f%%" (100.0 *. Summary.mean completion);
+          (if Summary.count degradation = 0 then "-"
+           else Table.cell_float (Summary.mean degradation));
+          Printf.sprintf "%.1f%%" (100.0 *. Summary.mean wasted);
+        ];
+      csv_rows :=
+        [
+          name;
+          Printf.sprintf "%d" !stranded_runs;
+          Printf.sprintf "%d" !runs;
+          Printf.sprintf "%.6f" (Summary.mean completion);
+          (if Summary.count degradation = 0 then "nan"
+           else Printf.sprintf "%.6f" (Summary.mean degradation));
+          Printf.sprintf "%.6f" (Summary.mean wasted);
+        ]
+        :: !csv_rows)
+    cells;
+  print_string (Table.render table);
+  Runner.maybe_csv config ~name:"policy_sweep_faulty"
+    ~header:
+      [ "policy"; "stranded_runs"; "runs"; "task_completion";
+        "mean_degradation"; "wasted_fraction" ]
+    (List.rev !csv_rows);
+  Printf.printf
+    "\nStranding is dominated by the data (which replicas survive the\n\
+     trace), not the dispatch rule: under full replication every\n\
+     work-conserving policy completes exactly the same task set (the\n\
+     reachability property pinned in test_dispatch). At k=2 the rule\n\
+     can still shift what is running when a disk dies; mostly it moves\n\
+     degradation and wasted work.\n"
+
+let run config =
+  Runner.print_section
+    "Policy sweep -- pluggable dispatch rules on fixed placements";
+  healthy_sweep config;
+  faulty_sweep config

@@ -1,0 +1,10 @@
+(** policy-sweep: what the engine's dispatch rule is worth, placement
+    held fixed. Replays paired workloads (healthy) and paired crash
+    traces with online re-replication (faulty) under every built-in
+    [Dispatch] policy — list-priority, least-loaded holder, earliest
+    estimated completion, seeded random tie-breaking — reporting
+    makespan ratios against the default rule, completion, degradation,
+    and wasted work. The dispatch-layer counterpart of
+    [ablation-phase2]'s priority-order ablation. *)
+
+val run : Runner.config -> unit

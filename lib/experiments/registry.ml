@@ -87,6 +87,11 @@ let all =
       run = Recovery_sweep.run;
     };
     {
+      id = "policy-sweep";
+      title = "Policy sweep: pluggable dispatch rules on fixed placements";
+      run = Policy_sweep.run;
+    };
+    {
       id = "hetero";
       title = "Heterogeneous machines: replication vs slow nodes";
       run = Hetero.run;

@@ -1,0 +1,527 @@
+(* Dispatch layer: spec parsing, the golden equivalence of the default
+   policy with the pre-refactor engine (bit for bit, healthy and faulty,
+   metrics and recovery on/off), the re-dispatch determinism contract,
+   hand-built scenarios for each alternative policy, and the
+   policy/fault reachability property (under full replication every
+   work-conserving policy completes the same task set). *)
+
+module Engine = Usched_desim.Engine
+module Dispatch = Usched_desim.Dispatch
+module Schedule = Usched_desim.Schedule
+module Bitset = Usched_model.Bitset
+module Instance = Usched_model.Instance
+module Realization = Usched_model.Realization
+module Uncertainty = Usched_model.Uncertainty
+module Fault = Usched_faults.Fault
+module Trace = Usched_faults.Trace
+module Recovery = Usched_faults.Recovery
+module Metrics = Usched_obs.Metrics
+module Json = Usched_report.Json
+module Rng = Usched_prng.Rng
+
+let close = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let submission_order n = Array.init n (fun j -> j)
+let entries s = Array.init (Schedule.n s) (Schedule.entry s)
+
+let finished_entry outcome j =
+  match outcome.Engine.fates.(j) with
+  | Engine.Finished e -> e
+  | Engine.Stranded -> Alcotest.failf "task %d stranded" j
+
+let outage ~machine ~time ~until =
+  { Fault.machine; time; kind = Fault.Outage until }
+
+(* --------------------------- spec parsing --------------------------- *)
+
+let spec_names () =
+  checks "default name" "list-priority" (Dispatch.name Dispatch.default);
+  List.iter
+    (fun spec ->
+      match Dispatch.spec_of_string (Dispatch.name spec) with
+      | Ok spec' ->
+          checkb
+            (Printf.sprintf "round-trip %s" (Dispatch.name spec))
+            true (spec = spec')
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    (Dispatch.builtin @ [ Dispatch.Random_tiebreak 42 ]);
+  checkb "bare random means seed 0" true
+    (Dispatch.spec_of_string "random" = Ok (Dispatch.Random_tiebreak 0));
+  (match Dispatch.spec_of_string "nope" with
+  | Ok _ -> Alcotest.fail "bogus name accepted"
+  | Error msg ->
+      let contains frag =
+        let fl = String.length frag and ml = String.length msg in
+        let rec scan i =
+          i + fl <= ml && (String.sub msg i fl = frag || scan (i + 1))
+        in
+        scan 0
+      in
+      checkb "error lists the valid names" true
+        (List.for_all contains
+           [ "list-priority"; "least-loaded"; "earliest-completion" ]));
+  (match Dispatch.spec_of_string "random:x" with
+  | Ok _ -> Alcotest.fail "bad seed accepted"
+  | Error _ -> ());
+  checki "four built-in families" 4 (List.length Dispatch.builtin)
+
+(* ----------------------- golden equivalence ------------------------- *)
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 14 in
+    let* m = int_range 1 5 in
+    let* k = int_range 1 m in
+    let* p = float_range 0.0 1.0 in
+    let* seed = int_bound 1_000_000 in
+    return (n, m, k, p, seed))
+
+let scenario_print (n, m, k, p, seed) =
+  Printf.sprintf "n=%d m=%d k=%d p=%.3f seed=%d" n m k p seed
+
+let scenario = QCheck.make ~print:scenario_print scenario_gen
+
+let build (n, m, k, p, seed) =
+  let rng = Rng.create ~seed () in
+  let ests = Array.init n (fun _ -> Rng.float_range rng ~lo:0.5 ~hi:10.0) in
+  let sizes = Array.init n (fun _ -> Rng.float_range rng ~lo:0.5 ~hi:4.0) in
+  let instance =
+    Instance.of_ests ~m ~alpha:(Uncertainty.alpha 2.0) ~sizes ests
+  in
+  let realization = Realization.uniform_factor instance rng in
+  let placement =
+    Array.init n (fun j ->
+        Bitset.of_list m (List.init k (fun i -> (j + i) mod m)))
+  in
+  let order = Instance.lpt_order instance in
+  let horizon = 2.0 *. Realization.total realization in
+  let faults =
+    Trace.merge
+      (Trace.random_crashes rng ~m ~p ~horizon)
+      (Trace.merge
+         (Trace.random_outages rng ~m ~p ~horizon ~duration:(0.5, 5.0))
+         (Trace.random_slowdowns rng ~m ~p ~horizon ~factor:(0.2, 0.9)))
+  in
+  (instance, realization, placement, order, faults)
+
+let entries_equal (a : Schedule.entry) (b : Schedule.entry) =
+  a.Schedule.machine = b.Schedule.machine
+  && a.Schedule.start = b.Schedule.start
+  && a.Schedule.finish = b.Schedule.finish
+
+let outcomes_identical (a : Engine.outcome) (b : Engine.outcome) =
+  a.Engine.completed = b.Engine.completed
+  && a.Engine.stranded = b.Engine.stranded
+  && a.Engine.makespan = b.Engine.makespan
+  && a.Engine.wasted = b.Engine.wasted
+  && Array.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Engine.Stranded, Engine.Stranded -> true
+         | Engine.Finished e, Engine.Finished f -> entries_equal e f
+         | _ -> false)
+       a.Engine.fates b.Engine.fates
+  && Json.to_string (Metrics.to_json a.Engine.metrics)
+     = Json.to_string (Metrics.to_json b.Engine.metrics)
+
+(* THE golden property of the tentpole refactor: passing the default
+   policy explicitly is bit-for-bit the engine with no policy argument —
+   fates, floats, events, metrics — across mixed fault regimes,
+   speculation on/off, metrics on/off, and recovery none/neutral/active.
+   Any drift the dispatch extraction introduced in the default path
+   shows up here. *)
+let prop_default_policy_is_golden =
+  QCheck.Test.make
+    ~name:"explicit list-priority is bit-for-bit the default engine"
+    ~count:320 scenario (fun ((_, _, _, _, seed) as s) ->
+      let instance, realization, placement, order, faults = build s in
+      let speculation = if seed mod 3 = 0 then Some 1.3 else None in
+      let metrics_on = seed mod 2 = 0 in
+      let recovery =
+        match seed mod 5 with
+        | 0 | 1 ->
+            Recovery.make ~detection_latency:0.5 ~rereplication_target:2
+              ~bandwidth:1.0 ~checkpoint_interval:1.0 ~max_retries:2 ()
+        | 2 -> Recovery.make ()
+        | _ -> Recovery.none
+      in
+      let registry () = if metrics_on then Metrics.create () else Metrics.disabled in
+      let a, ev_a =
+        Engine.run_faulty_traced ?speculation ~recovery ~metrics:(registry ())
+          instance realization ~faults ~placement ~order
+      in
+      let b, ev_b =
+        Engine.run_faulty_traced ?speculation
+          ~dispatch:Dispatch.List_priority ~recovery ~metrics:(registry ())
+          instance realization ~faults ~placement ~order
+      in
+      outcomes_identical a b && ev_a = ev_b)
+
+(* Same golden check for the healthy engine: schedule and event log. *)
+let prop_default_policy_is_golden_healthy =
+  QCheck.Test.make
+    ~name:"healthy engine: explicit list-priority is bit-for-bit default"
+    ~count:300 scenario (fun ((_, _, _, _, seed) as s) ->
+      let instance, realization, placement, order, _ = build s in
+      let m = Instance.m instance in
+      let speeds =
+        if seed mod 2 = 0 then
+          Some (Array.init m (fun i -> 0.5 +. (0.5 *. float_of_int (i + 1))))
+        else None
+      in
+      let a, ev_a =
+        Engine.run_traced ?speeds instance realization ~placement ~order
+      in
+      let b, ev_b =
+        Engine.run_traced ?speeds ~dispatch:Dispatch.List_priority instance
+          realization ~placement ~order
+      in
+      ev_a = ev_b
+      && Array.for_all2 entries_equal (entries a) (entries b))
+
+(* Work conservation: whichever policy runs, the healthy engine never
+   raises [Unschedulable] on well-formed inputs and schedules every
+   task. *)
+let prop_policies_work_conserving =
+  QCheck.Test.make ~name:"every policy schedules every task (healthy)"
+    ~count:200 scenario (fun s ->
+      let instance, realization, placement, order, _ = build s in
+      List.for_all
+        (fun dispatch ->
+          let schedule =
+            Engine.run ~dispatch instance realization ~placement ~order
+          in
+          Array.length (entries schedule) = Instance.n instance)
+        Dispatch.builtin)
+
+(* The reachability property: under full replication, with at least one
+   machine that never fails and healing enabled, every work-conserving
+   policy completes exactly the same task set as the default — namely
+   all of them. Stranding is a property of the data, not the rule. *)
+let reach_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 12 in
+    let* m = int_range 2 5 in
+    let* p = float_range 0.0 1.0 in
+    let* seed = int_bound 1_000_000 in
+    return (n, m, p, seed))
+
+let reach_scenario =
+  QCheck.make
+    ~print:(fun (n, m, p, seed) ->
+      Printf.sprintf "n=%d m=%d p=%.3f seed=%d" n m p seed)
+    reach_gen
+
+let prop_policy_reachability =
+  QCheck.Test.make
+    ~name:"full replication + survivor: all policies complete the same set"
+    ~count:300 reach_scenario (fun (n, m, p, seed) ->
+      let rng = Rng.create ~seed () in
+      let ests = Array.init n (fun _ -> Rng.float_range rng ~lo:0.5 ~hi:10.0) in
+      let instance = Instance.of_ests ~m ~alpha:(Uncertainty.alpha 2.0) ests in
+      let realization = Realization.uniform_factor instance rng in
+      let placement () = Array.init n (fun _ -> Bitset.full m) in
+      let order = Instance.lpt_order instance in
+      let horizon = 2.0 *. Realization.total realization in
+      (* Machine m-1 never faults, so some full-replica holder survives
+         and every task stays reachable. *)
+      let faults =
+        Trace.of_events ~m
+          (List.concat_map
+             (fun i ->
+               let events = ref [] in
+               if Rng.float rng < p then
+                 events :=
+                   {
+                     Fault.machine = i;
+                     time = Rng.float_range rng ~lo:0.0 ~hi:horizon;
+                     kind = Fault.Crash;
+                   }
+                   :: !events;
+               if Rng.float rng < p then begin
+                 let t = Rng.float_range rng ~lo:0.0 ~hi:horizon in
+                 events :=
+                   outage ~machine:i ~time:t
+                     ~until:(t +. Rng.float_range rng ~lo:0.5 ~hi:5.0)
+                   :: !events
+               end;
+               !events)
+             (List.init (m - 1) (fun i -> i)))
+      in
+      let recovery =
+        Recovery.make ~detection_latency:0.25 ~rereplication_target:2
+          ~bandwidth:2.0 ()
+      in
+      let completed_set dispatch =
+        let outcome =
+          Engine.run_faulty ~dispatch ~recovery instance realization ~faults
+            ~placement:(placement ()) ~order
+        in
+        ( Array.map
+            (function Engine.Finished _ -> true | Engine.Stranded -> false)
+            outcome.Engine.fates,
+          outcome.Engine.stranded )
+      in
+      let base_done, base_stranded = completed_set Dispatch.default in
+      base_stranded = []
+      && List.for_all
+           (fun dispatch ->
+             let done_, stranded = completed_set dispatch in
+             stranded = base_stranded && done_ = base_done)
+           Dispatch.builtin)
+
+(* ------------------- re-dispatch determinism ------------------------ *)
+
+(* Pins the contract now homed in [Dispatch.redispatch_order]: machines
+   freed at the same instant (here a speculative race ending) look for
+   new work in increasing machine id.
+
+   Construction: m=3, submission order. t0 lives on {0} (est=actual=6),
+   t1 on {0,1,2} (est=actual=9), t2 on {0,2} (est 4, actual 8).
+   t=0: m0 starts t0, m1 starts t1, m2 starts t2. beta=1 arms t2's
+   straggler check at t=4 (no idle holder yet). t=6: m0 finishes t0 and
+   speculates t2 (backup would finish at 14). t=7.5: an outage kills m1;
+   t1 returns to the pool, every machine busy. t=8: t2's original wins
+   on m2; the backup on m0 is cancelled. Machines 2 and 0 are freed at
+   the same instant — re-dispatch order [0; 2] hands t1 to machine 0
+   (start 8, finish 17). An unsorted [2; 0] would hand it to machine 2:
+   that is exactly the regression this test catches. *)
+let redispatch_order_pinned () =
+  let instance =
+    Instance.of_ests ~m:3 ~alpha:(Uncertainty.alpha 2.0) [| 6.0; 9.0; 4.0 |]
+  in
+  let realization = Realization.of_actuals instance [| 6.0; 9.0; 8.0 |] in
+  let placement =
+    [| Bitset.of_list 3 [ 0 ]; Bitset.of_list 3 [ 0; 1; 2 ]; Bitset.of_list 3 [ 0; 2 ] |]
+  in
+  let faults =
+    Trace.of_events ~m:3 [ outage ~machine:1 ~time:7.5 ~until:100.0 ]
+  in
+  let outcome, events =
+    Engine.run_faulty_traced ~speculation:1.0 instance realization ~faults
+      ~placement ~order:(submission_order 3)
+  in
+  checki "all complete" 3 outcome.Engine.completed;
+  let e1 = finished_entry outcome 1 in
+  checki "t1 re-dispatched to the lowest freed machine id" 0
+    e1.Schedule.machine;
+  close "t1 restarts when the race ends" 8.0 e1.Schedule.start;
+  close "t1 finishes from scratch" 17.0 e1.Schedule.finish;
+  checkb "the backup on m0 was cancelled at t=8" true
+    (List.exists
+       (function
+         | Engine.Cancelled { time; machine = 0; task = 2 } -> time = 8.0
+         | _ -> false)
+       events);
+  (* The contract itself, as exposed by the policy value. *)
+  let view =
+    {
+      Dispatch.n = 3;
+      m = 3;
+      order = submission_order 3;
+      pos_of = submission_order 3;
+      dispatchable = [| true; true; true |];
+      holders = placement;
+      est = Instance.est instance;
+      speed = (fun _ -> 1.0);
+      load = [| 0.0; 0.0; 0.0 |];
+      available = (fun ~time:_ _ -> true);
+    }
+  in
+  let t = Dispatch.make Dispatch.default view in
+  Alcotest.(check (list int))
+    "redispatch_order sorts by machine id" [ 0; 2; 5 ]
+    (Dispatch.redispatch_order t [ 2; 5; 0 ])
+
+(* ----------------------- alternative policies ----------------------- *)
+
+(* Least-loaded holder, probed directly on the view: machine 0 carries
+   load 10 while machine 1 — available, load 0 — also holds t0. The
+   deferral is visible only mid-run (loads start all-equal, and with two
+   machines the idle one is always a least-loaded holder), so the test
+   sets the loads directly rather than driving a full simulation. *)
+let least_loaded_defers () =
+  let holders = [| Bitset.of_list 2 [ 0; 1 ]; Bitset.of_list 2 [ 0 ] |] in
+  let dispatchable = [| true; true |] in
+  let load = [| 10.0; 0.0 |] in
+  let view =
+    {
+      Dispatch.n = 2;
+      m = 2;
+      order = [| 0; 1 |];
+      pos_of = [| 0; 1 |];
+      dispatchable;
+      holders;
+      est = (fun j -> [| 3.0; 5.0 |].(j));
+      speed = (fun _ -> 1.0);
+      load;
+      available = (fun ~time:_ _ -> true);
+    }
+  in
+  (* Least-loaded has m0 defer t0 to the idle holder and fall through to
+     t1, which only m0 holds. The default rule takes t0 outright. *)
+  let ll = Dispatch.make Dispatch.Least_loaded_holder view in
+  let lp = Dispatch.make Dispatch.List_priority view in
+  Alcotest.(check (option int))
+    "default takes the first eligible task" (Some 0)
+    (Dispatch.select lp ~time:0.0 ~machine:0);
+  Alcotest.(check (option int))
+    "least-loaded defers t0 to the idle holder and takes t1" (Some 1)
+    (Dispatch.select ll ~time:0.0 ~machine:0);
+  Alcotest.(check (option int))
+    "machine 1 is its own least-loaded holder" (Some 0)
+    (Dispatch.select ll ~time:0.0 ~machine:1);
+  (* Fallback keeps the rule work-conserving: with t1 out of the pool,
+     m0's only eligible task still prefers the lighter holder, but m0
+     must take it rather than idle. *)
+  dispatchable.(1) <- false;
+  Alcotest.(check (option int))
+    "work-conserving fallback: deferring everything still selects" (Some 0)
+    (Dispatch.select ll ~time:0.0 ~machine:0)
+
+(* Earliest estimated completion = SPT restricted to held data. *)
+let earliest_completion_is_spt () =
+  let instance =
+    Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact [| 9.0; 2.0; 5.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement =
+    [| Bitset.full 2; Bitset.of_list 2 [ 0 ]; Bitset.full 2 |]
+  in
+  (* LPT order is [0;2;1]. Default m0 takes t0 (est 9); SPT takes t1
+     (est 2), then t2 (est 5), then t0. *)
+  let schedule =
+    Engine.run ~dispatch:Dispatch.Earliest_estimated_completion instance
+      realization ~placement ~order:(Instance.lpt_order instance)
+  in
+  let es = entries schedule in
+  checki "t1 first on m0" 0 es.(1).Schedule.machine;
+  close "t1 starts immediately" 0.0 es.(1).Schedule.start;
+  (* m1 holds only t0 and t2: takes t2 (est 5) over t0 (est 9). *)
+  checki "t2 on m1" 1 es.(2).Schedule.machine;
+  close "t2 starts immediately" 0.0 es.(2).Schedule.start;
+  close "t0 waits behind the shorter t1" 2.0 es.(0).Schedule.start;
+  (* Ties fall back to priority order: with all-equal estimates the
+     policy is bit-for-bit list-priority. *)
+  let tied =
+    Instance.of_ests ~m:2 ~alpha:Uncertainty.alpha_exact [| 3.0; 3.0; 3.0 |]
+  in
+  let tied_r = Realization.exact tied in
+  let tied_p = Array.make 3 (Bitset.full 2) in
+  let order = submission_order 3 in
+  let a = Engine.run tied tied_r ~placement:tied_p ~order in
+  let b =
+    Engine.run ~dispatch:Dispatch.Earliest_estimated_completion tied tied_r
+      ~placement:tied_p ~order
+  in
+  checkb "all-tied SPT equals list-priority" true
+    (Array.for_all2 entries_equal (entries a) (entries b))
+
+let random_tiebreak_behavior () =
+  (* Distinct estimates: no ties, so any seed coincides with the default
+     rule. *)
+  let distinct =
+    Instance.of_ests ~m:3 ~alpha:Uncertainty.alpha_exact
+      [| 7.0; 5.0; 3.0; 2.0; 1.0 |]
+  in
+  let r = Realization.exact distinct in
+  let p = Array.make 5 (Bitset.full 3) in
+  let order = Instance.lpt_order distinct in
+  let base = Engine.run distinct r ~placement:p ~order in
+  List.iter
+    (fun seed ->
+      let s =
+        Engine.run ~dispatch:(Dispatch.Random_tiebreak seed) distinct r
+          ~placement:p ~order
+      in
+      checkb
+        (Printf.sprintf "distinct estimates: seed %d = default" seed)
+        true
+        (Array.for_all2 entries_equal (entries base)
+           (entries s)))
+    [ 0; 1; 17 ];
+  (* Identical estimates: the rule is deterministic given the seed, and
+     some seed pair must disagree on the assignment. *)
+  let tied =
+    Instance.of_ests ~m:3 ~alpha:Uncertainty.alpha_exact (Array.make 9 4.0)
+  in
+  let tied_r = Realization.exact tied in
+  let tied_p = Array.make 9 (Bitset.full 3) in
+  let torder = submission_order 9 in
+  let run_seed seed =
+    entries
+      (Engine.run ~dispatch:(Dispatch.Random_tiebreak seed) tied tied_r
+         ~placement:tied_p ~order:torder)
+  in
+  checkb "same seed, same schedule" true
+    (Array.for_all2 entries_equal (run_seed 5) (run_seed 5));
+  let machine_of seed = Array.map (fun e -> e.Schedule.machine) (run_seed seed) in
+  checkb "some seeds shuffle the tied assignment" true
+    (List.exists
+       (fun seed -> machine_of seed <> machine_of 0)
+       [ 1; 2; 3; 4; 5; 6; 7 ])
+
+(* Every policy must refuse work the machine has no data for, and the
+   faulty engine must respect availability under every policy. *)
+let policies_respect_eligibility () =
+  let instance =
+    Instance.of_ests ~m:3 ~alpha:Uncertainty.alpha_exact [| 2.0; 3.0; 4.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement =
+    [| Bitset.singleton 3 0; Bitset.singleton 3 1; Bitset.singleton 3 2 |]
+  in
+  List.iter
+    (fun dispatch ->
+      let schedule =
+        Engine.run ~dispatch instance realization ~placement
+          ~order:(submission_order 3)
+      in
+      Array.iteri
+        (fun j e ->
+          checki
+            (Printf.sprintf "%s: task %d on its only holder"
+               (Dispatch.name dispatch) j)
+            j e.Schedule.machine)
+        (entries schedule))
+    Dispatch.builtin
+
+(* ------------------------------ suite ------------------------------- *)
+
+let () =
+  Alcotest.run "dispatch"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "names and parsing" `Quick spec_names;
+        ] );
+      ( "golden",
+        [
+          QCheck_alcotest.to_alcotest prop_default_policy_is_golden;
+          QCheck_alcotest.to_alcotest prop_default_policy_is_golden_healthy;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_policies_work_conserving;
+          QCheck_alcotest.to_alcotest prop_policy_reachability;
+        ] );
+      ( "redispatch",
+        [
+          Alcotest.test_case "freed machines re-dispatch in id order" `Quick
+            redispatch_order_pinned;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "least-loaded defers to idle holder" `Quick
+            least_loaded_defers;
+          Alcotest.test_case "earliest-completion is restricted SPT" `Quick
+            earliest_completion_is_spt;
+          Alcotest.test_case "random tie-break: seeded, tie-only" `Quick
+            random_tiebreak_behavior;
+          Alcotest.test_case "singleton placements pin every policy" `Quick
+            policies_respect_eligibility;
+        ] );
+    ]

@@ -89,6 +89,26 @@ let target_brackets_makespan () =
     (makespan <= ((1.0 +. r.Da.epsilon) *. r.Da.target) +. 1e-9);
   checkb "target >= LB" true (r.Da.target >= Lb.best ~m:3 p -. 1e-6)
 
+let many_distinct_big_classes () =
+  (* Regression for the typed class sort: distinct sizes spread over
+     several rounding classes, submitted in scrambled order so the class
+     table's fold order is not already ascending — the packing relies on
+     the classes coming out in increasing numeric order. *)
+  let p = [| 5.9; 9.7; 6.2; 8.3; 7.1; 4.8; 3.6; 4.4 |] in
+  let opt = Opt.makespan ~m:3 p in
+  List.iter
+    (fun epsilon ->
+      let r = Da.schedule ~epsilon ~m:3 p in
+      let mk = Assign.makespan r.Da.assignment in
+      checkb
+        (Printf.sprintf "eps=%.2f within bound" epsilon)
+        true
+        (mk <= ((1.0 +. epsilon) *. opt) +. 1e-6);
+      Alcotest.(check int)
+        "every task assigned" (Array.length p)
+        (Array.length r.Da.assignment.Assign.assignment))
+    [ 0.2; 1.0 /. 3.0; 0.5 ]
+
 let invalid_inputs () =
   Alcotest.check_raises "m = 0" (Invalid_argument "Dual_approx: m must be >= 1")
     (fun () -> ignore (Da.schedule ~m:0 [| 1.0 |]));
@@ -131,6 +151,8 @@ let () =
           Alcotest.test_case "assignment consistent" `Quick
             assignment_covers_all_tasks;
           Alcotest.test_case "target bracketing" `Quick target_brackets_makespan;
+          Alcotest.test_case "many distinct big classes" `Quick
+            many_distinct_big_classes;
           Alcotest.test_case "invalid inputs" `Quick invalid_inputs;
         ] );
       ( "properties",

@@ -38,6 +38,32 @@ let partition_value_by_hand () =
      = 1. So the value is 1.6. *)
   close "hand computed" 1.6 (Minimax.partition_value ~m:2 ~alpha:2.0 [| 2; 2 |])
 
+let partition_value_distinct_counts () =
+  (* Regression for the typed sort over distinct machine counts: the
+     partition (5,3,2,1) has four distinct sizes, handed over scrambled.
+     Recompute the value from the closed scan the module documents —
+     some machine with b tasks runs h inflated and b-h deflated tasks
+     while every other task deflates. *)
+  let m = 4 and alpha = 2.0 in
+  let counts = [ 5; 3; 2; 1 ] in
+  let n = List.fold_left ( + ) 0 counts in
+  let expect =
+    List.fold_left
+      (fun acc b ->
+        let best = ref acc in
+        for h = 0 to b do
+          let load =
+            (float_of_int h *. alpha) +. (float_of_int (b - h) /. alpha)
+          in
+          let opt = Minimax.optimum_two_point ~m ~alpha ~highs:h ~lows:(n - h) in
+          if load /. opt > !best then best := load /. opt
+        done;
+        !best)
+      0.0 counts
+  in
+  close "matches the closed scan" expect
+    (Minimax.partition_value ~m ~alpha [| 2; 5; 1; 3 |])
+
 let partition_value_unbalanced_is_worse () =
   let balanced = Minimax.partition_value ~m:2 ~alpha:2.0 [| 2; 2 |] in
   let skewed = Minimax.partition_value ~m:2 ~alpha:2.0 [| 3; 1 |] in
@@ -113,6 +139,8 @@ let () =
         [
           Alcotest.test_case "two-point optimum" `Quick optimum_two_point_values;
           Alcotest.test_case "hand computed" `Quick partition_value_by_hand;
+          Alcotest.test_case "distinct counts" `Quick
+            partition_value_distinct_counts;
           Alcotest.test_case "skew hurts" `Quick partition_value_unbalanced_is_worse;
           Alcotest.test_case "domain" `Quick partition_value_domain;
         ] );
