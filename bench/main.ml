@@ -11,6 +11,7 @@
 open Bechamel
 module Experiments = Usched_experiments
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Instance = Usched_model.Instance
 module Realization = Usched_model.Realization
 module Uncertainty = Usched_model.Uncertainty
@@ -76,44 +77,44 @@ let benches () =
   in
   let disp_sets =
     Core.Placement.sets
-      ((Core.Group_replication.ls_group ~k:4).Core.Two_phase.phase1 disp)
+      ((Strategy.build Strategy.(group ~order:Ls ~k:4) ~m:32).Core.Two_phase
+         .phase1 disp)
   in
   let disp_order = Instance.lpt_order disp in
+  (* Every named algorithm below goes through the strategy catalog — the
+     benched code path is the same one the CLI and experiments use. *)
+  let strat ~m spec = Strategy.build spec ~m in
+  let lpt_no_choice = strat ~m:210 Strategy.(no_replication Lpt) in
+  let ls_group30 = strat ~m:210 Strategy.(group ~order:Ls ~k:30) in
+  let ls_group42 = strat ~m:210 Strategy.(group ~order:Ls ~k:42) in
+  let ls_group2 = strat ~m:210 Strategy.(group ~order:Ls ~k:2) in
+  let lpt_no_restriction = strat ~m:210 Strategy.(full_replication Lpt) in
+  let abo_1 = strat ~m:210 (Strategy.abo ~delta:1.0) in
+  let budgeted_3 = strat ~m:210 (Strategy.budgeted ~k:3) in
   [
     (* Phase-1 placement algorithms (n=1000, m=210). *)
     Test.make ~name:"phase1/lpt-no-choice (n=1k,m=210)"
       (Staged.stage (fun () ->
-           ignore
-             (Core.No_replication.lpt_no_choice.Core.Two_phase.phase1 instance)));
+           ignore (lpt_no_choice.Core.Two_phase.phase1 instance)));
     Test.make ~name:"phase1/ls-group k=30 (n=1k,m=210)"
       (Staged.stage (fun () ->
-           ignore
-             ((Core.Group_replication.ls_group ~k:30).Core.Two_phase.phase1
-                instance)));
+           ignore (ls_group30.Core.Two_phase.phase1 instance)));
     Test.make ~name:"phase1/sbo-split (n=1k,m=210)"
       (Staged.stage (fun () -> ignore (Core.Sbo.split ~delta:1.0 mixed)));
     (* Full two-phase pipelines. *)
     Test.make ~name:"two-phase/lpt-no-restriction (n=1k,m=210)"
       (Staged.stage (fun () ->
            ignore
-             (Core.Two_phase.makespan Core.Full_replication.lpt_no_restriction
-                instance realization)));
+             (Core.Two_phase.makespan lpt_no_restriction instance realization)));
     Test.make ~name:"two-phase/ls-group k=30 (n=1k,m=210)"
       (Staged.stage (fun () ->
-           ignore
-             (Core.Two_phase.makespan
-                (Core.Group_replication.ls_group ~k:30)
-                instance realization)));
+           ignore (Core.Two_phase.makespan ls_group30 instance realization)));
     Test.make ~name:"two-phase/abo delta=1 (n=1k,m=210)"
       (Staged.stage (fun () ->
-           ignore
-             (Core.Two_phase.makespan (Core.Abo.algorithm ~delta:1.0) mixed
-                mixed_realization)));
+           ignore (Core.Two_phase.makespan abo_1 mixed mixed_realization)));
     Test.make ~name:"two-phase/budgeted k=3 (n=1k,m=210)"
       (Staged.stage (fun () ->
-           ignore
-             (Core.Two_phase.makespan (Core.Budgeted.uniform ~k:3) instance
-                realization)));
+           ignore (Core.Two_phase.makespan budgeted_3 instance realization)));
     (* Optimum machinery. *)
     Test.make ~name:"opt/branch-and-bound (n=14,m=4)"
       (Staged.stage (fun () -> ignore (Core.Opt.solve ~m:4 small_actuals)));
@@ -125,9 +126,7 @@ let benches () =
     Test.make ~name:"opt/lower-bounds (n=10k,m=100)"
       (Staged.stage (fun () -> ignore (Core.Lower_bounds.best ~m:100 big_weights)));
     (* Fault-injected engine (n=1000, m=210, ~5 replicas/task). *)
-    (let placement =
-       (Core.Group_replication.ls_group ~k:42).Core.Two_phase.phase1 instance
-     in
+    (let placement = ls_group42.Core.Two_phase.phase1 instance in
      let sets = Core.Placement.sets placement in
      let order = Instance.lpt_order instance in
      let healthy =
@@ -143,9 +142,7 @@ let benches () =
             ignore
               (Engine.run_faulty instance realization ~faults:crashes
                  ~placement:sets ~order))));
-    (let placement =
-       (Core.Group_replication.ls_group ~k:42).Core.Two_phase.phase1 instance
-     in
+    (let placement = ls_group42.Core.Two_phase.phase1 instance in
      let sets = Core.Placement.sets placement in
      let order = Instance.lpt_order instance in
      let empty = Trace.empty ~m:(Instance.m instance) in
@@ -158,9 +155,7 @@ let benches () =
        placement, and the overhead of the recovery code path with a
        structurally-neutral policy on the same crash trace as
        faulty/crash-heavy. *)
-    (let placement =
-       (Core.Group_replication.ls_group ~k:2).Core.Two_phase.phase1 instance
-     in
+    (let placement = ls_group2.Core.Two_phase.phase1 instance in
      let sets = Core.Placement.sets placement in
      let order = Instance.lpt_order instance in
      let healthy =
@@ -180,9 +175,7 @@ let benches () =
             ignore
               (Engine.run_faulty ~recovery instance realization ~faults:crashes
                  ~placement:sets ~order))));
-    (let placement =
-       (Core.Group_replication.ls_group ~k:42).Core.Two_phase.phase1 instance
-     in
+    (let placement = ls_group42.Core.Two_phase.phase1 instance in
      let sets = Core.Placement.sets placement in
      let order = Instance.lpt_order instance in
      let healthy =
@@ -202,9 +195,7 @@ let benches () =
     (* Dispatch layer: the default policy at full size, on the same
        placement/order as faulty/empty-trace overhead but through the
        healthy engine. *)
-    (let placement =
-       (Core.Group_replication.ls_group ~k:42).Core.Two_phase.phase1 instance
-     in
+    (let placement = ls_group42.Core.Two_phase.phase1 instance in
      let sets = Core.Placement.sets placement in
      let order = Instance.lpt_order instance in
      Test.make ~name:"dispatch/list-priority (n=1k,m=210)"
@@ -227,6 +218,15 @@ let benches () =
                  (Engine.run ~dispatch:policy disp disp_realization
                     ~placement:disp_sets ~order:disp_order))))
       Dispatch.builtin
+  (* Registry-driven per-strategy rows: the phase-1 placement cost of
+     every catalog family at its representative spec (n=300, m=32). *)
+  @ List.map
+      (fun e ->
+        let algo = Strategy.build (e.Strategy.example ~m:32) ~m:32 in
+        Test.make
+          ~name:(Printf.sprintf "strategy/%s phase1 (n=300,m=32)" e.Strategy.keyword)
+          (Staged.stage (fun () -> ignore (algo.Core.Two_phase.phase1 disp))))
+      Strategy.all
 
 type bench_result = {
   name : string;

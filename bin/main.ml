@@ -136,26 +136,16 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a synthetic instance file.")
     Term.(const run $ spec $ n $ m $ alpha $ seed $ out)
 
-let algorithm_conv =
+(* The strategy catalog owns the whole --algo grammar: parsing,
+   parameter validation (NaN deltas, zero group counts, ...), and the
+   help listing all arrive through [Strategy.of_string]. *)
+let strategy_conv =
   let parse s =
-    match String.split_on_char ':' s with
-    | [ "lpt-no-choice" ] -> Ok Core.No_replication.lpt_no_choice
-    | [ "lpt-no-restriction" ] -> Ok Core.Full_replication.lpt_no_restriction
-    | [ "ls-no-restriction" ] -> Ok Core.Full_replication.ls_no_restriction
-    | [ "ls-group"; k ] -> Ok (Core.Group_replication.ls_group ~k:(int_of_string k))
-    | [ "lpt-group"; k ] -> Ok (Core.Group_replication.lpt_group ~k:(int_of_string k))
-    | [ "budgeted"; k ] -> Ok (Core.Budgeted.uniform ~k:(int_of_string k))
-    | [ "selective"; c ] -> Ok (Core.Selective.algorithm ~count:(int_of_string c))
-    | [ "sabo"; d ] -> Ok (Core.Sabo.algorithm ~delta:(float_of_string d))
-    | [ "abo"; d ] -> Ok (Core.Abo.algorithm ~delta:(float_of_string d))
-    | _ ->
-        Error
-          (`Msg
-             "expected lpt-no-choice | lpt-no-restriction | ls-no-restriction \
-              | ls-group:K | lpt-group:K | budgeted:K | selective:COUNT | \
-              sabo:DELTA | abo:DELTA")
+    match Core.Strategy.of_string s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
   in
-  let print ppf algo = Format.fprintf ppf "%s" algo.Core.Two_phase.name in
+  let print ppf spec = Format.fprintf ppf "%s" (Core.Strategy.to_string spec) in
   Arg.conv ~docv:"ALGO" (parse, print)
 
 let policy_conv =
@@ -199,8 +189,11 @@ let solve_cmd =
          & info [] ~docv:"FILE" ~doc:"Instance file (see 'gen').")
   in
   let algo =
-    Arg.(value & opt algorithm_conv Core.Full_replication.lpt_no_restriction
-         & info [ "algo" ] ~docv:"ALGO" ~doc:"Two-phase algorithm to run.")
+    Arg.(value & opt strategy_conv Core.Strategy.(full_replication Lpt)
+         & info [ "algo" ] ~docv:"ALGO"
+             ~doc:"Two-phase algorithm to run, e.g. ls-group:2 or sabo:0.5. \
+                   Pass 'help' (or see 'usched strategies') for the full \
+                   grammar.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Realization seed.") in
   let gantt = Arg.(value & flag & info [ "gantt" ] ~doc:"Print the Gantt chart.") in
@@ -264,7 +257,7 @@ let solve_cmd =
                    snapshots, and summary records. Parent directories are \
                    created as needed.")
   in
-  let run file algo seed gantt fail_rate speculate recover detect_latency
+  let run file spec seed gantt fail_rate speculate recover detect_latency
       bandwidth checkpoint policy trace_path =
     let recovery =
       if
@@ -284,11 +277,21 @@ let solve_cmd =
             exit 2
     in
     let instance = Model.Io.load_instance ~path:file in
+    let m = Model.Instance.m instance in
+    let n = Model.Instance.n instance in
+    (* Per-instance constraints (group count vs m, speeds length) can
+       only be checked once the instance is known. *)
+    let algo =
+      match Core.Strategy.check spec ~m with
+      | Ok () -> Core.Strategy.build spec ~m
+      | Error msg ->
+          Printf.eprintf "usched: --algo %s: %s\n"
+            (Core.Strategy.to_string spec) msg;
+          exit 2
+    in
     let rng = Usched_prng.Rng.create ~seed () in
     let realization = Model.Realization.log_uniform_factor instance rng in
     let placement, schedule = Core.Two_phase.run_full algo instance realization in
-    let m = Model.Instance.m instance in
-    let n = Model.Instance.n instance in
     let lb = Core.Lower_bounds.best ~m (Model.Realization.actuals realization) in
     let healthy = Usched_desim.Schedule.makespan schedule in
     let with_sink f =
@@ -306,6 +309,7 @@ let solve_cmd =
            ("tool", Json.String "usched solve");
            ("file", Json.String file);
            ("algo", Json.String algo.Core.Two_phase.name);
+           ("algo_spec", Json.String (Core.Strategy.to_string spec));
            ("seed", Json.Int seed);
            ("n", Json.Int n);
            ("m", Json.Int m);
@@ -454,6 +458,23 @@ let solve_cmd =
       const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate $ recover
       $ detect_latency $ bandwidth $ checkpoint $ policy $ trace)
 
+let strategies_cmd =
+  let run () =
+    print_endline Core.Strategy.grammar;
+    print_newline ();
+    print_endline "default scenario-selection portfolio at m=6:";
+    List.iter
+      (fun spec ->
+        Printf.printf "  %-16s %s\n"
+          (Core.Strategy.to_string spec)
+          (Core.Strategy.name spec))
+      (Core.Strategy.default_portfolio ~m:6)
+  in
+  Cmd.v
+    (Cmd.info "strategies"
+       ~doc:"List the placement-strategy catalog (--algo grammar).")
+    Term.(const run $ const ())
+
 let minimax_cmd =
   let m = Arg.(value & opt int 3 & info [ "m"; "machines" ] ~doc:"Machines.") in
   let n = Arg.(value & opt int 9 & info [ "n"; "tasks" ] ~doc:"Identical tasks.") in
@@ -479,6 +500,6 @@ let main =
   let doc = "reproduction of 'Replicated Data Placement for Uncertain Scheduling'" in
   Cmd.group
     (Cmd.info "usched" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; all_cmd; gen_cmd; solve_cmd; minimax_cmd ]
+    [ list_cmd; run_cmd; all_cmd; gen_cmd; solve_cmd; strategies_cmd; minimax_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -53,9 +53,4 @@ let select criterion ~portfolio instance scenarios =
         rest
 
 let default_portfolio ~m =
-  let divisors =
-    List.filter (fun k -> k > 1 && k < m && m mod k = 0) (List.init m (fun i -> i + 1))
-  in
-  [ No_replication.lpt_no_choice ]
-  @ List.map (fun k -> Group_replication.ls_group ~k) divisors
-  @ [ Budgeted.uniform ~k:(Stdlib.max 2 (m / 2)); Full_replication.lpt_no_restriction ]
+  List.map (fun spec -> Strategy.build spec ~m) (Strategy.default_portfolio ~m)

@@ -48,4 +48,5 @@ val select :
 val default_portfolio : m:int -> Two_phase.t list
 (** A sensible spread over the paper's strategies: no replication,
     groups at several k (divisors of [m]), budgeted overlap, and full
-    replication. *)
+    replication. Derived from the {!Strategy} registry
+    ([Strategy.default_portfolio] built at [m]). *)

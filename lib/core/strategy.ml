@@ -1,0 +1,434 @@
+type order = Lpt | Ls
+type uniform_variant = U_no_choice | U_no_restriction | U_group of int
+
+type t =
+  | No_replication of order
+  | Full_replication of order
+  | Group of { order : order; k : int }
+  | Budgeted of int
+  | Proportional of float
+  | Selective of int
+  | Sabo of float
+  | Abo of float
+  | Memory_budget of float
+  | Uniform of { variant : uniform_variant; speeds : float array }
+
+(* Domain checks independent of m. Group counts against m and speeds
+   length are deferred to [build]/[check], which know m. *)
+
+let positive_finite label x =
+  if Float.is_nan x then Error (Printf.sprintf "%s must not be NaN" label)
+  else if not (Float.is_finite x) then
+    Error (Printf.sprintf "%s must be finite, got %g" label x)
+  else if x <= 0.0 then
+    Error (Printf.sprintf "%s must be > 0, got %g" label x)
+  else Ok ()
+
+let validate = function
+  | No_replication _ | Full_replication _ -> Ok ()
+  | Group { k; _ } ->
+      if k >= 1 then Ok ()
+      else Error (Printf.sprintf "group count must be >= 1, got %d" k)
+  | Budgeted k ->
+      if k >= 1 then Ok ()
+      else Error (Printf.sprintf "replication budget must be >= 1, got %d" k)
+  | Proportional f ->
+      if Float.is_nan f then Error "fraction must not be NaN"
+      else if not (Float.is_finite f) then
+        Error (Printf.sprintf "fraction must be finite, got %g" f)
+      else if f < 0.0 || f > 1.0 then
+        Error (Printf.sprintf "fraction must be in [0, 1], got %g" f)
+      else Ok ()
+  | Selective count ->
+      if count >= 0 then Ok ()
+      else Error (Printf.sprintf "selective count must be >= 0, got %d" count)
+  | Sabo delta -> positive_finite "delta" delta
+  | Abo delta -> positive_finite "delta" delta
+  | Memory_budget budget -> positive_finite "memory budget" budget
+  | Uniform { variant; speeds } -> (
+      let speeds_ok () =
+        if Array.length speeds = 0 then Error "speeds must be non-empty"
+        else
+          let bad = ref None in
+          Array.iter
+            (fun s ->
+              if !bad = None && (Float.is_nan s || not (Float.is_finite s) || s <= 0.0)
+              then bad := Some s)
+            speeds;
+          match !bad with
+          | Some s ->
+              Error
+                (Printf.sprintf "every speed must be finite and > 0, got %g" s)
+          | None -> Ok ()
+      in
+      match variant with
+      | U_no_choice | U_no_restriction -> speeds_ok ()
+      | U_group k ->
+          if k < 1 then
+            Error (Printf.sprintf "group count must be >= 1, got %d" k)
+          else speeds_ok ())
+
+let checked spec =
+  match validate spec with
+  | Ok () -> spec
+  | Error msg -> invalid_arg (Printf.sprintf "Strategy: %s" msg)
+
+let no_replication order = No_replication order
+let full_replication order = Full_replication order
+let group ~order ~k = checked (Group { order; k })
+let budgeted ~k = checked (Budgeted k)
+let proportional ~fraction = checked (Proportional fraction)
+let selective ~count = checked (Selective count)
+let sabo ~delta = checked (Sabo delta)
+let abo ~delta = checked (Abo delta)
+let memory_budget ~budget = checked (Memory_budget budget)
+let uniform ~variant ~speeds = checked (Uniform { variant; speeds })
+
+(* Floats must survive print -> parse exactly for the round-trip law.
+   %.12g covers every float people actually write; fall back to %.17g
+   (always exact) for the rest. *)
+let float_str f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let speeds_str speeds =
+  String.concat "," (List.map float_str (Array.to_list speeds))
+
+let to_string = function
+  | No_replication Lpt -> "lpt-no-choice"
+  | No_replication Ls -> "ls-no-choice"
+  | Full_replication Lpt -> "lpt-no-restriction"
+  | Full_replication Ls -> "ls-no-restriction"
+  | Group { order = Ls; k } -> Printf.sprintf "ls-group:%d" k
+  | Group { order = Lpt; k } -> Printf.sprintf "lpt-group:%d" k
+  | Budgeted k -> Printf.sprintf "budgeted:%d" k
+  | Proportional f -> Printf.sprintf "proportional:%s" (float_str f)
+  | Selective count -> Printf.sprintf "selective:%d" count
+  | Sabo delta -> Printf.sprintf "sabo:%s" (float_str delta)
+  | Abo delta -> Printf.sprintf "abo:%s" (float_str delta)
+  | Memory_budget budget -> Printf.sprintf "memory:%s" (float_str budget)
+  | Uniform { variant = U_no_choice; speeds } ->
+      Printf.sprintf "uniform-lpt-no-choice:%s" (speeds_str speeds)
+  | Uniform { variant = U_no_restriction; speeds } ->
+      Printf.sprintf "uniform-lpt-no-restriction:%s" (speeds_str speeds)
+  | Uniform { variant = U_group k; speeds } ->
+      Printf.sprintf "uniform-ls-group:%d:%s" k (speeds_str speeds)
+
+let name = function
+  | No_replication Lpt -> "LPT-No Choice"
+  | No_replication Ls -> "LS-No Choice"
+  | Full_replication Lpt -> "LPT-No Restriction"
+  | Full_replication Ls -> "LS-No Restriction"
+  | Group { order = Ls; k } -> Printf.sprintf "LS-Group(k=%d)" k
+  | Group { order = Lpt; k } -> Printf.sprintf "LPT-Group(k=%d)" k
+  | Budgeted k -> Printf.sprintf "Budgeted(k=%d)" k
+  | Proportional f -> Printf.sprintf "Budgeted(top %g%% full)" (100.0 *. f)
+  | Selective count -> Printf.sprintf "Selective(top=%d)" count
+  | Sabo delta -> Printf.sprintf "SABO(delta=%g)" delta
+  | Abo delta -> Printf.sprintf "ABO(delta=%g)" delta
+  | Memory_budget budget -> Printf.sprintf "MemBudget(B=%g)" budget
+  | Uniform { variant = U_no_choice; _ } -> "Uniform LPT-No Choice"
+  | Uniform { variant = U_no_restriction; _ } -> "Uniform LPT-No Restriction"
+  | Uniform { variant = U_group k; _ } ->
+      Printf.sprintf "Uniform LS-Group(k=%d)" k
+
+(* Parsing ------------------------------------------------------------ *)
+
+let int_param keyword s =
+  match int_of_string_opt s with
+  | Some k -> Ok k
+  | None ->
+      Error (Printf.sprintf "%s: expected an integer parameter, got %S" keyword s)
+
+let float_param keyword s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None ->
+      Error (Printf.sprintf "%s: expected a numeric parameter, got %S" keyword s)
+
+let speeds_param keyword s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | p :: rest -> (
+        match float_of_string_opt p with
+        | Some f -> go (f :: acc) rest
+        | None ->
+            Error
+              (Printf.sprintf "%s: expected comma-separated speeds, got %S"
+                 keyword p))
+  in
+  go [] parts
+
+let ( let* ) = Result.bind
+
+let finish spec =
+  let* () =
+    Result.map_error
+      (fun msg -> Printf.sprintf "%s: %s" (to_string spec) msg)
+      (validate spec)
+  in
+  Ok spec
+
+type entry = {
+  keyword : string;
+  params : string;
+  doc : string;
+  example : m:int -> t;
+  portfolio : m:int -> t list;
+}
+
+let no_param keyword spec = function
+  | [] -> finish spec
+  | _ :: _ -> Error (Printf.sprintf "%s takes no parameter" keyword)
+
+let one_int keyword mk = function
+  | [ p ] ->
+      let* k = int_param keyword p in
+      finish (mk k)
+  | [] -> Error (Printf.sprintf "%s needs a parameter, e.g. %s:2" keyword keyword)
+  | _ -> Error (Printf.sprintf "%s takes exactly one parameter" keyword)
+
+let one_float keyword example mk = function
+  | [ p ] ->
+      let* f = float_param keyword p in
+      finish (mk f)
+  | [] ->
+      Error
+        (Printf.sprintf "%s needs a parameter, e.g. %s:%s" keyword keyword
+           example)
+  | _ -> Error (Printf.sprintf "%s takes exactly one parameter" keyword)
+
+let speeds_only keyword variant = function
+  | [ p ] ->
+      let* speeds = speeds_param keyword p in
+      finish (Uniform { variant; speeds })
+  | [] ->
+      Error
+        (Printf.sprintf "%s needs a speeds list, e.g. %s:2,1,1,0.5" keyword
+           keyword)
+  | _ -> Error (Printf.sprintf "%s takes exactly one speeds list" keyword)
+
+(* A spread of speeds for examples/benches: fast, normal, slow nodes. *)
+let example_speeds m =
+  Array.init m (fun i ->
+      match i mod 4 with 0 -> 2.0 | 3 -> 0.5 | _ -> 1.0)
+
+let divisors ~m = List.filter (fun k -> k > 1 && k < m && m mod k = 0)
+    (List.init (max m 1) (fun i -> i + 1))
+
+let all =
+  [
+    {
+      keyword = "lpt-no-choice";
+      params = "";
+      doc = "no replication, LPT on estimates, pinned execution (Thm 2)";
+      example = (fun ~m:_ -> No_replication Lpt);
+      portfolio = (fun ~m:_ -> [ No_replication Lpt ]);
+    };
+    {
+      keyword = "ls-no-choice";
+      params = "";
+      doc = "no replication, List Scheduling in submission order (ablation)";
+      example = (fun ~m:_ -> No_replication Ls);
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "ls-group";
+      params = ":K";
+      doc = "K machine groups, LS over groups then LS inside (Thm 4)";
+      example = (fun ~m -> Group { order = Ls; k = max 1 (m / 7) });
+      portfolio =
+        (fun ~m -> List.map (fun k -> Group { order = Ls; k }) (divisors ~m));
+    };
+    {
+      keyword = "lpt-group";
+      params = ":K";
+      doc = "K machine groups with LPT order in both phases (ablation)";
+      example = (fun ~m -> Group { order = Lpt; k = max 1 (m / 7) });
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "budgeted";
+      params = ":K";
+      doc = "data on the K least-loaded machines per task (overlapping sets)";
+      example = (fun ~m -> Budgeted (max 2 (m / 2)));
+      portfolio = (fun ~m -> [ Budgeted (max 2 (m / 2)) ]);
+    };
+    {
+      keyword = "proportional";
+      params = ":F";
+      doc = "largest fraction F of tasks replicated everywhere, rest pinned";
+      example = (fun ~m:_ -> Proportional 0.25);
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "selective";
+      params = ":COUNT";
+      doc = "COUNT largest estimates replicated everywhere, rest pinned";
+      example = (fun ~m -> Selective (max 1 (m / 2)));
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "memory";
+      params = ":BUDGET";
+      doc = "greedy replication under a hard per-machine memory budget";
+      example = (fun ~m -> Memory_budget (float_of_int m));
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "sabo";
+      params = ":DELTA";
+      doc = "SABO_D: SBO split, both sides pinned, no replication (Thm 5-6)";
+      example = (fun ~m:_ -> Sabo 1.0);
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "abo";
+      params = ":DELTA";
+      doc = "ABO_D: memory-heavy tasks pinned, time-heavy replicated (Thm 7-8)";
+      example = (fun ~m:_ -> Abo 1.0);
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "lpt-no-restriction";
+      params = "";
+      doc = "replicate everywhere, online LPT in phase 2 (Thm 3)";
+      example = (fun ~m:_ -> Full_replication Lpt);
+      portfolio = (fun ~m:_ -> [ Full_replication Lpt ]);
+    };
+    {
+      keyword = "ls-no-restriction";
+      params = "";
+      doc = "replicate everywhere, Graham's online List Scheduling";
+      example = (fun ~m:_ -> Full_replication Ls);
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "uniform-lpt-no-choice";
+      params = ":SPEEDS";
+      doc = "related machines: ECT-LPT on estimates, pinned execution";
+      example =
+        (fun ~m -> Uniform { variant = U_no_choice; speeds = example_speeds m });
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "uniform-lpt-no-restriction";
+      params = ":SPEEDS";
+      doc = "related machines: replicate everywhere, online LPT with speeds";
+      example =
+        (fun ~m ->
+          Uniform { variant = U_no_restriction; speeds = example_speeds m });
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "uniform-ls-group";
+      params = ":K:SPEEDS";
+      doc = "related machines: groups weighted by group speed";
+      example =
+        (fun ~m ->
+          Uniform { variant = U_group (max 1 (m / 7)); speeds = example_speeds m });
+      portfolio = (fun ~m:_ -> []);
+    };
+  ]
+
+let find keyword =
+  let keyword = if keyword = "group" then "ls-group" else keyword in
+  List.find_opt (fun e -> e.keyword = keyword) all
+
+let grammar =
+  let lines =
+    List.map
+      (fun e -> Printf.sprintf "  %-32s %s" (e.keyword ^ e.params) e.doc)
+      all
+  in
+  String.concat "\n"
+    (("accepted --algo specs (K, COUNT integers; DELTA, BUDGET, F floats; \
+       SPEEDS comma-separated floats):"
+     :: lines)
+    @ [ "  group:K                          alias for ls-group:K" ])
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [] | [ "" ] -> Error (Printf.sprintf "empty algorithm spec\n%s" grammar)
+  | [ "help" ] -> Error grammar
+  | keyword :: params -> (
+      match keyword with
+      | "lpt-no-choice" -> no_param keyword (No_replication Lpt) params
+      | "ls-no-choice" -> no_param keyword (No_replication Ls) params
+      | "lpt-no-restriction" -> no_param keyword (Full_replication Lpt) params
+      | "ls-no-restriction" -> no_param keyword (Full_replication Ls) params
+      | "ls-group" | "group" ->
+          one_int keyword (fun k -> Group { order = Ls; k }) params
+      | "lpt-group" -> one_int keyword (fun k -> Group { order = Lpt; k }) params
+      | "budgeted" -> one_int keyword (fun k -> Budgeted k) params
+      | "proportional" -> one_float keyword "0.25" (fun f -> Proportional f) params
+      | "selective" -> one_int keyword (fun c -> Selective c) params
+      | "sabo" -> one_float keyword "0.5" (fun d -> Sabo d) params
+      | "abo" -> one_float keyword "0.5" (fun d -> Abo d) params
+      | "memory" -> one_float keyword "16" (fun b -> Memory_budget b) params
+      | "uniform-lpt-no-choice" -> speeds_only keyword U_no_choice params
+      | "uniform-lpt-no-restriction" ->
+          speeds_only keyword U_no_restriction params
+      | "uniform-ls-group" -> (
+          match params with
+          | [ kp; sp ] ->
+              let* k = int_param keyword kp in
+              let* speeds = speeds_param keyword sp in
+              finish (Uniform { variant = U_group k; speeds })
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "%s needs a group count and a speeds list, e.g. \
+                    %s:2:2,1,1,0.5"
+                   keyword keyword))
+      | _ ->
+          Error
+            (Printf.sprintf "unknown algorithm %S\n%s" keyword grammar))
+
+(* Building ----------------------------------------------------------- *)
+
+let check spec ~m =
+  let* () = validate spec in
+  match spec with
+  | Group { k; _ } when k > m ->
+      Error
+        (Printf.sprintf "group count %d exceeds machine count %d" k m)
+  | Uniform { variant; speeds } -> (
+      if Array.length speeds <> m then
+        Error
+          (Printf.sprintf "speeds list has %d entries for %d machines"
+             (Array.length speeds) m)
+      else
+        match variant with
+        | U_group k when k > m ->
+            Error
+              (Printf.sprintf "group count %d exceeds machine count %d" k m)
+        | _ -> Ok ())
+  | _ -> Ok ()
+
+let build spec ~m =
+  (match check spec ~m with
+  | Ok () -> ()
+  | Error msg ->
+      invalid_arg (Printf.sprintf "Strategy.build %s: %s" (to_string spec) msg));
+  match spec with
+  | No_replication Lpt -> No_replication.lpt_no_choice
+  | No_replication Ls -> No_replication.ls_no_choice
+  | Full_replication Lpt -> Full_replication.lpt_no_restriction
+  | Full_replication Ls -> Full_replication.ls_no_restriction
+  | Group { order = Ls; k } -> Group_replication.ls_group ~k
+  | Group { order = Lpt; k } -> Group_replication.lpt_group ~k
+  | Budgeted k -> Budgeted.uniform ~k
+  | Proportional fraction -> Budgeted.proportional ~fraction
+  | Selective count -> Selective.algorithm ~count
+  | Sabo delta -> Sabo.algorithm ~delta
+  | Abo delta -> Abo.algorithm ~delta
+  | Memory_budget budget -> Memory_budget.algorithm ~budget
+  | Uniform { variant = U_no_choice; speeds } -> Uniform.lpt_no_choice ~speeds
+  | Uniform { variant = U_no_restriction; speeds } ->
+      Uniform.lpt_no_restriction ~speeds
+  | Uniform { variant = U_group k; speeds } -> Uniform.ls_group ~speeds ~k
+
+let default_portfolio ~m =
+  List.concat_map (fun e -> e.portfolio ~m) all

@@ -1,0 +1,141 @@
+(** The strategy catalog: every phase-1 placement algorithm in the repo
+    as a first-class, typed, parseable value.
+
+    PR 4 made phase-2 dispatch a value ({!Usched_desim.Dispatch.spec});
+    this module does the same for phase 1. A {!t} is a {e spec} — a pure
+    description of an algorithm and its parameters, validated at
+    construction (bad parameters are rejected here, not deep inside
+    phase 1), printable to a stable grammar ([ls-group:4], [sabo:0.5])
+    and parseable back. {!build} turns a spec into the corresponding
+    {!Two_phase.t}; the {!all} registry enumerates every family with a
+    one-line doc, and {!default_portfolio} derives the scenario-selection
+    portfolio from it.
+
+    Information flow: a spec describes only estimate-driven phase-1
+    behaviour (plus the fixed phase-2 rule of its family). Specs never
+    carry realization data, so recording a spec string in a trace or
+    manifest is enough to replay the placement decision by name. *)
+
+type order = Lpt | Ls
+(** Priority order of a family's list phase: estimate-descending ([Lpt])
+    or submission / task-id ([Ls]). *)
+
+type uniform_variant =
+  | U_no_choice  (** ECT-LPT placement, pinned execution. *)
+  | U_no_restriction  (** Replicate everywhere, online LPT with speeds. *)
+  | U_group of int  (** Contiguous groups weighted by group speed. *)
+
+type t =
+  | No_replication of order
+      (** [|M_j| = 1] (Section 5.1): all decisions in phase 1. *)
+  | Full_replication of order
+      (** [|M_j| = m] (Section 5.2): all freedom kept for phase 2. *)
+  | Group of { order : order; k : int }
+      (** [k] machine groups (Section 5.3), [|M_j| = m/k] when [k | m]. *)
+  | Budgeted of int
+      (** Every task's data on the [k] least-loaded machines (overlapping
+          sets, the conclusion's cost model). *)
+  | Proportional of float
+      (** The largest [fraction] of tasks get budget [m], the rest 1. *)
+  | Selective of int
+      (** The [count] largest estimates replicated everywhere. *)
+  | Sabo of float  (** SABO_Δ (Section 6.1): SBO split, no replication. *)
+  | Abo of float
+      (** ABO_Δ (Section 6.2): S2 pinned, S1 replicated everywhere. *)
+  | Memory_budget of float
+      (** Greedy replication under a hard per-machine memory budget. *)
+  | Uniform of { variant : uniform_variant; speeds : float array }
+      (** Related-machines extension; [speeds] must have length [m]. *)
+
+(** {1 Validated smart constructors}
+
+    Each rejects out-of-domain parameters with [Invalid_argument] at
+    construction time: non-positive [k], [delta]/[budget] that are NaN,
+    infinite, zero or negative, fractions outside [0, 1], negative
+    counts, speeds that are not all finite and positive. Constraints
+    that need [m] (group count vs machine count, speeds length) are
+    checked by {!build}. *)
+
+val no_replication : order -> t
+val full_replication : order -> t
+val group : order:order -> k:int -> t
+val budgeted : k:int -> t
+val proportional : fraction:float -> t
+val selective : count:int -> t
+val sabo : delta:float -> t
+val abo : delta:float -> t
+val memory_budget : budget:float -> t
+val uniform : variant:uniform_variant -> speeds:float array -> t
+
+val validate : t -> (unit, string) result
+(** The m-independent domain checks behind the smart constructors, for
+    specs built directly from the ADT (e.g. by a parser or a test
+    generator). [Ok ()] iff every parameter is in domain. *)
+
+(** {1 Grammar} *)
+
+val to_string : t -> string
+(** Stable spec string: [lpt-no-choice], [ls-no-restriction],
+    [ls-group:K], [lpt-group:K], [budgeted:K], [proportional:F],
+    [selective:COUNT], [sabo:DELTA], [abo:DELTA], [memory:BUDGET],
+    [uniform-lpt-no-choice:SPEEDS], [uniform-lpt-no-restriction:SPEEDS],
+    [uniform-ls-group:K:SPEEDS] with SPEEDS comma-separated. Floats are
+    printed so they parse back to the identical value —
+    [of_string (to_string s) = Ok s] for every valid spec. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. Also accepts the alias [group:K] for
+    [ls-group:K], and the pseudo-spec [help], which always returns
+    [Error] carrying the full grammar listing (so [--algo help] prints
+    it). Unknown names, missing/extra parameters, and out-of-domain
+    values (NaN or negative delta, [k = 0], ...) are [Error] with a
+    usage message; unknown names include the full grammar. *)
+
+val name : t -> string
+(** The human-readable [Two_phase.name] this spec builds to (e.g.
+    ["LS-Group(k=4)"]), without constructing the algorithm. *)
+
+(** {1 Building} *)
+
+val build : t -> m:int -> Two_phase.t
+(** Construct the algorithm for an [m]-machine instance. Raises
+    [Invalid_argument] when the spec is out of domain ({!validate}), when
+    a group count exceeds [m], or when a speeds array does not have
+    length [m] — at build time, not deep inside phase 1. The returned
+    value is constructed by the same module entry points the pre-catalog
+    call sites used, so placements and schedules are bit-for-bit
+    identical (pinned by the golden property in [test_strategy]). *)
+
+val check : t -> m:int -> (unit, string) result
+(** What {!build} would reject, as a result — for CLI-style callers. *)
+
+(** {1 Registry} *)
+
+type entry = {
+  keyword : string;  (** grammar keyword, e.g. ["ls-group"] *)
+  params : string;  (** parameter suffix for usage lines, e.g. [":K"] *)
+  doc : string;  (** one-line description *)
+  example : m:int -> t;  (** a representative spec (benches, smoke tests) *)
+  portfolio : m:int -> t list;
+      (** members this family contributes to {!default_portfolio} *)
+}
+
+val all : entry list
+(** Every family, in presentation order: replication degree ascending
+    (no-choice, groups, budgeted, selective, memory-aware, no
+    restriction), then the related-machines extensions. *)
+
+val find : string -> entry option
+(** Look up a family by grammar keyword (aliases included). *)
+
+val grammar : string
+(** Human-readable listing of every accepted spec form with its
+    one-line doc — what [usched strategies] and parse errors print. *)
+
+val default_portfolio : m:int -> t list
+(** The scenario-selection portfolio, derived from the registry: each
+    entry contributes its [portfolio ~m] members in registry order. For
+    the paper's families this is no replication, LS-Group at every
+    proper divisor k of [m], one budgeted overlap, and full
+    replication — identical to the portfolio {!Scenarios} hardcoded
+    before the catalog existed. *)

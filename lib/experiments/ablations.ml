@@ -3,6 +3,7 @@ module Realization = Usched_model.Realization
 module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 module Summary = Usched_stats.Summary
@@ -27,8 +28,10 @@ let phase2_order config =
           ~realize:(fun instance rng -> Realization.log_uniform_factor instance rng)
           ~n:(6 * m) ~m ~alpha
       in
-      let ls = sweep (Core.Group_replication.ls_group ~k) in
-      let lpt = sweep (Core.Group_replication.lpt_group ~k) in
+      let ls = sweep (Runner.strategy config ~m Strategy.(group ~order:Ls ~k)) in
+      let lpt =
+        sweep (Runner.strategy config ~m Strategy.(group ~order:Lpt ~k))
+      in
       let ls_mean = Summary.mean ls.Runner.summary in
       let lpt_mean = Summary.mean lpt.Runner.summary in
       Table.add_row table
@@ -52,7 +55,7 @@ let adversary_strength config =
       ~alpha:(Uncertainty.alpha alpha)
       (Rng.create ~seed:config.Runner.seed ())
   in
-  let algo = Core.No_replication.lpt_no_choice in
+  let algo = Runner.strategy config ~m Strategy.(no_replication Lpt) in
   let placement = algo.Core.Two_phase.phase1 instance in
   let run realization = algo.Core.Two_phase.phase2 instance placement realization in
   let opt actuals = fst (Runner.opt_estimate config ~m actuals) in
@@ -101,7 +104,7 @@ let selective_replication config =
   in
   List.iter
     (fun count ->
-      let algo = Core.Selective.algorithm ~count in
+      let algo = Runner.strategy config ~m (Strategy.selective ~count) in
       let worst =
         List.fold_left
           (fun acc instance ->
@@ -139,9 +142,10 @@ let correlated_errors config =
   in
   let strategies =
     [
-      ("no replication", Core.No_replication.lpt_no_choice);
-      ("LS-Group k=4", Core.Group_replication.ls_group ~k:4);
-      ("full replication", Core.Full_replication.lpt_no_restriction);
+      ("no replication", Runner.strategy config ~m Strategy.(no_replication Lpt));
+      ("LS-Group k=4", Runner.strategy config ~m Strategy.(group ~order:Ls ~k:4));
+      ( "full replication",
+        Runner.strategy config ~m Strategy.(full_replication Lpt) );
     ]
   in
   let table =

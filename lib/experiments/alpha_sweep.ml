@@ -2,6 +2,7 @@ module Instance = Usched_model.Instance
 module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Plot = Usched_report.Ascii_plot
 module Rng = Usched_prng.Rng
@@ -46,10 +47,13 @@ let run config =
     (fun alpha ->
       let instances = instances_at config ~m ~alpha in
       let no_repl =
-        worst_over_instances config Core.No_replication.lpt_no_choice instances
+        worst_over_instances config
+          (Runner.strategy config ~m Strategy.(no_replication Lpt))
+          instances
       in
       let full_repl =
-        worst_over_instances config Core.Full_replication.lpt_no_restriction
+        worst_over_instances config
+          (Runner.strategy config ~m Strategy.(full_replication Lpt))
           instances
       in
       measured_nc := (alpha, no_repl) :: !measured_nc;

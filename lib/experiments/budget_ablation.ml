@@ -3,6 +3,7 @@ module Realization = Usched_model.Realization
 module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 module Summary = Usched_stats.Summary
@@ -39,8 +40,10 @@ let equal_cost_policies config =
   in
   List.iter
     (fun replicas ->
-      let group = Core.Group_replication.ls_group ~k:(m / replicas) in
-      let budgeted = Core.Budgeted.uniform ~k:replicas in
+      let group =
+        Runner.strategy config ~m Strategy.(group ~order:Ls ~k:(m / replicas))
+      in
+      let budgeted = Runner.strategy config ~m (Strategy.budgeted ~k:replicas) in
       Table.add_row table
         [
           string_of_int replicas;
@@ -82,7 +85,7 @@ let memory_budget_curve config =
   in
   List.iter
     (fun budget ->
-      let algo = Core.Memory_budget.algorithm ~budget in
+      let algo = Runner.strategy config ~m (Strategy.memory_budget ~budget) in
       let placement = algo.Core.Two_phase.phase1 instance in
       let summary = Summary.create () in
       List.iter

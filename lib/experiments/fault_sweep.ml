@@ -7,6 +7,7 @@ module Schedule = Usched_desim.Schedule
 module Engine = Usched_desim.Engine
 module Trace = Usched_faults.Trace
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 module Summary = Usched_stats.Summary
@@ -159,15 +160,16 @@ let degree_sweep config =
 
 (* ----------------- part B: the paper's strategies ------------------- *)
 
-let strategies =
-  [
-    ("LPT-No Choice (k=1)", Core.No_replication.lpt_no_choice);
-    ("LS-Group k=3 (2 repl)", Core.Group_replication.ls_group ~k:3);
-    ("LS-Group k=2 (3 repl)", Core.Group_replication.ls_group ~k:2);
-    ("Budgeted k=2", Core.Budgeted.uniform ~k:2);
-    ("Budgeted k=3", Core.Budgeted.uniform ~k:3);
-    ("LPT-No Restriction (k=m)", Core.Full_replication.lpt_no_restriction);
-  ]
+let strategy_specs =
+  Strategy.
+    [
+      ("LPT-No Choice (k=1)", no_replication Lpt);
+      ("LS-Group k=3 (2 repl)", group ~order:Ls ~k:3);
+      ("LS-Group k=2 (3 repl)", group ~order:Ls ~k:2);
+      ("Budgeted k=2", budgeted ~k:2);
+      ("Budgeted k=3", budgeted ~k:3);
+      ("LPT-No Restriction (k=m)", full_replication Lpt);
+    ]
 
 let strategy_sweep config =
   let reps = Stdlib.max 10 config.Runner.reps in
@@ -190,7 +192,8 @@ let strategy_sweep config =
   in
   let csv_rows = ref [] in
   List.iter
-    (fun (name, algo) ->
+    (fun (name, spec) ->
+      let algo = Runner.strategy config ~m spec in
       List.iteri
         (fun rate_idx rate ->
           let cell = cell () in
@@ -237,7 +240,7 @@ let strategy_sweep config =
             ]
             :: !csv_rows)
         rates)
-    strategies;
+    strategy_specs;
   print_string (Table.render table);
   Runner.maybe_csv config ~name:"fault_sweep_strategies"
     ~header:

@@ -7,6 +7,7 @@ module Engine = Usched_desim.Engine
 module Fault = Usched_faults.Fault
 module Trace = Usched_faults.Trace
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 module Summary = Usched_stats.Summary
@@ -46,12 +47,13 @@ let run config =
      is re-dispatched to surviving replica holders.\n\n"
     m n alpha;
   let strategies =
-    [
-      ("no replication", Core.No_replication.lpt_no_choice);
-      ("LS-Group k=3 (2 replicas)", Core.Group_replication.ls_group ~k:3);
-      ("Budgeted k=2", Core.Budgeted.uniform ~k:2);
-      ("full replication", Core.Full_replication.lpt_no_restriction);
-    ]
+    Strategy.
+      [
+        ("no replication", no_replication Lpt);
+        ("LS-Group k=3 (2 replicas)", group ~order:Ls ~k:3);
+        ("Budgeted k=2", budgeted ~k:2);
+        ("full replication", full_replication Lpt);
+      ]
   in
   let table =
     Table.create
@@ -67,7 +69,8 @@ let run config =
         ]
   in
   List.iter
-    (fun (name, algo) ->
+    (fun (name, spec) ->
+      let algo = Runner.strategy config ~m spec in
       let rng = Rng.create ~seed:config.Runner.seed () in
       let attempts = ref 0 in
       let pre_start = mode () and mid_run = mode () in

@@ -5,6 +5,7 @@ module Workload = Usched_model.Workload
 module Schedule = Usched_desim.Schedule
 module Gantt = Usched_desim.Gantt
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 
@@ -20,7 +21,7 @@ let identical_instance ~lambda ~m ~alpha =
 
 let adversarial_run config ~lambda ~m ~alpha =
   let instance = identical_instance ~lambda ~m ~alpha in
-  let algo = Core.No_replication.lpt_no_choice in
+  let algo = Runner.strategy config ~m Strategy.(no_replication Lpt) in
   let placement = algo.Core.Two_phase.phase1 instance in
   let realization = Core.Adversary.theorem1 instance placement in
   let schedule = algo.Core.Two_phase.phase2 instance placement realization in

@@ -4,10 +4,11 @@ module Uncertainty = Usched_model.Uncertainty
 module Schedule = Usched_desim.Schedule
 module Gantt = Usched_desim.Gantt
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 
-let run _config =
+let run config =
   Runner.print_section "Figure 2 -- Replication in groups (m=6, k=2)";
   let m = 6 and k = 2 in
   let alpha = Uncertainty.alpha 1.5 in
@@ -47,7 +48,7 @@ let run _config =
   (* Phase 2 against a perturbed realization. *)
   let rng = Rng.create ~seed:7 () in
   let realization = Realization.log_uniform_factor instance rng in
-  let algo = Core.Group_replication.ls_group ~k in
+  let algo = Runner.strategy config ~m Strategy.(group ~order:Ls ~k) in
   let placement, schedule = Core.Two_phase.run_full algo instance realization in
   Printf.printf
     "\nPhase 2: online List Scheduling inside each group (actual times\n\

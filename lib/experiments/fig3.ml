@@ -3,6 +3,7 @@ module Realization = Usched_model.Realization
 module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Plot = Usched_report.Ascii_plot
 module Rng = Usched_prng.Rng
@@ -39,14 +40,15 @@ let one_alpha config ~m ~alpha =
   let measured =
     measured_series config
       ~algo_of_replication:(fun replication ->
-        Core.Group_replication.ls_group ~k:(m / replication))
+        Runner.strategy config ~m Strategy.(group ~order:Ls ~k:(m / replication)))
       ~m ~alpha ~replications
   in
   (* Extension series: overlapping least-loaded sets at the same
      replica budget (no guarantee from the paper, measured only). *)
   let measured_budgeted =
     measured_series config
-      ~algo_of_replication:(fun replication -> Core.Budgeted.uniform ~k:replication)
+      ~algo_of_replication:(fun replication ->
+        Runner.strategy config ~m (Strategy.budgeted ~k:replication))
       ~m ~alpha ~replications
   in
   let table =

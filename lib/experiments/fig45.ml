@@ -4,6 +4,7 @@ module Uncertainty = Usched_model.Uncertainty
 module Schedule = Usched_desim.Schedule
 module Gantt = Usched_desim.Gantt
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 
@@ -53,7 +54,7 @@ let show_algorithm name algo instance realization =
     (Core.Placement.max_replication placement)
     (Core.Placement.total_replicas placement)
 
-let run _config =
+let run config =
   Runner.print_section
     "Figures 4 & 5 -- SABO and ABO example schedules (m=4, delta=1)";
   let instance = example_instance () in
@@ -66,11 +67,14 @@ let run _config =
   show_split instance split;
   let rng = Rng.create ~seed:11 () in
   let realization = Realization.log_uniform_factor instance rng in
+  let m = Instance.m instance in
   show_algorithm "Figure 4: SABO (static, no replication)"
-    (Core.Sabo.algorithm ~delta) instance realization;
+    (Runner.strategy config ~m (Strategy.sabo ~delta))
+    instance realization;
   show_algorithm
     "Figure 5: ABO (S2 pinned, S1 replicated everywhere + online LS)"
-    (Core.Abo.algorithm ~delta) instance realization;
+    (Runner.strategy config ~m (Strategy.abo ~delta))
+    instance realization;
   Printf.printf
     "\nReading: ABO trades memory (replicas of S1 tasks on every machine)\n\
      for a tighter makespan; SABO stays replica-free, with more memory\n\

@@ -1,4 +1,5 @@
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Plot = Usched_report.Ascii_plot
 module Instance = Usched_model.Instance
@@ -135,13 +136,15 @@ let measured_frontier config ~m ~alpha =
   in
   let sabo =
     List.map
-      (measure (fun delta -> Core.Sabo.algorithm ~delta)
+      (measure
+         (fun delta -> Runner.strategy config ~m (Strategy.sabo ~delta))
          (fun delta instance -> Core.Sabo.placement ~delta instance))
       deltas
   in
   let abo =
     List.map
-      (measure (fun delta -> Core.Abo.algorithm ~delta)
+      (measure
+         (fun delta -> Runner.strategy config ~m (Strategy.abo ~delta))
          (fun delta instance -> Core.Abo.placement ~delta instance))
       deltas
   in

@@ -4,6 +4,7 @@ module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Schedule = Usched_desim.Schedule
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 module Summary = Usched_stats.Summary
@@ -17,13 +18,17 @@ let run config =
   Printf.printf "m=%d machines with speeds [%s], n=48 tasks.\n\n" m
     (String.concat "; "
        (Array.to_list (Array.map (Printf.sprintf "%g") speeds)));
+  let algo variant =
+    Runner.strategy config ~m (Strategy.uniform ~variant ~speeds)
+  in
   let strategies alpha =
     ignore alpha;
-    [
-      ("no replication (ECT-LPT)", Core.Uniform.lpt_no_choice ~speeds);
-      ("groups of 2 (k=4)", Core.Uniform.ls_group ~speeds ~k:4);
-      ("full replication", Core.Uniform.lpt_no_restriction ~speeds);
-    ]
+    Strategy.
+      [
+        ("no replication (ECT-LPT)", algo U_no_choice);
+        ("groups of 2 (k=4)", algo (U_group 4));
+        ("full replication", algo U_no_restriction);
+      ]
   in
   let table =
     Table.create

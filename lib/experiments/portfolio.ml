@@ -3,6 +3,7 @@ module Realization = Usched_model.Realization
 module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 
@@ -15,7 +16,9 @@ let run config =
      and pick winners by worst-case and by mean makespan.\n\n"
     m n alpha
     (Stdlib.max 10 config.Runner.reps);
-  let portfolio = Core.Scenarios.default_portfolio ~m in
+  let specs = Strategy.default_portfolio ~m in
+  List.iter (Runner.record_spec config) specs;
+  let portfolio = List.map (fun spec -> Strategy.build spec ~m) specs in
   Printf.printf "Portfolio: %s\n\n"
     (String.concat ", "
        (List.map (fun a -> a.Core.Two_phase.name) portfolio));

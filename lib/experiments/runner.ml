@@ -18,6 +18,7 @@ type config = {
   exact_n : int;
   csv_dir : string option;
   metrics : Metrics.t;
+  algo_specs : string list ref;
 }
 
 let default_config =
@@ -28,9 +29,20 @@ let default_config =
     exact_n = 16;
     csv_dir = None;
     metrics = Metrics.create ();
+    algo_specs = ref [];
   }
 
-let fresh_metrics config = { config with metrics = Metrics.create () }
+let fresh_metrics config =
+  { config with metrics = Metrics.create (); algo_specs = ref [] }
+
+let record_spec config spec =
+  let s = Core.Strategy.to_string spec in
+  if not (List.mem s !(config.algo_specs)) then
+    config.algo_specs := !(config.algo_specs) @ [ s ]
+
+let strategy config ~m spec =
+  record_spec config spec;
+  Core.Strategy.build spec ~m
 
 let maybe_csv config ~name ~header rows =
   match config.csv_dir with
@@ -62,6 +74,9 @@ let maybe_manifest config ~id ~title ~wall_time_s =
             ("exact_n", Json.Int config.exact_n);
             ("wall_time_s", Json.float wall_time_s);
             ("unix_time", Json.float (Metrics.now_s ()));
+            ( "algo_specs",
+              Json.List
+                (List.map (fun s -> Json.String s) !(config.algo_specs)) );
             ("metrics", Metrics.to_json (Metrics.snapshot config.metrics));
           ]
       in

@@ -24,6 +24,10 @@ type config = {
           output records [runner.csv_write]/[runner.csv_files]. The
           registry lands in the run manifest. Single-domain — never
           updated from inside parallel workers. *)
+  algo_specs : string list ref;
+      (** Strategy spec strings the experiment built via {!strategy}, in
+          first-use order and deduplicated. Recorded in the run manifest
+          ([algo_specs]) so every run is replayable by name. *)
 }
 
 val default_config : config
@@ -32,8 +36,18 @@ val default_config : config
     fresh live metrics registry. *)
 
 val fresh_metrics : config -> config
-(** Same config with a new empty metrics registry — used by the registry
-    so each experiment's manifest reports its own timings. *)
+(** Same config with a new empty metrics registry and spec record — used
+    by the experiment registry so each manifest reports its own timings
+    and algorithms. *)
+
+val strategy : config -> m:int -> Core.Strategy.t -> Core.Two_phase.t
+(** [Strategy.build spec ~m], with the spec string recorded for the run
+    manifest. Experiments construct every algorithm through this (or
+    {!record_spec} + [Strategy.build] when they build for several [m]). *)
+
+val record_spec : config -> Core.Strategy.t -> unit
+(** Record a spec in [config.algo_specs] without building it (dedup,
+    first-use order). *)
 
 val maybe_csv :
   config -> name:string -> header:string list -> string list list -> unit
@@ -44,8 +58,9 @@ val maybe_csv :
 val maybe_manifest :
   config -> id:string -> title:string -> wall_time_s:float -> unit
 (** Write [<csv_dir>/<id>.manifest.json] when [csv_dir] is set: seed,
-    reps, domains, exact_n, wall time, and the metrics snapshot (phase
-    timings, CSV accounting) as one JSON object. *)
+    reps, domains, exact_n, wall time, the strategy spec strings the run
+    built ([algo_specs]), and the metrics snapshot (phase timings, CSV
+    accounting) as one JSON object. *)
 
 val quick : config -> config
 (** Same config with [reps] reduced for smoke tests. *)

@@ -2,6 +2,7 @@ module Instance = Usched_model.Instance
 module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 
@@ -64,15 +65,16 @@ let measured_table config =
           specs)
       [ 8; 10; 12 ]
   in
+  let algo spec = Runner.strategy config ~m spec in
   let algorithms =
     [
-      ( Core.No_replication.lpt_no_choice,
+      ( algo Strategy.(no_replication Lpt),
         Core.Guarantees.lpt_no_choice ~m ~alpha );
-      ( Core.Full_replication.lpt_no_restriction,
+      ( algo Strategy.(full_replication Lpt),
         Core.Guarantees.full_replication ~m ~alpha );
-      ( Core.Full_replication.ls_no_restriction,
-        Core.Guarantees.list_scheduling ~m );
-      (Core.Group_replication.ls_group ~k:2, Core.Guarantees.ls_group ~m ~k:2 ~alpha);
+      (algo Strategy.(full_replication Ls), Core.Guarantees.list_scheduling ~m);
+      ( algo Strategy.(group ~order:Ls ~k:2),
+        Core.Guarantees.ls_group ~m ~k:2 ~alpha );
     ]
   in
   let table =

@@ -4,6 +4,7 @@ module Uncertainty = Usched_model.Uncertainty
 module Workload = Usched_model.Workload
 module Schedule = Usched_desim.Schedule
 module Core = Usched_core
+module Strategy = Usched_core.Strategy
 module Table = Usched_report.Table
 module Rng = Usched_prng.Rng
 
@@ -80,7 +81,8 @@ let measured_table config ~m ~alpha ~rho =
     (fun delta ->
       let sabo_mk, sabo_mem =
         measure config ~m ~alpha ~delta
-          ~algo_of_delta:(fun delta -> Core.Sabo.algorithm ~delta)
+          ~algo_of_delta:(fun delta ->
+            Runner.strategy config ~m (Strategy.sabo ~delta))
           ~placement_of_delta:(fun delta instance ->
             Core.Sabo.placement ~delta instance)
       in
@@ -95,7 +97,8 @@ let measured_table config ~m ~alpha ~rho =
         ];
       let abo_mk, abo_mem =
         measure config ~m ~alpha ~delta
-          ~algo_of_delta:(fun delta -> Core.Abo.algorithm ~delta)
+          ~algo_of_delta:(fun delta ->
+            Runner.strategy config ~m (Strategy.abo ~delta))
           ~placement_of_delta:(fun delta instance ->
             Core.Abo.placement ~delta instance)
       in

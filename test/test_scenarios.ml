@@ -105,6 +105,58 @@ let default_portfolio_contents () =
   checkb "starts with no replication" true
     ((List.hd portfolio).Core.Two_phase.name = "LPT-No Choice")
 
+let default_portfolio_matches_registry () =
+  (* The portfolio is exactly the registry derivation built at m, member
+     by member, and every member's spec string parses back. *)
+  List.iter
+    (fun m ->
+      let specs = Core.Strategy.default_portfolio ~m in
+      let portfolio = Core.Scenarios.default_portfolio ~m in
+      Alcotest.(check (list string))
+        (Printf.sprintf "names at m=%d" m)
+        (List.map Core.Strategy.name specs)
+        (List.map (fun a -> a.Core.Two_phase.name) portfolio);
+      List.iter
+        (fun spec ->
+          checkb "spec string parses back" true
+            (Core.Strategy.of_string (Core.Strategy.to_string spec) = Ok spec))
+        specs)
+    [ 2; 4; 6; 7; 12 ]
+
+let select_winner_stable_across_refactor () =
+  (* Fixed-seed selection must pick the same winner the pre-refactor
+     hardcoded portfolio produced: the members (and their order) are
+     unchanged, so the selected algorithm's identity is pinned here. *)
+  let s = scenarios 7 in
+  let portfolio = Core.Scenarios.default_portfolio ~m:4 in
+  let old_style =
+    [
+      Core.No_replication.lpt_no_choice;
+      Core.Group_replication.ls_group ~k:2;
+      Core.Budgeted.uniform ~k:2;
+      Core.Full_replication.lpt_no_restriction;
+    ]
+  in
+  Alcotest.(check (list string))
+    "same members as the pre-refactor list"
+    (List.map (fun a -> a.Core.Two_phase.name) old_style)
+    (List.map (fun a -> a.Core.Two_phase.name) portfolio);
+  List.iter
+    (fun criterion ->
+      let now =
+        Core.Scenarios.select criterion ~portfolio (instance ()) s
+      in
+      let before =
+        Core.Scenarios.select criterion ~portfolio:old_style (instance ()) s
+      in
+      Alcotest.(check string)
+        "same winner"
+        before.Core.Scenarios.algorithm.Core.Two_phase.name
+        now.Core.Scenarios.algorithm.Core.Two_phase.name;
+      close "same worst" before.Core.Scenarios.worst now.Core.Scenarios.worst;
+      close "same mean" before.Core.Scenarios.mean now.Core.Scenarios.mean)
+    [ Core.Scenarios.Minimize_worst; Core.Scenarios.Minimize_mean ]
+
 let () =
   Alcotest.run "scenarios"
     [
@@ -117,5 +169,9 @@ let () =
           Alcotest.test_case "select mean" `Quick select_mean_criterion;
           Alcotest.test_case "degenerate inputs" `Quick select_rejects_degenerate;
           Alcotest.test_case "default portfolio" `Quick default_portfolio_contents;
+          Alcotest.test_case "portfolio matches registry" `Quick
+            default_portfolio_matches_registry;
+          Alcotest.test_case "select winner stable" `Quick
+            select_winner_stable_across_refactor;
         ] );
     ]
