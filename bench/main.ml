@@ -167,7 +167,7 @@ let benches () =
        Trace.random_crashes (Rng.create ~seed:14 ()) ~m ~p:0.3 ~horizon:healthy
      in
      let recovery =
-       Recovery.make ~detection_latency:1.0 ~rereplication_target:2
+       Recovery.make ~detection_latency:1.0 ~rereplication_target:(Recovery.Fixed 2)
          ~bandwidth:100.0 ()
      in
      Test.make ~name:"recovery/heal r=2 p=0.3 (n=1k,m=210)"

@@ -119,22 +119,65 @@ let gen_cmd =
     Arg.(value & opt float 1.5 & info [ "alpha" ] ~doc:"Uncertainty factor (>= 1).")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let failp =
+    Arg.(value & opt (some string) None
+         & info [ "failp" ] ~docv:"PROFILE"
+             ~doc:"Attach a per-machine failure profile: either uniform:P \
+                   (every machine fails with probability P) or a \
+                   comma-separated list of M probabilities. Serialized into \
+                   the instance header and read back by 'solve'.")
+  in
   let out =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"FILE" ~doc:"Output instance file.")
   in
-  let run spec n m alpha seed out =
+  let run spec n m alpha seed failp out =
+    let failure =
+      match failp with
+      | None -> None
+      | Some s -> (
+          let parsed =
+            match String.split_on_char ':' s with
+            | [ "uniform"; p ] -> (
+                match float_of_string_opt p with
+                | Some p when p >= 0.0 && p <= 1.0 ->
+                    Ok (Model.Failure.uniform ~m ~p)
+                | _ ->
+                    Error
+                      (Printf.sprintf
+                         "uniform failure probability %S must be in [0, 1]" p))
+            | _ -> Model.Failure.of_string s
+          in
+          match parsed with
+          | Ok f when Model.Failure.m f = m -> Some f
+          | Ok f ->
+              Printf.eprintf
+                "usched: --failp lists %d probabilities for %d machines\n"
+                (Model.Failure.m f) m;
+              exit 2
+          | Error msg ->
+              Printf.eprintf "usched: --failp: %s\n" msg;
+              exit 2)
+    in
     let rng = Usched_prng.Rng.create ~seed () in
     let instance =
       Model.Workload.generate spec ~n ~m
         ~alpha:(Model.Uncertainty.alpha alpha) rng
     in
+    let instance =
+      match failure with
+      | None -> instance
+      | Some _ -> Model.Instance.with_failure instance failure
+    in
     Model.Io.save_instance ~path:out instance;
-    Printf.printf "wrote %s (%d tasks, %d machines, alpha=%g)\n" out n m alpha
+    Printf.printf "wrote %s (%d tasks, %d machines, alpha=%g%s)\n" out n m alpha
+      (match failure with
+      | None -> ""
+      | Some f -> Printf.sprintf ", failure profile %s" (Model.Failure.to_string f))
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic instance file.")
-    Term.(const run $ spec $ n $ m $ alpha $ seed $ out)
+    Term.(const run $ spec $ n $ m $ alpha $ seed $ failp $ out)
 
 (* The strategy catalog owns the whole --algo grammar: parsing,
    parameter validation (NaN deltas, zero group counts, ...), and the
@@ -183,6 +226,26 @@ let nonneg_float_conv ~docv =
   float_conv_of ~docv ~expect:"a finite value >= 0" (fun f ->
       Float.is_finite f && f >= 0.0)
 
+(* Strict probability for reliability targets: 0 and 1 are excluded (a
+   target of 1 needs every machine, a target of 0 is vacuous), and NaN
+   is rejected like everywhere else. *)
+let open_prob_conv ~docv =
+  float_conv_of ~docv ~expect:"a probability in (0, 1)" (fun f ->
+      f > 0.0 && f < 1.0)
+
+(* --recover takes a replica count or the keyword "degree" (restore each
+   task to its phase-1 replication degree); Recovery owns the grammar. *)
+let recover_conv =
+  let parse s =
+    match Usched_faults.Recovery.target_of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf t =
+    Format.fprintf ppf "%s" (Usched_faults.Recovery.target_to_string t)
+  in
+  Arg.conv ~docv:"R" (parse, print)
+
 let solve_cmd =
   let file =
     Arg.(required & pos 0 (some file) None
@@ -212,11 +275,14 @@ let solve_cmd =
                    runs past $(docv) times its estimate.")
   in
   let recover =
-    Arg.(value & opt int 0
+    Arg.(value & opt recover_conv (Usched_faults.Recovery.Fixed 0)
          & info [ "recover" ] ~docv:"R"
              ~doc:"Online re-replication in the faulty replay: when failures \
                    drop a task's live replica count below $(docv), copy its \
-                   data from a surviving holder to a healthy machine.")
+                   data from a surviving holder to a healthy machine. Pass \
+                   'degree' to restore each task to its own phase-1 \
+                   replication degree (for variable-degree placements such \
+                   as reliability:TARGET).")
   in
   let detect_latency =
     Arg.(value & opt (nonneg_float_conv ~docv:"LATENCY") 0.0
@@ -238,6 +304,15 @@ let solve_cmd =
                    outage resumes from its last checkpoint when the machine \
                    rejoins (0 = restart from scratch).")
   in
+  let target_reliability =
+    Arg.(value & opt (some (open_prob_conv ~docv:"T")) None
+         & info [ "target-reliability" ] ~docv:"T"
+             ~doc:"Check the placement against a survival target: estimate \
+                   P(no stranded task) by Monte-Carlo over the instance's \
+                   machine failure profile (or the uniform default), print \
+                   it next to the analytic union bound, and report whether \
+                   $(docv) is met. Pairs with --algo reliability:$(docv).")
+  in
   let policy =
     Arg.(value & opt policy_conv Usched_desim.Dispatch.default
          & info [ "policy" ] ~docv:"POLICY"
@@ -258,10 +333,11 @@ let solve_cmd =
                    created as needed.")
   in
   let run file spec seed gantt fail_rate speculate recover detect_latency
-      bandwidth checkpoint policy trace_path =
+      bandwidth checkpoint target_reliability policy trace_path =
     let recovery =
       if
-        recover = 0 && detect_latency = 0.0
+        recover = Usched_faults.Recovery.Fixed 0
+        && detect_latency = 0.0
         && bandwidth = infinity
         && checkpoint = 0.0
       then Usched_faults.Recovery.none
@@ -326,8 +402,10 @@ let solve_cmd =
                      Json.float recovery.Usched_faults.Recovery.detection_latency
                    );
                    ( "rereplication_target",
-                     Json.Int recovery.Usched_faults.Recovery.rereplication_target
-                   );
+                     match recovery.Usched_faults.Recovery.rereplication_target
+                     with
+                     | Usched_faults.Recovery.Fixed r -> Json.Int r
+                     | Usched_faults.Recovery.Degree -> Json.String "degree" );
                    (* [Json.float infinity] is [Null]: JSON has no inf. *)
                    ("bandwidth", Json.float recovery.Usched_faults.Recovery.bandwidth);
                    ( "checkpoint_interval",
@@ -343,6 +421,41 @@ let solve_cmd =
       (Core.Placement.memory_max placement ~sizes:(Model.Instance.sizes instance));
     if gantt then print_string (Usched_desim.Gantt.render schedule);
     print_string (Usched_desim.Timeline.render_stats schedule);
+    (match target_reliability with
+    | None -> ()
+    | Some target ->
+        let profile = Model.Instance.failure_or_default instance in
+        let sv =
+          Experiments.Reliability_sweep.monte_carlo_survival ~seed ~profile
+            placement
+        in
+        let bound = Core.Reliability.survival_bound instance placement in
+        let status =
+          if bound >= target then "MET (analytic bound)"
+          else if sv.Experiments.Reliability_sweep.lo >= target then
+            "MET (empirically)"
+          else "MISSED"
+        in
+        Printf.printf
+          "survival: P(no stranded task) ~ %.4f (95%%CI [%.4f, %.4f], %d \
+           trials), analytic bound %.4f, target %g: %s\n"
+          sv.Experiments.Reliability_sweep.point
+          sv.Experiments.Reliability_sweep.lo
+          sv.Experiments.Reliability_sweep.hi
+          sv.Experiments.Reliability_sweep.trials bound target status;
+        emit
+          (Json.Obj
+             [
+               ("type", Json.String "summary");
+               ("phase", Json.String "survival");
+               ("target", Json.float target);
+               ("survival_mc", Json.float sv.Experiments.Reliability_sweep.point);
+               ("survival_lo", Json.float sv.Experiments.Reliability_sweep.lo);
+               ("survival_hi", Json.float sv.Experiments.Reliability_sweep.hi);
+               ("trials", Json.Int sv.Experiments.Reliability_sweep.trials);
+               ("survival_bound", Json.float bound);
+               ("met", Json.Bool (status <> "MISSED"));
+             ]));
     if policy <> Usched_desim.Dispatch.default then begin
       (* Same placement, same LPT order, only the dispatch rule differs —
          the ratio isolates the policy from the algorithm's own ordering. *)
@@ -456,7 +569,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Run a two-phase algorithm on an instance file.")
     Term.(
       const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate $ recover
-      $ detect_latency $ bandwidth $ checkpoint $ policy $ trace)
+      $ detect_latency $ bandwidth $ checkpoint $ target_reliability $ policy
+      $ trace)
 
 let strategies_cmd =
   let run () =

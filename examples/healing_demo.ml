@@ -94,7 +94,7 @@ let () =
   (* Recovery engine: detection latency 0.5, copy the lost replicas back
      up to 2 at bandwidth 4 size-units per time unit. *)
   let recovery =
-    Recovery.make ~detection_latency:0.5 ~rereplication_target:2 ~bandwidth:4.0
+    Recovery.make ~detection_latency:0.5 ~rereplication_target:(Recovery.Fixed 2) ~bandwidth:4.0
       ()
   in
   let metrics = Metrics.create () in

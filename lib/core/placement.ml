@@ -35,6 +35,8 @@ let replication t j = Bitset.cardinal t.sets.(j)
 let max_replication t =
   Array.fold_left (fun acc set -> Stdlib.max acc (Bitset.cardinal set)) 0 t.sets
 
+let degrees t = Array.map Bitset.cardinal t.sets
+
 let total_replicas t =
   Array.fold_left (fun acc set -> acc + Bitset.cardinal set) 0 t.sets
 

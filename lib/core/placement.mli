@@ -43,6 +43,12 @@ val replication : t -> int -> int
 val max_replication : t -> int
 (** The paper's replication bound [k = max_j |M_j|]. *)
 
+val degrees : t -> int array
+(** Fresh array of per-task replication degrees [|M_j|] — the quantity
+    the variable-degree engine plumbing (reliability solver placements,
+    [Recovery.Degree] healing) works in. A uniform-degree placement has
+    [degrees] constantly equal to {!max_replication}. *)
+
 val total_replicas : t -> int
 (** Sum over tasks of [|M_j|]: the global storage cost in replica count. *)
 

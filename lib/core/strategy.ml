@@ -11,6 +11,7 @@ type t =
   | Sabo of float
   | Abo of float
   | Memory_budget of float
+  | Reliability of { target : float; budget : float option }
   | Uniform of { variant : uniform_variant; speeds : float array }
 
 (* Domain checks independent of m. Group counts against m and speeds
@@ -45,6 +46,17 @@ let validate = function
   | Sabo delta -> positive_finite "delta" delta
   | Abo delta -> positive_finite "delta" delta
   | Memory_budget budget -> positive_finite "memory budget" budget
+  | Reliability { target; budget } -> (
+      if Float.is_nan target then Error "reliability target must not be NaN"
+      else if not (target > 0.0 && target < 1.0) then
+        Error
+          (Printf.sprintf
+             "reliability target must be a probability in (0, 1), got %g"
+             target)
+      else
+        match budget with
+        | None -> Ok ()
+        | Some b -> positive_finite "memory budget" b)
   | Uniform { variant; speeds } -> (
       let speeds_ok () =
         if Array.length speeds = 0 then Error "speeds must be non-empty"
@@ -82,6 +94,7 @@ let selective ~count = checked (Selective count)
 let sabo ~delta = checked (Sabo delta)
 let abo ~delta = checked (Abo delta)
 let memory_budget ~budget = checked (Memory_budget budget)
+let reliability ~target ~budget = checked (Reliability { target; budget })
 let uniform ~variant ~speeds = checked (Uniform { variant; speeds })
 
 (* Floats must survive print -> parse exactly for the round-trip law.
@@ -107,6 +120,10 @@ let to_string = function
   | Sabo delta -> Printf.sprintf "sabo:%s" (float_str delta)
   | Abo delta -> Printf.sprintf "abo:%s" (float_str delta)
   | Memory_budget budget -> Printf.sprintf "memory:%s" (float_str budget)
+  | Reliability { target; budget = None } ->
+      Printf.sprintf "reliability:%s" (float_str target)
+  | Reliability { target; budget = Some b } ->
+      Printf.sprintf "reliability:%s:budget:%s" (float_str target) (float_str b)
   | Uniform { variant = U_no_choice; speeds } ->
       Printf.sprintf "uniform-lpt-no-choice:%s" (speeds_str speeds)
   | Uniform { variant = U_no_restriction; speeds } ->
@@ -127,6 +144,10 @@ let name = function
   | Sabo delta -> Printf.sprintf "SABO(delta=%g)" delta
   | Abo delta -> Printf.sprintf "ABO(delta=%g)" delta
   | Memory_budget budget -> Printf.sprintf "MemBudget(B=%g)" budget
+  | Reliability { target; budget = None } ->
+      Printf.sprintf "Reliability(target=%g)" target
+  | Reliability { target; budget = Some b } ->
+      Printf.sprintf "Reliability(target=%g, B=%g)" target b
   | Uniform { variant = U_no_choice; _ } -> "Uniform LPT-No Choice"
   | Uniform { variant = U_no_restriction; _ } -> "Uniform LPT-No Restriction"
   | Uniform { variant = U_group k; _ } ->
@@ -277,6 +298,13 @@ let all =
       portfolio = (fun ~m:_ -> []);
     };
     {
+      keyword = "reliability";
+      params = ":TARGET[:budget:B]";
+      doc = "smallest replica sets with P(no stranded task) >= TARGET";
+      example = (fun ~m:_ -> Reliability { target = 0.99; budget = None });
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
       keyword = "sabo";
       params = ":DELTA";
       doc = "SABO_D: SBO split, both sides pinned, no replication (Thm 5-6)";
@@ -344,9 +372,41 @@ let grammar =
   in
   String.concat "\n"
     (("accepted --algo specs (K, COUNT integers; DELTA, BUDGET, F floats; \
-       SPEEDS comma-separated floats):"
+       TARGET a probability in (0, 1); SPEEDS comma-separated floats):"
      :: lines)
     @ [ "  group:K                          alias for ls-group:K" ])
+
+(* Nearest registry keyword within a small edit distance, for "did you
+   mean" hints on unknown names. *)
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let row = Array.init (lb + 1) (fun j -> j) in
+  for i = 1 to la do
+    let diag = ref row.(0) in
+    row.(0) <- i;
+    for j = 1 to lb do
+      let prev = row.(j) in
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      row.(j) <- min (min (row.(j) + 1) (row.(j - 1) + 1)) (!diag + cost);
+      diag := prev
+    done
+  done;
+  row.(lb)
+
+let suggest keyword =
+  let best =
+    List.fold_left
+      (fun acc e ->
+        let d = levenshtein keyword e.keyword in
+        match acc with
+        | Some (_, best_d) when best_d <= d -> acc
+        | _ when d <= 3 -> Some (e.keyword, d)
+        | _ -> acc)
+      None all
+  in
+  match best with
+  | Some (k, _) -> Printf.sprintf " (did you mean %s?)" k
+  | None -> ""
 
 let of_string s =
   match String.split_on_char ':' s with
@@ -367,6 +427,21 @@ let of_string s =
       | "sabo" -> one_float keyword "0.5" (fun d -> Sabo d) params
       | "abo" -> one_float keyword "0.5" (fun d -> Abo d) params
       | "memory" -> one_float keyword "16" (fun b -> Memory_budget b) params
+      | "reliability" -> (
+          match params with
+          | [ t ] ->
+              let* target = float_param keyword t in
+              finish (Reliability { target; budget = None })
+          | [ t; "budget"; b ] ->
+              let* target = float_param keyword t in
+              let* budget = float_param keyword b in
+              finish (Reliability { target; budget = Some budget })
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "%s takes TARGET[:budget:B], e.g. %s:0.999 or \
+                    %s:0.99:budget:16"
+                   keyword keyword keyword))
       | "uniform-lpt-no-choice" -> speeds_only keyword U_no_choice params
       | "uniform-lpt-no-restriction" ->
           speeds_only keyword U_no_restriction params
@@ -384,7 +459,8 @@ let of_string s =
                    keyword keyword))
       | _ ->
           Error
-            (Printf.sprintf "unknown algorithm %S\n%s" keyword grammar))
+            (Printf.sprintf "unknown algorithm %S%s\n%s" keyword
+               (suggest keyword) grammar))
 
 (* Building ----------------------------------------------------------- *)
 
@@ -425,6 +501,7 @@ let build spec ~m =
   | Sabo delta -> Sabo.algorithm ~delta
   | Abo delta -> Abo.algorithm ~delta
   | Memory_budget budget -> Memory_budget.algorithm ~budget
+  | Reliability { target; budget } -> Reliability.algorithm ?budget ~target ()
   | Uniform { variant = U_no_choice; speeds } -> Uniform.lpt_no_choice ~speeds
   | Uniform { variant = U_no_restriction; speeds } ->
       Uniform.lpt_no_restriction ~speeds

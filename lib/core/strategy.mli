@@ -44,6 +44,12 @@ type t =
       (** ABO_Δ (Section 6.2): S2 pinned, S1 replicated everywhere. *)
   | Memory_budget of float
       (** Greedy replication under a hard per-machine memory budget. *)
+  | Reliability of { target : float; budget : float option }
+      (** Per-task smallest replica sets with
+          [P(all replicas lost) <= (1 - target) / n] from the machine
+          failure profile (so [P(no stranded task) >= target] by union
+          bound); [budget], when given, additionally caps each machine's
+          replica memory. See {!Reliability}. *)
   | Uniform of { variant : uniform_variant; speeds : float array }
       (** Related-machines extension; [speeds] must have length [m]. *)
 
@@ -65,6 +71,7 @@ val selective : count:int -> t
 val sabo : delta:float -> t
 val abo : delta:float -> t
 val memory_budget : budget:float -> t
+val reliability : target:float -> budget:float option -> t
 val uniform : variant:uniform_variant -> speeds:float array -> t
 
 val validate : t -> (unit, string) result
@@ -78,6 +85,7 @@ val to_string : t -> string
 (** Stable spec string: [lpt-no-choice], [ls-no-restriction],
     [ls-group:K], [lpt-group:K], [budgeted:K], [proportional:F],
     [selective:COUNT], [sabo:DELTA], [abo:DELTA], [memory:BUDGET],
+    [reliability:TARGET] / [reliability:TARGET:budget:B],
     [uniform-lpt-no-choice:SPEEDS], [uniform-lpt-no-restriction:SPEEDS],
     [uniform-ls-group:K:SPEEDS] with SPEEDS comma-separated. Floats are
     printed so they parse back to the identical value —
@@ -88,8 +96,10 @@ val of_string : string -> (t, string) result
     [ls-group:K], and the pseudo-spec [help], which always returns
     [Error] carrying the full grammar listing (so [--algo help] prints
     it). Unknown names, missing/extra parameters, and out-of-domain
-    values (NaN or negative delta, [k = 0], ...) are [Error] with a
-    usage message; unknown names include the full grammar. *)
+    values (NaN or negative delta, [k = 0], reliability targets outside
+    (0, 1), ...) are [Error] with a usage message; unknown names include
+    the full grammar, plus a "did you mean" hint when a registry keyword
+    is within edit distance 3. *)
 
 val name : t -> string
 (** The human-readable [Two_phase.name] this spec builds to (e.g.

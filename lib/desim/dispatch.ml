@@ -92,31 +92,32 @@ let make_list_priority v =
    (or only) home for. Falls back to the highest-priority eligible task
    when no task prefers this machine, so the rule stays
    work-conserving. *)
+(* Allocation discipline: these loops are the inner loop of every
+   faulty-engine replay, so they carry their state in integer parameters
+   instead of refs, and live at module level instead of capturing a
+   fresh closure per call. [ll_better] is [Bitset.iter] over the holder
+   set unrolled to an index scan (the two are defined to visit the same
+   indices), with the original early exit kept as short-circuiting. *)
+let rec ll_better v ~time j i k =
+  k < v.m
+  && ((k <> i
+      && Bitset.mem v.holders.(j) k
+      && v.available ~time k
+      && v.load.(k) < v.load.(i))
+     || ll_better v ~time j i (k + 1))
+
+let rec ll_scan v ~time i ~fallback pos =
+  if pos >= v.n then if fallback >= 0 then Some fallback else None
+  else
+    let j = v.order.(pos) in
+    if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then
+      let fallback = if fallback < 0 then j else fallback in
+      if ll_better v ~time j i 0 then ll_scan v ~time i ~fallback (pos + 1)
+      else Some j
+    else ll_scan v ~time i ~fallback (pos + 1)
+
 let make_least_loaded v =
-  let select ~time ~machine:i =
-    let fallback = ref (-1) in
-    let rec scan pos =
-      if pos >= v.n then if !fallback >= 0 then Some !fallback else None
-      else
-        let j = v.order.(pos) in
-        if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then begin
-          if !fallback < 0 then fallback := j;
-          let li = v.load.(i) in
-          let better = ref false in
-          Bitset.iter
-            (fun k ->
-              if
-                (not !better) && k <> i
-                && v.available ~time k
-                && v.load.(k) < li
-              then better := true)
-            v.holders.(j);
-          if !better then scan (pos + 1) else Some j
-        end
-        else scan (pos + 1)
-    in
-    scan 0
-  in
+  let select ~time ~machine:i = ll_scan v ~time i ~fallback:(-1) 0 in
   { spec = Least_loaded_holder; select; notify = (fun ~task:_ -> ()) }
 
 (* Shortest-estimated-processing-time on this machine: take the eligible

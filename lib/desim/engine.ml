@@ -257,7 +257,19 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
      active policy. *)
   let rec_active = Recovery.is_active recovery in
   let det_latency = recovery.Recovery.detection_latency in
-  let target_r = recovery.Recovery.rereplication_target in
+  (* The live-replica target is per task: [Fixed r] heals everything
+     toward the same count (constant function — bit-for-bit the old
+     fixed-degree arithmetic), [Degree] toward the replication degree
+     phase 1 originally gave each task, captured here before any fault
+     or transfer mutates the working sets. *)
+  let heals = Recovery.heals recovery in
+  let target_of =
+    match recovery.Recovery.rereplication_target with
+    | Recovery.Fixed r -> fun _ -> r
+    | Recovery.Degree ->
+        let degree = Array.map Bitset.cardinal placement in
+        fun j -> degree.(j)
+  in
   let bandwidth = recovery.Recovery.bandwidth in
   let ckpt_interval = recovery.Recovery.checkpoint_interval in
   (* Observability: write-only instruments, see [run_internal]. *)
@@ -358,14 +370,14 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
      on the destination disk) but abort when an endpoint crashes. *)
   let transfer_duration j = Instance.size instance j /. bandwidth in
   let heal ~time =
-    if target_r > 0 then
+    if heals then
       for j = 0 to n - 1 do
         match status.(j) with
         | Done | Lost -> ()
         | Pending | Running ->
             if transfer.(j) = None then begin
               let live = Bitset.cardinal (Bitset.inter alive_set data.(j)) in
-              if live >= 1 && live < target_r then begin
+              if live >= 1 && live < target_of j then begin
                 let src = ref (-1) in
                 (try
                    Bitset.iter
@@ -766,7 +778,8 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   in
   (* An active healer starts working before the first dispatch: a
      placement below the replication target (k = 1, say) is brought up
-     to [target_r] from time zero. *)
+     to its per-task target from time zero. (Under [Degree] the initial
+     placement already meets the target, so this is a no-op there.) *)
   if rec_active then heal ~time:0.0;
   Event_core.drain queue ~handle:(fun ~time ~machine sim ->
       Metrics.incr mc_events;

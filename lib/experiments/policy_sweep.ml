@@ -151,7 +151,7 @@ let faulty_sweep config =
           ("wasted", Table.Right);
         ]
   in
-  let recovery = Recovery.make ~rereplication_target:2 () in
+  let recovery = Recovery.make ~rereplication_target:(Recovery.Fixed 2) () in
   let cells =
     List.map
       (fun (name, p) ->

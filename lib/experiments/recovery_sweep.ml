@@ -97,7 +97,7 @@ let policies =
          List.map
            (fun (bw_name, bw) ->
              ( Printf.sprintf "heal r=2 lat=%g bw=%s" lat bw_name,
-               Recovery.make ~detection_latency:lat ~rereplication_target:2
+               Recovery.make ~detection_latency:lat ~rereplication_target:(Recovery.Fixed 2)
                  ~bandwidth:bw () ))
            [ ("inf", infinity); ("1", 1.0); ("0.05", 0.05) ])
        [ 0.0; 2.0; 8.0 ]

@@ -82,6 +82,11 @@ let all =
       run = Fault_sweep.run;
     };
     {
+      id = "reliability";
+      title = "Reliability tradeoff: makespan x memory x survival";
+      run = Reliability_sweep.run;
+    };
+    {
       id = "recovery-sweep";
       title = "Recovery sweep: detection, re-replication, checkpoints";
       run = Recovery_sweep.run;

@@ -1,0 +1,36 @@
+(** Reliability tradeoff: makespan x memory footprint x survival.
+
+    The tri-objective experiment behind the reliability strategy family
+    ({!Usched_core.Reliability}): for several seeded per-machine failure
+    profiles, run the paper's fixed-degree strategies next to
+    reliability-targeted placements and measure, per strategy,
+
+    - the makespan ratio against the realization lower bound,
+    - the peak per-machine replica memory ([Placement.memory_max]),
+    - the Monte-Carlo survival probability [P(no stranded task)] over
+      seeded profile-driven crash traces, with a bootstrap confidence
+      interval, next to the analytic union bound
+      ({!Usched_core.Reliability.survival_bound}).
+
+    Crash draws are paired: within a repetition every strategy faces the
+    same crash sets, so survival differences are placement differences.
+    The run manifest gains [reliability.survival_min] /
+    [reliability.bound_min] gauges (the worst Monte-Carlo survival and
+    analytic bound over all reliability-family rows) for CI checks. *)
+
+type survival = { point : float; lo : float; hi : float; trials : int }
+(** A Monte-Carlo survival estimate with a 95% bootstrap interval. *)
+
+val monte_carlo_survival :
+  ?trials:int ->
+  seed:int ->
+  profile:Usched_model.Failure.t ->
+  Usched_core.Placement.t ->
+  survival
+(** [monte_carlo_survival ~seed ~profile placement] draws [trials]
+    (default 1000) independent crash traces from the profile
+    ({!Usched_faults.Trace.profile_crashes}) and reports the fraction
+    under which no task is stranded — a task strands when every machine
+    in its replica set crashes. Deterministic given [seed]. *)
+
+val run : Runner.config -> unit

@@ -5,9 +5,11 @@
    structurally-equal policy built by [make ()] exercises the recovery
    machinery (the golden test relies on that distinction). *)
 
+type target = Fixed of int | Degree
+
 type t = {
   detection_latency : float;
-  rereplication_target : int;
+  rereplication_target : target;
   bandwidth : float;
   checkpoint_interval : float;
   max_retries : int;
@@ -16,7 +18,7 @@ type t = {
 let none =
   {
     detection_latency = 0.0;
-    rereplication_target = 0;
+    rereplication_target = Fixed 0;
     bandwidth = infinity;
     checkpoint_interval = 0.0;
     max_retries = 0;
@@ -29,7 +31,7 @@ let check_finite_nonneg ~what x =
   if x < 0.0 then bad "Recovery.make: negative %s (%g)" what x;
   if x = infinity then bad "Recovery.make: infinite %s" what
 
-let make ?(detection_latency = 0.0) ?(rereplication_target = 0)
+let make ?(detection_latency = 0.0) ?(rereplication_target = Fixed 0)
     ?(bandwidth = infinity) ?(checkpoint_interval = 0.0) ?(max_retries = 0) ()
     =
   check_finite_nonneg ~what:"detection latency" detection_latency;
@@ -37,9 +39,10 @@ let make ?(detection_latency = 0.0) ?(rereplication_target = 0)
   if Float.is_nan bandwidth then bad "Recovery.make: bandwidth is NaN";
   if not (bandwidth > 0.0) then
     bad "Recovery.make: bandwidth must be > 0 (got %g)" bandwidth;
-  if rereplication_target < 0 then
-    bad "Recovery.make: negative re-replication target (%d)"
-      rereplication_target;
+  (match rereplication_target with
+  | Fixed r when r < 0 ->
+      bad "Recovery.make: negative re-replication target (%d)" r
+  | Fixed _ | Degree -> ());
   if max_retries < 0 then
     bad "Recovery.make: negative max retries (%d)" max_retries;
   { detection_latency; rereplication_target; bandwidth; checkpoint_interval;
@@ -47,6 +50,26 @@ let make ?(detection_latency = 0.0) ?(rereplication_target = 0)
 
 let is_none t = t == none
 let is_active t = not (is_none t)
+
+let heals t = match t.rereplication_target with Fixed r -> r > 0 | Degree -> true
+let target_for t ~degree =
+  match t.rereplication_target with Fixed r -> r | Degree -> degree
+
+let target_to_string = function
+  | Fixed r -> string_of_int r
+  | Degree -> "degree"
+
+let target_of_string raw =
+  match String.lowercase_ascii (String.trim raw) with
+  | "degree" -> Ok Degree
+  | s -> (
+      match int_of_string_opt s with
+      | Some r when r >= 0 -> Ok (Fixed r)
+      | Some r -> Error (Printf.sprintf "negative re-replication target %d" r)
+      | None ->
+          Error
+            (Printf.sprintf
+               "bad re-replication target %S (want a count or \"degree\")" raw))
 
 let backoff t ~blinks =
   if t.max_retries = 0 || t.detection_latency <= 0.0 || blinks <= 0 then 0.0
@@ -58,6 +81,7 @@ let pp ppf t =
   if is_none t then Format.fprintf ppf "recovery(none)"
   else
     Format.fprintf ppf
-      "recovery(detect=%g, target=%d, bw=%g, ckpt=%g, retries=%d)"
-      t.detection_latency t.rereplication_target t.bandwidth
-      t.checkpoint_interval t.max_retries
+      "recovery(detect=%g, target=%s, bw=%g, ckpt=%g, retries=%d)"
+      t.detection_latency
+      (target_to_string t.rereplication_target)
+      t.bandwidth t.checkpoint_interval t.max_retries

@@ -14,11 +14,17 @@
       truthfully on rejoin, so an outage shorter than the latency is
       detected at rejoin time at the latest.
     - {b online re-replication}: whenever a task's live replica count
-      drops below [rereplication_target], its data is copied from a
-      surviving holder to the least-loaded healthy machine, paying
-      [size / bandwidth] time for the transfer. Eligibility sets grow
-      back mid-run; a task strands only when its last holder dies before
-      any copy completes or transfers out.
+      drops below its target, its data is copied from a surviving holder
+      to the least-loaded healthy machine, paying [size / bandwidth]
+      time for the transfer. Eligibility sets grow back mid-run; a task
+      strands only when its last holder dies before any copy completes
+      or transfers out. The target is a {!target}: either the same fixed
+      count [Fixed r] for every task (the PR 3 behaviour, [Fixed 0] =
+      off), or [Degree] — heal each task back toward the replication
+      degree its phase-1 placement originally gave it, so
+      variable-degree placements (the reliability solver's) keep their
+      per-task protection levels instead of being flattened to one
+      global [r].
     - {b checkpoint/resume}: with [checkpoint_interval = c > 0], a copy
       checkpoints every [c] units of {e processed work} to its machine's
       local disk. A copy killed by an outage resumes from the last
@@ -39,10 +45,17 @@
     proves both produce identical schedules, events, outcomes, and
     metrics. *)
 
+type target =
+  | Fixed of int
+      (** Heal every task back up to this many live replicas; [0] = off. *)
+  | Degree
+      (** Heal each task back up to its initial phase-1 replication
+          degree (computed by the engine at run start). *)
+
 type t = private {
   detection_latency : float;  (** Failure-to-knowledge lag, [>= 0]. *)
-  rereplication_target : int;
-      (** Heal tasks back up to this many live replicas; [0] = off. *)
+  rereplication_target : target;
+      (** Per-task live-replica target; [Fixed 0] = off. *)
   bandwidth : float;
       (** Data units copied per time unit, [> 0]; [infinity] makes
           transfers instantaneous. *)
@@ -60,7 +73,7 @@ val none : t
 
 val make :
   ?detection_latency:float ->
-  ?rereplication_target:int ->
+  ?rereplication_target:target ->
   ?bandwidth:float ->
   ?checkpoint_interval:float ->
   ?max_retries:int ->
@@ -70,7 +83,7 @@ val make :
     value. Raises [Invalid_argument] when [detection_latency] or
     [checkpoint_interval] is negative, NaN, or infinite, when
     [bandwidth] is not [> 0] (NaN rejected; [infinity] allowed), or
-    when [rereplication_target] or [max_retries] is negative. *)
+    when [Fixed] [rereplication_target] or [max_retries] is negative. *)
 
 val is_none : t -> bool
 (** Physical equality with {!none}: true only for the shared constant,
@@ -79,6 +92,21 @@ val is_none : t -> bool
 
 val is_active : t -> bool
 (** [not (is_none t)]. *)
+
+val heals : t -> bool
+(** Whether re-replication is on at all: [Fixed r] with [r > 0], or
+    [Degree]. *)
+
+val target_for : t -> degree:int -> int
+(** The live-replica target for a task whose initial phase-1 replication
+    degree was [degree]: [r] under [Fixed r], [degree] under [Degree]. *)
+
+val target_to_string : target -> string
+(** ["0"], ["2"], ... for [Fixed]; ["degree"]. *)
+
+val target_of_string : string -> (target, string) result
+(** Inverse of {!target_to_string} — a nonnegative count or the word
+    ["degree"] (case-insensitive). The CLI [--recover] converter. *)
 
 val backoff : t -> blinks:int -> float
 (** Extra distrust delay after a machine's [blinks]-th outage

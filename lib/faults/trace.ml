@@ -75,6 +75,24 @@ let random_crashes rng ~m ~p ~horizon =
   per_machine rng ~m ~p ~horizon ~name:"random_crashes" (fun machine ~time ->
       { Fault.machine; time; kind = Fault.Crash })
 
+let profile_crashes rng ~profile ~horizon =
+  let module Failure = Usched_model.Failure in
+  if not (horizon > 0.0 && Float.is_finite horizon) then
+    invalid_arg
+      (Printf.sprintf "Trace.profile_crashes: horizon %g must be positive"
+         horizon);
+  let m = Failure.m profile in
+  let events = ref [] in
+  for machine = 0 to m - 1 do
+    (* Same unconditional two-draw structure as [per_machine]: equal
+       seeds give paired failure times across profiles, and machine i's
+       fate is a function of draws 2i and 2i+1 alone. *)
+    let hit = Rng.bernoulli rng ~p:(Failure.p profile machine) in
+    let time = Rng.float_range rng ~lo:0.0 ~hi:horizon in
+    if hit then events := { Fault.machine; time; kind = Fault.Crash } :: !events
+  done;
+  of_events ~m !events
+
 let random_outages rng ~m ~p ~horizon ~duration:(lo, hi) =
   if not (0.0 < lo && lo <= hi) then
     invalid_arg "Trace.random_outages: duration range must satisfy 0 < lo <= hi";

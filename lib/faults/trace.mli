@@ -49,6 +49,17 @@ val random_crashes :
 (** Each machine crashes with probability [p], at a time uniform in
     [(0, horizon)]. *)
 
+val profile_crashes :
+  Usched_prng.Rng.t ->
+  profile:Usched_model.Failure.t -> horizon:float -> t
+(** {!random_crashes} with a heterogeneous per-machine probability:
+    machine [i] crashes with probability [Failure.p profile i], at a
+    time uniform in [(0, horizon)]. Injected crash frequencies therefore
+    match the profile the reliability solver plans against — the
+    convergence property is pinned by a qcheck test. Draws two variates
+    per machine unconditionally, like every generator here, so traces
+    from equal seeds are paired across profiles. *)
+
 val random_outages :
   Usched_prng.Rng.t ->
   m:int -> p:float -> horizon:float -> duration:float * float -> t

@@ -1,15 +1,27 @@
-type t = { m : int; alpha : Uncertainty.alpha; tasks : Task.t array }
+type t = {
+  m : int;
+  alpha : Uncertainty.alpha;
+  tasks : Task.t array;
+  failure : Failure.t option;
+}
 
-let make ~m ~alpha tasks =
+let make ?failure ~m ~alpha tasks =
   if m < 1 then invalid_arg "Instance.make: need at least one machine";
   Array.iteri
     (fun i task ->
       if Task.id task <> i then
         invalid_arg "Instance.make: task ids must be 0..n-1 in order")
     tasks;
-  { m; alpha; tasks = Array.copy tasks }
+  (match failure with
+  | Some f when Failure.m f <> m ->
+      invalid_arg
+        (Printf.sprintf
+           "Instance.make: failure profile covers %d machines, instance has %d"
+           (Failure.m f) m)
+  | _ -> ());
+  { m; alpha; tasks = Array.copy tasks; failure }
 
-let of_ests ~m ~alpha ?sizes ests =
+let of_ests ?failure ~m ~alpha ?sizes ests =
   let n = Array.length ests in
   (match sizes with
   | Some s when Array.length s <> n ->
@@ -19,7 +31,7 @@ let of_ests ~m ~alpha ?sizes ests =
   let tasks =
     Array.init n (fun i -> Task.make ~id:i ~est:ests.(i) ~size:(size_of i) ())
   in
-  make ~m ~alpha tasks
+  make ?failure ~m ~alpha tasks
 
 let n t = Array.length t.tasks
 let m t = t.m
@@ -31,6 +43,14 @@ let est t j = Task.est t.tasks.(j)
 let size t j = Task.size t.tasks.(j)
 let ests t = Array.map Task.est t.tasks
 let sizes t = Array.map Task.size t.tasks
+let failure t = t.failure
+
+let failure_or_default t =
+  match t.failure with
+  | Some f -> f
+  | None -> Failure.uniform ~m:t.m ~p:Failure.default_p
+
+let with_failure t failure = make ?failure ~m:t.m ~alpha:t.alpha t.tasks
 
 let total_est t = Array.fold_left (fun acc task -> acc +. Task.est task) 0.0 t.tasks
 
@@ -49,4 +69,8 @@ let lpt_order t =
   order
 
 let pp ppf t =
-  Format.fprintf ppf "instance(n=%d, m=%d, %a)" (n t) t.m Uncertainty.pp t.alpha
+  Format.fprintf ppf "instance(n=%d, m=%d, %a%t)" (n t) t.m Uncertainty.pp
+    t.alpha (fun ppf ->
+      match t.failure with
+      | None -> ()
+      | Some f -> Format.fprintf ppf ", %a" Failure.pp f)

@@ -6,12 +6,20 @@
 
 type t
 
-val make : m:int -> alpha:Uncertainty.alpha -> Task.t array -> t
+val make :
+  ?failure:Failure.t -> m:int -> alpha:Uncertainty.alpha -> Task.t array -> t
 (** Validates and builds an instance. Raises [Invalid_argument] if
-    [m < 1] or task ids are not exactly [0 .. n-1] in order. The task
-    array is copied. *)
+    [m < 1], task ids are not exactly [0 .. n-1] in order, or the
+    optional failure profile does not cover exactly [m] machines. The
+    task array is copied. *)
 
-val of_ests : m:int -> alpha:Uncertainty.alpha -> ?sizes:float array -> float array -> t
+val of_ests :
+  ?failure:Failure.t ->
+  m:int ->
+  alpha:Uncertainty.alpha ->
+  ?sizes:float array ->
+  float array ->
+  t
 (** Convenience constructor from raw estimate values (and optional sizes;
     defaults to all-1). Ids are assigned in order. *)
 
@@ -36,6 +44,20 @@ val ests : t -> float array
 (** Fresh array of all estimates, indexed by task id. *)
 
 val sizes : t -> float array
+
+val failure : t -> Failure.t option
+(** The per-machine failure profile attached to this instance, if any.
+    Reliability-aware algorithms that need one unconditionally should
+    use {!failure_or_default}. *)
+
+val failure_or_default : t -> Failure.t
+(** The attached profile, or the uniform [Failure.default_p] profile
+    when the instance carries none. *)
+
+val with_failure : t -> Failure.t option -> t
+(** Same instance with the failure profile replaced (or removed).
+    Raises [Invalid_argument] when the profile's machine count differs
+    from [m]. *)
 
 val total_est : t -> float
 val max_est : t -> float

@@ -2,8 +2,13 @@ let parse_error line_number message =
   failwith (Printf.sprintf "Io: line %d: %s" line_number message)
 
 let header_line ~kind instance =
-  Printf.sprintf "# usched-%s m=%d alpha=%.17g" kind (Instance.m instance)
-    (Instance.alpha_value instance)
+  let failp =
+    match Instance.failure instance with
+    | None -> ""
+    | Some f -> " failp=" ^ Failure.to_string f
+  in
+  Printf.sprintf "# usched-%s m=%d alpha=%.17g%s" kind (Instance.m instance)
+    (Instance.alpha_value instance) failp
 
 let parse_header ~kind line =
   let prefix = Printf.sprintf "# usched-%s " kind in
@@ -13,7 +18,7 @@ let parse_header ~kind line =
   let fields =
     String.split_on_char ' ' (String.sub line plen (String.length line - plen))
   in
-  let lookup key =
+  let lookup_opt key =
     let key_eq = key ^ "=" in
     match
       List.find_opt
@@ -23,13 +28,27 @@ let parse_header ~kind line =
         fields
     with
     | Some f ->
-        String.sub f (String.length key_eq)
-          (String.length f - String.length key_eq)
+        Some
+          (String.sub f (String.length key_eq)
+             (String.length f - String.length key_eq))
+    | None -> None
+  in
+  let lookup key =
+    match lookup_opt key with
+    | Some v -> v
     | None -> parse_error 1 (Printf.sprintf "missing %s= in header" key)
   in
   let m = int_of_string (lookup "m") in
   let alpha = float_of_string (lookup "alpha") in
-  (m, Uncertainty.alpha alpha)
+  let failure =
+    match lookup_opt "failp" with
+    | None -> None
+    | Some raw -> (
+        match Failure.of_string raw with
+        | Ok f -> Some f
+        | Error msg -> parse_error 1 (Printf.sprintf "bad failp=: %s" msg))
+  in
+  (m, Uncertainty.alpha alpha, failure)
 
 let body_lines text =
   String.split_on_char '\n' text
@@ -67,7 +86,7 @@ let instance_of_string text =
   match String.split_on_char '\n' text with
   | [] -> parse_error 1 "empty input"
   | header :: _ ->
-      let m, alpha = parse_header ~kind:"instance" header in
+      let m, alpha, failure = parse_header ~kind:"instance" header in
       let tasks =
         List.mapi
           (fun i line ->
@@ -84,7 +103,7 @@ let instance_of_string text =
               ())
           (body_lines text)
       in
-      Instance.make ~m ~alpha (Array.of_list tasks)
+      Instance.make ?failure ~m ~alpha (Array.of_list tasks)
 
 let realization_to_string realization =
   let instance = Realization.instance realization in
@@ -104,7 +123,7 @@ let realization_of_string text =
   match String.split_on_char '\n' text with
   | [] -> parse_error 1 "empty input"
   | header :: _ ->
-      let m, alpha = parse_header ~kind:"realization" header in
+      let m, alpha, failure = parse_header ~kind:"realization" header in
       let rows =
         List.mapi
           (fun i line ->
@@ -122,7 +141,9 @@ let realization_of_string text =
               float_field line_number "actual" actual_raw ))
           (body_lines text)
       in
-      let instance = Instance.make ~m ~alpha (Array.of_list (List.map fst rows)) in
+      let instance =
+        Instance.make ?failure ~m ~alpha (Array.of_list (List.map fst rows))
+      in
       Realization.of_actuals instance (Array.of_list (List.map snd rows))
 
 let write_file path content =

@@ -5,14 +5,17 @@
     shareable and replayable. Format (header line included):
 
     {v
-    # usched-instance m=<m> alpha=<alpha>
+    # usched-instance m=<m> alpha=<alpha>[ failp=<p0>,<p1>,...]
     id,est,size
     0,9.5,1
     ...
     v}
 
-    Realizations append an [actual] column and reference the instance
-    parameters in the header. *)
+    The optional [failp=] field carries the per-machine failure profile
+    ({!Failure.t}), comma-separated with one probability per machine;
+    files written before profiles existed parse to instances without
+    one. Realizations append an [actual] column and reference the
+    instance parameters in the header. *)
 
 val instance_to_string : Instance.t -> string
 val instance_of_string : string -> Instance.t

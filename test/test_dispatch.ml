@@ -143,7 +143,7 @@ let prop_default_policy_is_golden =
       let recovery =
         match seed mod 5 with
         | 0 | 1 ->
-            Recovery.make ~detection_latency:0.5 ~rereplication_target:2
+            Recovery.make ~detection_latency:0.5 ~rereplication_target:(Recovery.Fixed 2)
               ~bandwidth:1.0 ~checkpoint_interval:1.0 ~max_retries:2 ()
         | 2 -> Recovery.make ()
         | _ -> Recovery.none
@@ -252,7 +252,7 @@ let prop_policy_reachability =
              (List.init (m - 1) (fun i -> i)))
       in
       let recovery =
-        Recovery.make ~detection_latency:0.25 ~rereplication_target:2
+        Recovery.make ~detection_latency:0.25 ~rereplication_target:(Recovery.Fixed 2)
           ~bandwidth:2.0 ()
       in
       let completed_set dispatch =
@@ -464,6 +464,90 @@ let random_tiebreak_behavior () =
        (fun seed -> machine_of seed <> machine_of 0)
        [ 1; 2; 3; 4; 5; 6; 7 ])
 
+(* Reference equivalence for the zero-alloc least-loaded rewrite: the
+   original algorithm, frozen here with its refs and [Bitset.iter]
+   closure, probed against the module's implementation on random views —
+   arbitrary loads, holder sets, availability, and priority order. *)
+let reference_least_loaded (v : Dispatch.view) ~time ~machine:i =
+  let fallback = ref None and result = ref None in
+  let pos = ref 0 in
+  while !result = None && !pos < v.Dispatch.n do
+    let j = v.Dispatch.order.(!pos) in
+    if v.Dispatch.dispatchable.(j) && Bitset.mem v.Dispatch.holders.(j) i
+    then begin
+      if !fallback = None then fallback := Some j;
+      let better = ref false in
+      Bitset.iter
+        (fun k ->
+          if
+            k <> i
+            && v.Dispatch.available ~time k
+            && v.Dispatch.load.(k) < v.Dispatch.load.(i)
+          then better := true)
+        v.Dispatch.holders.(j);
+      if not !better then result := Some j
+    end;
+    incr pos
+  done;
+  if !result <> None then !result else !fallback
+
+let view_scenario =
+  QCheck.make
+    ~print:(fun (n, m, seed) -> Printf.sprintf "n=%d m=%d seed=%d" n m seed)
+    QCheck.Gen.(
+      let* n = int_range 1 10 in
+      let* m = int_range 1 5 in
+      let* seed = int_bound 1_000_000 in
+      return (n, m, seed))
+
+let prop_least_loaded_matches_reference =
+  QCheck.Test.make
+    ~name:"least-loaded select matches the pre-rewrite reference" ~count:500
+    view_scenario (fun (n, m, seed) ->
+      let rng = Rng.create ~seed () in
+      let order = Array.init n (fun j -> j) in
+      Rng.shuffle rng order;
+      let pos_of = Array.make n 0 in
+      Array.iteri (fun p j -> pos_of.(j) <- p) order;
+      let holders =
+        Array.init n (fun _ ->
+            let s = Bitset.create m in
+            for i = 0 to m - 1 do
+              if Rng.bernoulli rng ~p:0.6 then Bitset.add s i
+            done;
+            if Bitset.cardinal s = 0 then Bitset.add s (Rng.int rng m);
+            s)
+      in
+      let dispatchable = Array.init n (fun _ -> Rng.bernoulli rng ~p:0.7) in
+      (* Coin-flip duplicated loads so strict-inequality ties are hit. *)
+      let load =
+        Array.init m (fun _ ->
+            if Rng.bernoulli rng ~p:0.3 then 5.0
+            else Rng.float_range rng ~lo:0.0 ~hi:10.0)
+      in
+      let avail = Array.init m (fun _ -> Rng.bernoulli rng ~p:0.8) in
+      let ests = Array.init n (fun _ -> Rng.float_range rng ~lo:0.5 ~hi:9.0) in
+      let view =
+        {
+          Dispatch.n;
+          m;
+          order;
+          pos_of;
+          dispatchable;
+          holders;
+          est = (fun j -> ests.(j));
+          speed = (fun _ -> 1.0);
+          load;
+          available = (fun ~time:_ k -> avail.(k));
+        }
+      in
+      let ll = Dispatch.make Dispatch.Least_loaded_holder view in
+      Array.for_all
+        (fun i ->
+          Dispatch.select ll ~time:0.0 ~machine:i
+          = reference_least_loaded view ~time:0.0 ~machine:i)
+        (Array.init m (fun i -> i)))
+
 (* Every policy must refuse work the machine has no data for, and the
    faulty engine must respect availability under every policy. *)
 let policies_respect_eligibility () =
@@ -507,6 +591,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_policies_work_conserving;
           QCheck_alcotest.to_alcotest prop_policy_reachability;
+          QCheck_alcotest.to_alcotest prop_least_loaded_matches_reference;
         ] );
       ( "redispatch",
         [

@@ -421,6 +421,76 @@ let prop_speculation_never_hurts =
       && plain.Engine.wasted = 0.0
       && spec.Engine.makespan <= plain.Engine.makespan +. 1e-9)
 
+(* --------------- profile-driven trace generation ------------------- *)
+
+module Failure = Usched_model.Failure
+
+let profile_scenario =
+  QCheck.make
+    ~print:(fun (m, seed) -> Printf.sprintf "m=%d seed=%d" m seed)
+    QCheck.Gen.(
+      let* m = int_range 1 6 in
+      let* seed = int_bound 1_000_000 in
+      return (m, seed))
+
+(* Statistical convergence: over many seeded traces, each machine's
+   empirical crash frequency matches its profile probability. The
+   tolerance is 5 binomial standard deviations plus slack, so a correct
+   generator fails with probability ~1e-6 per machine. *)
+let prop_profile_frequencies =
+  QCheck.Test.make
+    ~name:"profile_crashes frequencies converge to the profile" ~count:20
+    profile_scenario (fun (m, seed) ->
+      let rng = Rng.create ~seed () in
+      let profile =
+        Failure.make (Array.init m (fun _ -> Rng.float_range rng ~lo:0.0 ~hi:1.0))
+      in
+      let trials = 1500 in
+      let hits = Array.make m 0 in
+      for _ = 1 to trials do
+        let faults =
+          Trace.profile_crashes (Rng.split rng) ~profile ~horizon:10.0
+        in
+        List.iter (fun i -> hits.(i) <- hits.(i) + 1) (Trace.crashed faults)
+      done;
+      Array.for_all
+        (fun i ->
+          let p = Failure.p profile i in
+          let freq = float_of_int hits.(i) /. float_of_int trials in
+          let sigma = sqrt (p *. (1.0 -. p) /. float_of_int trials) in
+          abs_float (freq -. p) <= (5.0 *. sigma) +. 0.01)
+        (Array.init m (fun i -> i)))
+
+(* Structure: crashes land inside [0, horizon), on valid machines, at
+   most one per machine, and p=0 / p=1 machines never / always crash. *)
+let prop_profile_structure =
+  QCheck.Test.make ~name:"profile_crashes respects horizon and extremes"
+    ~count:200 profile_scenario (fun (m, seed) ->
+      let rng = Rng.create ~seed () in
+      let p =
+        Array.init m (fun i ->
+            if i mod 3 = 0 then 0.0
+            else if i mod 3 = 1 then 1.0
+            else Rng.float_range rng ~lo:0.0 ~hi:1.0)
+      in
+      let profile = Failure.make p in
+      let horizon = 7.5 in
+      let faults = Trace.profile_crashes rng ~profile ~horizon in
+      let crashed = Trace.crashed faults in
+      List.length (List.sort_uniq Int.compare crashed) = List.length crashed
+      && List.for_all
+           (fun i ->
+             i >= 0 && i < m
+             && p.(i) > 0.0
+             &&
+             match Trace.crash_time faults i with
+             | Some t -> t >= 0.0 && t < horizon
+             | None -> false)
+           crashed
+      && Array.for_all
+           (fun i -> p.(i) < 1.0 || List.mem i crashed)
+           (Array.init m (fun i -> i)))
+
 let () =
   Alcotest.run "faults"
     [
@@ -459,4 +529,7 @@ let () =
             prop_deterministic;
             prop_speculation_never_hurts;
           ] );
+      ( "profiles",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_profile_frequencies; prop_profile_structure ] );
     ]

@@ -68,6 +68,55 @@ let generated_workloads_round_trip () =
       checkb (Workload.spec_name spec) true (same_instance inst back))
     (Workload.standard_suite ~m:5)
 
+let failure_profile_round_trip () =
+  let module Failure = Usched_model.Failure in
+  let f = Failure.make [| 0.05; 1.0 /. 3.0; 0.0 |] in
+  let inst = Instance.with_failure (sample_instance ()) (Some f) in
+  let back = Io.instance_of_string (Io.instance_to_string inst) in
+  checkb "tasks preserved" true (same_instance inst back);
+  (match Instance.failure back with
+  | Some g -> checkb "profile bit-exact" true (Failure.equal g f)
+  | None -> Alcotest.fail "failp field lost");
+  (* Realization files carry the profile too. *)
+  let r = Realization.exact inst in
+  (match
+     Instance.failure
+       (Realization.instance (Io.realization_of_string (Io.realization_to_string r)))
+   with
+  | Some g -> checkb "realization keeps the profile" true (Failure.equal g f)
+  | None -> Alcotest.fail "failp lost through realization io");
+  (* Pre-profile files (no failp field) still parse, with no profile. *)
+  let legacy = "# usched-instance m=2 alpha=1.5\nid,est,size\n0,4,1\n" in
+  checkb "old headers parse as no profile" true
+    (Instance.failure (Io.instance_of_string legacy) = None)
+
+let rejects_bad_failure_profile () =
+  List.iter
+    (fun (name, failp) ->
+      let bad =
+        Printf.sprintf "# usched-instance m=2 alpha=1.5 failp=%s\nid,est,size\n0,4,1\n"
+          failp
+      in
+      checkb name true
+        (try
+           ignore (Io.instance_of_string bad);
+           false
+         with Failure _ -> true))
+    [
+      ("out-of-range probability", "0.1,1.5");
+      ("nan probability", "nan,0.1");
+      ("junk probability", "0.1,zebra");
+    ];
+  (* A machine-count mismatch is caught by instance validation. *)
+  let mismatched =
+    "# usched-instance m=2 alpha=1.5 failp=0.1,0.2,0.3\nid,est,size\n0,4,1\n"
+  in
+  checkb "wrong machine count" true
+    (try
+       ignore (Io.instance_of_string mismatched);
+       false
+     with Invalid_argument _ -> true)
+
 let rejects_wrong_kind () =
   let inst = sample_instance () in
   checkb "instance parser rejects realization file" true
@@ -149,10 +198,13 @@ let () =
           Alcotest.test_case "file" `Quick file_round_trip;
           Alcotest.test_case "generated workloads" `Quick
             generated_workloads_round_trip;
+          Alcotest.test_case "failure profile" `Quick failure_profile_round_trip;
         ] );
       ( "validation",
         [
           Alcotest.test_case "wrong kind" `Quick rejects_wrong_kind;
+          Alcotest.test_case "bad failure profile" `Quick
+            rejects_bad_failure_profile;
           Alcotest.test_case "malformed rows" `Quick rejects_malformed_rows;
           Alcotest.test_case "missing header" `Quick rejects_missing_header_field;
           Alcotest.test_case "inadmissible actuals" `Quick

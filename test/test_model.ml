@@ -192,6 +192,66 @@ let realization_alpha_one_is_exact () =
   Alcotest.(check (array (float 1e-12))) "no wiggle room" [| 4.0; 6.0 |]
     (Realization.actuals r)
 
+(* ------------------------- failure profiles ------------------------ *)
+
+module Failure = Usched_model.Failure
+module Bitset = Usched_model.Bitset
+
+let failure_validation () =
+  checkb "valid profile accepted" true
+    (Failure.m (Failure.make [| 0.0; 0.5; 1.0 |]) = 3);
+  let rejected p =
+    match Failure.make p with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  checkb "empty rejected" true (rejected [||]);
+  checkb "negative rejected" true (rejected [| 0.1; -0.1 |]);
+  checkb "above one rejected" true (rejected [| 1.1 |]);
+  checkb "nan rejected" true (rejected [| Float.nan |])
+
+let failure_loss_probabilities () =
+  let f = Failure.make [| 0.1; 0.5; 0.0; 1.0 |] in
+  close "single machine" 0.1 (Failure.prob_all_lost f (Bitset.singleton 4 0));
+  close "independent product" 0.05
+    (Failure.prob_all_lost f (Bitset.of_list 4 [ 0; 1 ]));
+  close "a never-failing member saves the set" 0.0
+    (Failure.prob_all_lost f (Bitset.of_list 4 [ 0; 2 ]));
+  close "a certain-failure member changes nothing" 0.1
+    (Failure.prob_all_lost f (Bitset.of_list 4 [ 0; 3 ]));
+  close "empty set protects nothing" 1.0
+    (Failure.prob_all_lost f (Bitset.create 4));
+  close "uniform accessor" 0.05 (Failure.p (Failure.uniform ~m:3 ~p:0.05) 2)
+
+let failure_string_round_trip () =
+  let f = Failure.make [| 0.1; 1.0 /. 3.0; Float.epsilon |] in
+  (match Failure.of_string (Failure.to_string f) with
+  | Ok back -> checkb "bit-exact round trip" true (Failure.equal back f)
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg);
+  let rejected s =
+    match Failure.of_string s with Error _ -> true | Ok _ -> false
+  in
+  checkb "junk rejected" true (rejected "0.1,zebra");
+  checkb "out-of-range rejected" true (rejected "0.1,1.5");
+  checkb "nan rejected" true (rejected "nan");
+  checkb "empty rejected" true (rejected "")
+
+let instance_failure_profile () =
+  let inst = Instance.of_ests ~m:2 ~alpha:(Uncertainty.alpha 1.5) [| 1.0; 2.0 |] in
+  checkb "no profile by default" true (Instance.failure inst = None);
+  close "default profile is the documented uniform" Failure.default_p
+    (Failure.p (Instance.failure_or_default inst) 1);
+  let f = Failure.make [| 0.2; 0.3 |] in
+  let with_f = Instance.with_failure inst (Some f) in
+  (match Instance.failure with_f with
+  | Some g -> checkb "attached profile returned" true (Failure.equal g f)
+  | None -> Alcotest.fail "profile lost");
+  checkb "original instance untouched" true (Instance.failure inst = None);
+  checkb "machine-count mismatch rejected" true
+    (match Instance.with_failure inst (Some (Failure.uniform ~m:3 ~p:0.1)) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "model"
     [
@@ -216,6 +276,16 @@ let () =
           Alcotest.test_case "LPT order" `Quick instance_lpt_order;
           Alcotest.test_case "sizes" `Quick instance_sizes;
           Alcotest.test_case "sizes length" `Quick instance_sizes_length_check;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "validation" `Quick failure_validation;
+          Alcotest.test_case "loss probabilities" `Quick
+            failure_loss_probabilities;
+          Alcotest.test_case "string round trip" `Quick
+            failure_string_round_trip;
+          Alcotest.test_case "instance profile plumbing" `Quick
+            instance_failure_profile;
         ] );
       ( "realization",
         [

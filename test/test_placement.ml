@@ -48,6 +48,17 @@ let memory_loads_count_every_replica () =
   Alcotest.(check (array (float 1e-12))) "per machine" [| 2.0; 5.0 |] loads;
   close "mem_max" 5.0 (Placement.memory_max p ~sizes:[| 2.0; 3.0 |])
 
+let degrees_per_task () =
+  let p =
+    Placement.of_sets ~m:4
+      [| Bitset.of_list 4 [ 0 ]; Bitset.of_list 4 [ 1; 3 ]; Bitset.full 4 |]
+  in
+  Alcotest.(check (array int)) "one entry per task, its replica count"
+    [| 1; 2; 4 |] (Placement.degrees p);
+  checki "max replication agrees" 4 (Placement.max_replication p);
+  checki "total replicas agree" 7
+    (Array.fold_left ( + ) 0 (Placement.degrees p))
+
 let memory_sizes_length_checked () =
   let p = Placement.full ~m:2 ~n:2 in
   Alcotest.check_raises "length"
@@ -140,6 +151,7 @@ let () =
           Alcotest.test_case "empty rejected" `Quick empty_set_rejected;
           Alcotest.test_case "capacity rejected" `Quick capacity_mismatch_rejected;
           Alcotest.test_case "memory loads" `Quick memory_loads_count_every_replica;
+          Alcotest.test_case "degrees" `Quick degrees_per_task;
           Alcotest.test_case "memory length check" `Quick memory_sizes_length_checked;
           Alcotest.test_case "sets copy" `Quick sets_are_fresh_array;
         ] );

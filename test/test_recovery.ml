@@ -61,11 +61,43 @@ let policy_validation () =
   checkb "infinite bandwidth fine" true
     (Recovery.is_active (Recovery.make ~bandwidth:infinity ()));
   checkb "negative target rejected" true
-    (raises (fun () -> Recovery.make ~rereplication_target:(-2) ()));
+    (raises (fun () -> Recovery.make ~rereplication_target:(Recovery.Fixed (-2)) ()));
   checkb "negative retries rejected" true
     (raises (fun () -> Recovery.make ~max_retries:(-1) ()));
   checkb "nan checkpoint rejected" true
     (raises (fun () -> Recovery.make ~checkpoint_interval:Float.nan ()))
+
+let target_grammar () =
+  Alcotest.(check string) "degree prints" "degree"
+    (Recovery.target_to_string Recovery.Degree);
+  Alcotest.(check string) "fixed prints" "2"
+    (Recovery.target_to_string (Recovery.Fixed 2));
+  checkb "degree parses" true
+    (Recovery.target_of_string "degree" = Ok Recovery.Degree);
+  checkb "parsing is case-insensitive" true
+    (Recovery.target_of_string "Degree" = Ok Recovery.Degree);
+  checkb "count parses" true
+    (Recovery.target_of_string "3" = Ok (Recovery.Fixed 3));
+  List.iter
+    (fun s ->
+      checkb (Printf.sprintf "%S rejected" s) true
+        (match Recovery.target_of_string s with
+        | Error _ -> true
+        | Ok _ -> false))
+    [ "-1"; "x"; ""; "1.5" ];
+  checkb "Fixed 0 does not heal" false (Recovery.heals Recovery.none);
+  checkb "Fixed 2 heals" true
+    (Recovery.heals (Recovery.make ~rereplication_target:(Recovery.Fixed 2) ()));
+  checkb "Degree heals" true
+    (Recovery.heals (Recovery.make ~rereplication_target:Recovery.Degree ()));
+  checki "Fixed ignores the degree" 2
+    (Recovery.target_for
+       (Recovery.make ~rereplication_target:(Recovery.Fixed 2) ())
+       ~degree:5);
+  checki "Degree follows the degree" 5
+    (Recovery.target_for
+       (Recovery.make ~rereplication_target:Recovery.Degree ())
+       ~degree:5)
 
 let backoff_values () =
   let r = Recovery.make ~detection_latency:1.5 ~max_retries:3 () in
@@ -100,7 +132,7 @@ let heal_rescues_singleton () =
   Alcotest.(check (list int)) "passive strands" [ 0 ] passive.Engine.stranded;
   close "passive wasted the killed work" 3.0 passive.Engine.wasted;
   let recovery =
-    Recovery.make ~rereplication_target:2 ~bandwidth:1.0 ()
+    Recovery.make ~rereplication_target:(Recovery.Fixed 2) ~bandwidth:1.0 ()
   in
   let metrics = Metrics.create () in
   let outcome, events =
@@ -405,7 +437,7 @@ let prop_healing_unstrands =
                        +. (float_of_int i *. gap))))
       in
       let recovery =
-        Recovery.make ~detection_latency:lat ~rereplication_target:2
+        Recovery.make ~detection_latency:lat ~rereplication_target:(Recovery.Fixed 2)
           ~bandwidth:infinity ()
       in
       let healed =
@@ -480,7 +512,7 @@ let prop_transfer_locality =
     ~count:300 scenario (fun s ->
       let instance, realization, placement, order, faults = build s in
       let recovery =
-        Recovery.make ~rereplication_target:2 ~bandwidth:2.0 ()
+        Recovery.make ~rereplication_target:(Recovery.Fixed 2) ~bandwidth:2.0 ()
       in
       let original = Array.map Bitset.copy placement in
       let outcome, events =
@@ -500,6 +532,28 @@ let prop_transfer_locality =
                    events)
         (Array.init (Instance.n instance) (fun j -> j)))
 
+(* Variable-degree plumbing, pinned against the fixed path: on the ring
+   placements every task has exactly [k] replicas, so healing back to
+   each task's own phase-1 degree must be bit-for-bit healing to
+   [Fixed k] — outcomes, floats, events, and metrics. *)
+let prop_degree_equals_fixed_on_uniform =
+  QCheck.Test.make
+    ~name:"Degree target = Fixed k on uniform-degree placements" ~count:300
+    scenario (fun ((_, _, k, _, _) as s) ->
+      let instance, realization, placement, order, faults = build s in
+      let run target =
+        let recovery =
+          Recovery.make ~detection_latency:0.3 ~rereplication_target:target
+            ~bandwidth:2.0 ~checkpoint_interval:1.0 ()
+        in
+        Engine.run_faulty_traced ~recovery instance realization ~faults
+          ~placement:(Array.map Bitset.copy placement)
+          ~order
+      in
+      let a, ev_a = run (Recovery.Fixed k) in
+      let b, ev_b = run Recovery.Degree in
+      outcomes_identical a b && ev_a = ev_b)
+
 (* Recovery runs remain deterministic: two identical invocations produce
    identical outcomes, events included. *)
 let prop_recovery_deterministic =
@@ -507,7 +561,7 @@ let prop_recovery_deterministic =
     (fun s ->
       let instance, realization, placement, order, faults = build s in
       let recovery =
-        Recovery.make ~detection_latency:0.5 ~rereplication_target:2
+        Recovery.make ~detection_latency:0.5 ~rereplication_target:(Recovery.Fixed 2)
           ~bandwidth:1.0 ~checkpoint_interval:1.0 ~max_retries:2 ()
       in
       let run () =
@@ -525,6 +579,7 @@ let () =
       ( "policy",
         [
           Alcotest.test_case "validation" `Quick policy_validation;
+          Alcotest.test_case "target grammar" `Quick target_grammar;
           Alcotest.test_case "backoff schedule" `Quick backoff_values;
         ] );
       ( "scenarios",
@@ -548,6 +603,7 @@ let () =
             prop_healing_unstrands;
             prop_checkpoint_dominates_restart;
             prop_transfer_locality;
+            prop_degree_equals_fixed_on_uniform;
             prop_recovery_deterministic;
           ] );
     ]

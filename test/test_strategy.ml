@@ -47,6 +47,22 @@ let spec_gen ~n ~m =
         map
           (fun b -> Strategy.Memory_budget (float_of_int n +. b))
           (float_range 0.0 20.0);
+        (* Targets stay below what the default p=0.05 profile can reach
+           even on one machine (loss 0.05^m per task, n tasks), so the
+           solver's phase 1 always succeeds; a budget of >= n unit sizes
+           never binds but exercises the constrained code path. *)
+        (let tmax =
+           1.0 -. (float_of_int n *. (0.05 ** float_of_int m))
+         in
+         let* target = float_range (0.05 *. tmax) (0.9 *. tmax) in
+         let* budget =
+           oneof
+             [
+               return None;
+               map (fun b -> Some (float_of_int n +. b)) (float_range 0.0 20.0);
+             ]
+         in
+         return (Strategy.Reliability { target; budget }));
         speeds Strategy.U_no_choice;
         speeds Strategy.U_no_restriction;
         (let* k = pos_k in
@@ -118,7 +134,45 @@ let negative_cases () =
       "uniform-ls-group:2";
       "uniform-ls-group:0:1,1";
       "uniform-ls-group:2:1,junk";
+      "reliability";
+      "reliability:";
+      "reliability:nan";
+      "reliability:2.0";
+      "reliability:1";
+      "reliability:0";
+      "reliability:-0.5";
+      "reliability:x";
+      "reliability:0.9:budget";
+      "reliability:0.9:budget:";
+      "reliability:0.9:budget:nan";
+      "reliability:0.9:budget:-1";
+      "reliability:0.9:budget:inf";
+      "reliability:0.9:x:1";
+      "reliability:0.9:budget:2:extra";
     ]
+
+(* Malformed reliability specs must come back with the family's own
+   usage line (the TARGET[:budget:B] grammar), not just a generic
+   parse error. *)
+let reliability_errors_show_grammar () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  (match Strategy.of_string "reliability:0.9:x:1" with
+  | Ok _ -> Alcotest.fail "reliability:0.9:x:1 accepted"
+  | Error msg ->
+      checkb "shape error shows TARGET[:budget:B]" true
+        (contains msg "TARGET[:budget:B]"));
+  (match Strategy.of_string "reliability:2.0" with
+  | Ok _ -> Alcotest.fail "reliability:2.0 accepted"
+  | Error msg ->
+      checkb "range error names the (0, 1) domain" true
+        (contains msg "(0, 1)"));
+  match Strategy.of_string "reliability:nan" with
+  | Ok _ -> Alcotest.fail "reliability:nan accepted"
+  | Error msg -> checkb "NaN rejected" true (contains msg "NaN")
 
 let unknown_name_lists_grammar () =
   match Strategy.of_string "bogus" with
@@ -131,6 +185,27 @@ let unknown_name_lists_grammar () =
            go 0
          in
          contains msg "ls-group:K" && contains msg "sabo:DELTA")
+
+let unknown_name_suggests () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  (match Strategy.of_string "relibility:0.99" with
+  | Ok _ -> Alcotest.fail "misspelling accepted"
+  | Error msg ->
+      checkb "close misspelling gets a hint" true
+        (contains msg "did you mean reliability?"));
+  (match Strategy.of_string "lpt-no-choise" with
+  | Ok _ -> Alcotest.fail "misspelling accepted"
+  | Error msg ->
+      checkb "hint names the nearest keyword" true
+        (contains msg "did you mean lpt-no-choice?"));
+  match Strategy.of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus accepted"
+  | Error msg ->
+      checkb "far-off names get no hint" false (contains msg "did you mean")
 
 let group_alias () =
   checkb "group:4 is ls-group:4" true
@@ -268,6 +343,8 @@ let inline_build spec =
   | Strategy.Sabo delta -> Core.Sabo.algorithm ~delta
   | Strategy.Abo delta -> Core.Abo.algorithm ~delta
   | Strategy.Memory_budget budget -> Core.Memory_budget.algorithm ~budget
+  | Strategy.Reliability { target; budget } ->
+      Core.Reliability.algorithm ?budget ~target ()
   | Strategy.Uniform { variant = Strategy.U_no_choice; speeds } ->
       Core.Uniform.lpt_no_choice ~speeds
   | Strategy.Uniform { variant = Strategy.U_no_restriction; speeds } ->
@@ -335,8 +412,12 @@ let () =
           QCheck_alcotest.to_alcotest round_trip;
           Alcotest.test_case "awkward floats" `Quick awkward_float_round_trip;
           Alcotest.test_case "negative cases" `Quick negative_cases;
+          Alcotest.test_case "reliability errors show grammar" `Quick
+            reliability_errors_show_grammar;
           Alcotest.test_case "unknown name lists grammar" `Quick
             unknown_name_lists_grammar;
+          Alcotest.test_case "unknown name suggests" `Quick
+            unknown_name_suggests;
           Alcotest.test_case "group alias" `Quick group_alias;
         ] );
       ( "validation",
