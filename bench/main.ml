@@ -19,6 +19,7 @@ module Workload = Usched_model.Workload
 module Rng = Usched_prng.Rng
 module Engine = Usched_desim.Engine
 module Dispatch = Usched_desim.Dispatch
+module Arrival = Usched_desim.Arrival
 module Trace = Usched_faults.Trace
 module Recovery = Usched_faults.Recovery
 
@@ -203,7 +204,58 @@ let benches () =
             ignore
               (Engine.run ~dispatch:Dispatch.List_priority instance realization
                  ~placement:sets ~order))));
+    (* Streaming service mode: Poisson arrivals at rho ~ 0.85 into the
+       dispatch-sized fixture, with and without the replicate-on-
+       straggler policy. Arrival generation is inside the timed region —
+       it is part of the per-run cost the stream experiment pays. *)
+    (let mean_service =
+       let a = Realization.actuals disp_realization in
+       Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+     in
+     let rate = 0.85 *. 32.0 /. mean_service in
+     let fcfs = Array.init 300 (fun j -> j) in
+     Test.make ~name:"stream/poisson rho=0.85 (n=300,m=32)"
+       (Staged.stage (fun () ->
+            let arrivals =
+              Arrival.generate (Arrival.poisson ~rate)
+                (Rng.create ~seed:16 ())
+                ~count:300
+            in
+            ignore
+              (Engine.run_stream disp disp_realization ~arrivals
+                 ~placement:disp_sets ~order:fcfs))));
+    (let mean_service =
+       let a = Realization.actuals disp_realization in
+       Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+     in
+     let rate = 0.85 *. 32.0 /. mean_service in
+     let fcfs = Array.init 300 (fun j -> j) in
+     Test.make ~name:"stream/speculate beta=1.2 (n=300,m=32)"
+       (Staged.stage (fun () ->
+            let arrivals =
+              Arrival.generate (Arrival.poisson ~rate)
+                (Rng.create ~seed:16 ())
+                ~count:300
+            in
+            ignore
+              (Engine.run_stream ~speculation:1.2 disp disp_realization
+                 ~arrivals ~placement:disp_sets ~order:fcfs))));
     (* Substrates. *)
+    (let keys = Array.init 10_000 (fun i -> (i * 2_654_435_761) land 0xFFFFF) in
+     Test.make ~name:"pqueue/push-pop churn (10k)"
+       (Staged.stage (fun () ->
+            let q = Usched_desim.Pqueue.create ~compare:Int.compare () in
+            Array.iter (fun k -> Usched_desim.Pqueue.push q k) keys;
+            let acc = ref 0 in
+            let rec drain () =
+              match Usched_desim.Pqueue.pop q with
+              | Some k ->
+                  acc := !acc + k;
+                  drain ()
+              | None -> ()
+            in
+            drain ();
+            Sys.opaque_identity !acc |> ignore)));
     Test.make ~name:"prng/xoshiro256 float"
       (Staged.stage (fun () -> ignore (Rng.float rng)));
     Test.make ~name:"workload/uniform n=1000"

@@ -246,6 +246,18 @@ let recover_conv =
   in
   Arg.conv ~docv:"R" (parse, print)
 
+(* --arrival delegates its whole grammar (and every validation: NaN
+   rates, unsorted trace files, ...) to [Arrival.of_string], mirroring
+   the strategy catalog. *)
+let arrival_conv =
+  let parse s =
+    match Usched_desim.Arrival.of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf a = Format.fprintf ppf "%s" (Usched_desim.Arrival.describe a) in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
 let solve_cmd =
   let file =
     Arg.(required & pos 0 (some file) None
@@ -323,6 +335,25 @@ let solve_cmd =
                       prints its replay makespan next to the algorithm's."
                      Usched_desim.Dispatch.known_names))
   in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Open-system replay: tasks arrive over time (--arrival) \
+                   instead of all being present at t=0, and are dispatched \
+                   in arrival (FCFS) order. Reports per-task latency \
+                   quantiles (p50/p95/p99), throughput and machine \
+                   utilization; composes with --fail-rate, --speculate, \
+                   --recover and --policy.")
+  in
+  let arrival =
+    Arg.(value & opt arrival_conv (Usched_desim.Arrival.poisson ~rate:1.0)
+         & info [ "arrival" ] ~docv:"SPEC"
+             ~doc:(Printf.sprintf
+                     "Arrival process for --stream: %s. Trace files hold one \
+                      arrival instant per line (blank lines and # comments \
+                      skipped)."
+                     Usched_desim.Arrival.grammar))
+  in
   let trace =
     Arg.(value & opt (some string) None
          & info [ "trace" ] ~docv:"FILE"
@@ -333,7 +364,7 @@ let solve_cmd =
                    created as needed.")
   in
   let run file spec seed gantt fail_rate speculate recover detect_latency
-      bandwidth checkpoint target_reliability policy trace_path =
+      bandwidth checkpoint target_reliability policy stream arrival trace_path =
     let recovery =
       if
         recover = Usched_faults.Recovery.Fixed 0
@@ -391,6 +422,11 @@ let solve_cmd =
            ("m", Json.Int m);
            ("fail_rate", Json.float fail_rate);
            ("policy", Json.String (Usched_desim.Dispatch.name policy));
+           ("stream", Json.Bool stream);
+           ( "arrival",
+             if stream then
+               Json.String (Usched_desim.Arrival.describe arrival)
+             else Json.Null );
            ( "speculate",
              match speculate with None -> Json.Null | Some b -> Json.float b );
            ( "recovery",
@@ -501,7 +537,135 @@ let solve_cmd =
            ])
     end;
     let rec_active = Usched_faults.Recovery.is_active recovery in
-    if fail_rate > 0.0 || speculate <> None || rec_active then begin
+    if stream then begin
+      (* Open-system replay: same placement, FCFS (= task id) order,
+         tasks revealed by the arrival process. Crash times are drawn
+         over the whole busy period, not just the healthy makespan. *)
+      let order = Array.init n (fun j -> j) in
+      let arrivals =
+        match Usched_desim.Arrival.generate arrival rng ~count:n with
+        | a -> a
+        | exception Invalid_argument msg ->
+            Printf.eprintf "usched: --arrival: %s\n" msg;
+            exit 2
+      in
+      let max_arrival = Array.fold_left Float.max 0.0 arrivals in
+      let faults =
+        if fail_rate > 0.0 then
+          Usched_faults.Trace.random_crashes rng ~m ~p:fail_rate
+            ~horizon:(max_arrival +. healthy)
+        else Usched_faults.Trace.empty ~m
+      in
+      if tracing then
+        emit
+          (Json.Obj
+             [ ("type", Json.String "phase"); ("name", Json.String "stream") ]);
+      let metrics = if tracing then Metrics.create () else Metrics.disabled in
+      let so =
+        if tracing then begin
+          let so, events =
+            Usched_desim.Engine.run_stream_traced ?speculation:speculate
+              ~dispatch:policy ~recovery ~metrics ~faults instance realization
+              ~arrivals
+              ~placement:(Core.Placement.sets placement)
+              ~order
+          in
+          List.iter (fun e -> emit (Usched_desim.Engine.event_json e)) events;
+          emit
+            (Json.Obj
+               [
+                 ("type", Json.String "metrics");
+                 ("phase", Json.String "stream");
+                 ("metrics", Metrics.to_json (Metrics.snapshot metrics));
+               ]);
+          so
+        end
+        else
+          Usched_desim.Engine.run_stream ?speculation:speculate ~dispatch:policy
+            ~recovery ~metrics ~faults instance realization ~arrivals
+            ~placement:(Core.Placement.sets placement)
+            ~order
+      in
+      let outcome = so.Usched_desim.Engine.outcome in
+      let lat = so.Usched_desim.Engine.latencies in
+      let q p =
+        if Array.length lat = 0 then Float.nan
+        else Usched_stats.Quantile.quantile lat ~q:p
+      in
+      let mean =
+        if Array.length lat = 0 then Float.nan
+        else
+          Array.fold_left ( +. ) 0.0 lat /. float_of_int (Array.length lat)
+      in
+      let drain = outcome.Usched_desim.Engine.makespan in
+      let throughput =
+        if drain > 0.0 then
+          float_of_int outcome.Usched_desim.Engine.completed /. drain
+        else 0.0
+      in
+      let utilization =
+        (* Machine-time actually consumed — results plus abandoned
+           copies — over the machine-time available until drain. *)
+        if drain > 0.0 then begin
+          let actuals = Model.Realization.actuals realization in
+          let work = ref outcome.Usched_desim.Engine.wasted in
+          Array.iteri
+            (fun j fate ->
+              match fate with
+              | Usched_desim.Engine.Finished _ -> work := !work +. actuals.(j)
+              | Usched_desim.Engine.Stranded -> ())
+            outcome.Usched_desim.Engine.fates;
+          !work /. (float_of_int m *. drain)
+        end
+        else 0.0
+      in
+      Printf.printf
+        "\nstream replay (%s, offered load %.3f%s%s): completed %d/%d%s\n\
+         drain time %.4f, latency p50 %.4f p95 %.4f p99 %.4f (mean %.4f)\n\
+         throughput %.4f tasks/unit, utilization %.4f, wasted work %.4f\n"
+        (Usched_desim.Arrival.describe arrival)
+        (Usched_desim.Arrival.mean_rate arrival
+        /. (float_of_int m
+           /. (Array.fold_left ( +. ) 0.0 (Model.Instance.ests instance)
+              /. float_of_int n)))
+        (if fail_rate > 0.0 then Printf.sprintf ", fail-rate %g" fail_rate
+         else "")
+        (match speculate with
+        | None -> ""
+        | Some b -> Printf.sprintf ", speculation beta=%g" b)
+        outcome.Usched_desim.Engine.completed n
+        (match outcome.Usched_desim.Engine.stranded with
+        | [] -> ""
+        | ids ->
+            Printf.sprintf " (stranded: %s)"
+              (String.concat "; " (List.map string_of_int ids)))
+        drain (q 0.5) (q 0.95) (q 0.99) mean throughput utilization
+        outcome.Usched_desim.Engine.wasted;
+      if gantt && Array.length lat > 0 then begin
+        print_string "latency distribution:\n";
+        Format.printf "%a" Usched_stats.Histogram.pp
+          (Usched_stats.Histogram.of_data ~bins:10 lat)
+      end;
+      emit
+        (Json.Obj
+           [
+             ("type", Json.String "summary");
+             ("phase", Json.String "stream");
+             ("arrival", Json.String (Usched_desim.Arrival.describe arrival));
+             ("completed", Json.Int outcome.Usched_desim.Engine.completed);
+             ( "stranded",
+               Json.Int (List.length outcome.Usched_desim.Engine.stranded) );
+             ("makespan", Json.float drain);
+             ("p50", Json.float (q 0.5));
+             ("p95", Json.float (q 0.95));
+             ("p99", Json.float (q 0.99));
+             ("mean_latency", Json.float mean);
+             ("throughput", Json.float throughput);
+             ("utilization", Json.float utilization);
+             ("wasted", Json.float outcome.Usched_desim.Engine.wasted);
+           ])
+    end
+    else if fail_rate > 0.0 || speculate <> None || rec_active then begin
       let faults =
         Usched_faults.Trace.random_crashes rng ~m ~p:fail_rate ~horizon:healthy
       in
@@ -570,7 +734,7 @@ let solve_cmd =
     Term.(
       const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate $ recover
       $ detect_latency $ bandwidth $ checkpoint $ target_reliability $ policy
-      $ trace)
+      $ stream $ arrival $ trace)
 
 let strategies_cmd =
   let run () =

@@ -23,6 +23,7 @@ module Metrics = Usched_obs.Metrics
 module Json = Usched_report.Json
 
 type event =
+  | Arrived of { time : float; task : int }
   | Started of { time : float; machine : int; task : int }
   | Completed of { time : float; machine : int; task : int }
   | Killed of { time : float; machine : int; task : int }
@@ -174,6 +175,7 @@ let run ?speeds ?(dispatch = Dispatch.default) ?(metrics = Metrics.disabled)
 
 let sort_events events =
   let time_of = function
+    | Arrived { time; _ }
     | Started { time; _ }
     | Completed { time; _ }
     | Killed { time; _ }
@@ -235,17 +237,29 @@ type sim =
   | Sim_fault of Fault.kind
   | Sim_up
   | Sim_detect
+  | Sim_arrive of { task : int }
   | Sim_complete of { gen : int }
   | Sim_transfer of { task : int; src : int; dst : int; id : int }
   | Sim_dispatch
   | Sim_speculate of { task : int; gen : int }
 
 let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
-    instance realization ~faults ~placement ~order ~emit =
+    ~arrivals instance realization ~faults ~placement ~order ~emit =
   check_inputs ?speeds ~name:"Engine.run_faulty" instance ~placement ~order;
   let n = Instance.n instance and m = Instance.m instance in
   if Trace.m faults <> m then
     invalid_arg "Engine.run_faulty: trace machine count differs from instance";
+  (match arrivals with
+  | None -> ()
+  | Some arr ->
+      if Array.length arr <> n then
+        invalid_arg "Engine.run_stream: arrivals length differs from instance";
+      Array.iter
+        (fun t ->
+          if not (Float.is_finite t && t >= 0.0) then
+            invalid_arg
+              "Engine.run_stream: arrival times must be finite and >= 0")
+        arr);
   (match speculation with
   | Some beta when not (beta > 0.0) ->
       invalid_arg "Engine.run_faulty: speculation factor must be > 0"
@@ -289,6 +303,12 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   let mg_makespan = Metrics.gauge metrics "engine.makespan" in
   let mg_wasted = Metrics.gauge metrics "engine.wasted_work" in
   let mh_idle = Metrics.histogram metrics "engine.machine_idle" in
+  (* Streaming instruments exist only in streaming runs: handles register
+     on creation, so a batch snapshot must never see them. *)
+  let streaming = arrivals <> None in
+  let stream_metrics = if streaming then metrics else Metrics.disabled in
+  let mc_arrivals = Metrics.counter stream_metrics "engine.arrivals" in
+  let mh_latency = Metrics.histogram stream_metrics "engine.latency" in
   let busy = if live then Array.make m 0.0 else [||] in
   let st = Machine_state.create ?speeds ~m () in
   let machine = Machine_state.get st in
@@ -297,10 +317,13 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   let available ~time i = Machine_state.available st ~time i in
   let alive_set = Machine_state.alive_set st in
   let status = Array.make n Pending in
-  let dispatchable = Array.make n true in
+  (* In a streaming run a task is invisible to the scheduler until its
+     arrival fires; batch runs behave as if everything arrived at t=0. *)
+  let arrived = Array.make n (not streaming) in
+  let dispatchable = Array.make n (not streaming) in
   let set_status j s =
     status.(j) <- s;
-    dispatchable.(j) <- (s = Pending)
+    dispatchable.(j) <- (s = Pending && arrived.(j))
   in
   let copies = Array.make n ([] : int list) in
   let task_gen = Array.make n 0 in
@@ -357,11 +380,36 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
       push ~time:e.Fault.time ~machine:e.Fault.machine ~cls:Event_core.cls_fault
         (Sim_fault e.Fault.kind))
     (Trace.events faults);
+  (* Arrivals ride the virtual source "machine" -1: at an equal instant
+     they strike before every per-machine event, so a stream whose
+     arrivals all land at t=0 sees the whole workload before the first
+     dispatch decision — exactly the batch engine's starting state. *)
+  (match arrivals with
+  | None -> ()
+  | Some arr ->
+      Array.iteri
+        (fun j t ->
+          push ~time:t ~machine:(-1) ~cls:Event_core.cls_arrival
+            (Sim_arrive { task = j }))
+        arr);
   let wake_idle ~time =
     for i = 0 to m - 1 do
       if Machine_state.idle st ~time i then
         push ~time ~machine:i ~cls:Event_core.cls_decision Sim_dispatch
     done
+  in
+  (* A task arrives: it becomes visible to the scheduler and, if still
+     alive (early faults may have stranded it before it even showed up),
+     joins the dispatch pool. *)
+  let on_arrive ~time j =
+    arrived.(j) <- true;
+    Metrics.incr mc_arrivals;
+    emit (Arrived { time; task = j });
+    if status.(j) = Pending then begin
+      dispatchable.(j) <- true;
+      Dispatch.notify_available policy ~task:j;
+      wake_idle ~time
+    end
   in
   (* Online re-replication: copy every under-replicated task's data from
      its lowest-numbered available holder to the least-loaded available
@@ -647,6 +695,9 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
         if live then
           busy.(i) <- busy.(i) +. (time -. c.Machine_state.c_started);
         emit (Completed { time; machine = i; task = j });
+        (match arrivals with
+        | None -> ()
+        | Some arr -> Metrics.observe mh_latency (time -. arr.(j)));
         (* Speculative losers: first copy to finish wins, the rest abort. *)
         let losers = List.filter (fun k -> k <> i) copies.(j) in
         copies.(j) <- [];
@@ -787,6 +838,7 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
       | Sim_fault kind -> on_fault ~time machine kind
       | Sim_up -> on_up ~time machine
       | Sim_detect -> on_detect ~time machine
+      | Sim_arrive { task } -> on_arrive ~time task
       | Sim_complete { gen } -> complete ~time machine gen
       | Sim_transfer { task; src; dst; id } ->
           on_transfer ~time ~task ~src ~dst ~id
@@ -830,7 +882,8 @@ let run_faulty ?speeds ?speculation ?(dispatch = Dispatch.default)
     ?(recovery = Recovery.none) ?(metrics = Metrics.disabled) instance
     realization ~faults ~placement ~order =
   run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
-    instance realization ~faults ~placement ~order ~emit:(fun _ -> ())
+    ~arrivals:None instance realization ~faults ~placement ~order
+    ~emit:(fun _ -> ())
 
 let run_faulty_traced ?speeds ?speculation ?(dispatch = Dispatch.default)
     ?(recovery = Recovery.none) ?(metrics = Metrics.disabled) instance
@@ -838,10 +891,56 @@ let run_faulty_traced ?speeds ?speculation ?(dispatch = Dispatch.default)
   let events = ref [] in
   let outcome =
     run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
-      instance realization ~faults ~placement ~order
+      ~arrivals:None instance realization ~faults ~placement ~order
       ~emit:(fun e -> events := e :: !events)
   in
   (outcome, sort_events (List.rev !events))
+
+(* ------------------------------------------------------------------ *)
+(* Open-system streaming service mode.                                 *)
+(* ------------------------------------------------------------------ *)
+
+type stream_outcome = { outcome : outcome; latencies : float array }
+
+(* Response time of every finished task, in task-id (= admission) order.
+   Stranded tasks contribute nothing: their latency is unbounded, and
+   averaging an arbitrary sentinel in would poison the quantiles. *)
+let stream_latencies ~arrivals outcome =
+  let acc = ref [] in
+  for j = Array.length outcome.fates - 1 downto 0 do
+    match outcome.fates.(j) with
+    | Finished e -> acc := (e.Schedule.finish -. arrivals.(j)) :: !acc
+    | Stranded -> ()
+  done;
+  Array.of_list !acc
+
+let run_stream ?speeds ?speculation ?(dispatch = Dispatch.default)
+    ?(recovery = Recovery.none) ?(metrics = Metrics.disabled) ?faults instance
+    realization ~arrivals ~placement ~order =
+  let faults =
+    match faults with Some f -> f | None -> Trace.empty ~m:(Instance.m instance)
+  in
+  let outcome =
+    run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
+      ~arrivals:(Some arrivals) instance realization ~faults ~placement ~order
+      ~emit:(fun _ -> ())
+  in
+  { outcome; latencies = stream_latencies ~arrivals outcome }
+
+let run_stream_traced ?speeds ?speculation ?(dispatch = Dispatch.default)
+    ?(recovery = Recovery.none) ?(metrics = Metrics.disabled) ?faults instance
+    realization ~arrivals ~placement ~order =
+  let faults =
+    match faults with Some f -> f | None -> Trace.empty ~m:(Instance.m instance)
+  in
+  let events = ref [] in
+  let outcome =
+    run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
+      ~arrivals:(Some arrivals) instance realization ~faults ~placement ~order
+      ~emit:(fun e -> events := e :: !events)
+  in
+  ( { outcome; latencies = stream_latencies ~arrivals outcome },
+    sort_events (List.rev !events) )
 
 (* ------------------------------------------------------------------ *)
 (* JSON serialization of events and outcomes (the trace sink's view).  *)
@@ -856,6 +955,7 @@ let event_json e =
       :: fields)
   in
   match e with
+  | Arrived { time; task } -> base "arrived" time [ ("task", Json.Int task) ]
   | Started { time; machine; task } ->
       base "started" time [ ("machine", Json.Int machine); ("task", Json.Int task) ]
   | Completed { time; machine; task } ->

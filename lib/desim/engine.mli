@@ -84,6 +84,10 @@ module Realization = Usched_model.Realization
 module Metrics = Usched_obs.Metrics
 
 type event =
+  | Arrived of { time : float; task : int }
+      (** The task entered the system (streaming runs only — batch runs
+          behave as if every task arrived at t = 0 and emit no arrival
+          events). *)
   | Started of { time : float; machine : int; task : int }
   | Completed of { time : float; machine : int; task : int }
   | Killed of { time : float; machine : int; task : int }
@@ -272,6 +276,80 @@ val run_faulty_traced :
 (** Like {!run_faulty}, also returning the chronological event log
     (including kills, cancellations, machine state changes, and the
     recovery events: detections, re-replications, checkpoint resumes). *)
+
+(** {1 Open-system streaming service mode}
+
+    The batch entry points above answer "how fast does this placement
+    clear a fixed workload"; {!run_stream} answers "what response times
+    does it sustain when tasks keep arriving". Task [j] becomes visible
+    to the scheduler only at [arrivals.(j)]; until then it cannot be
+    dispatched (its data placement exists from t = 0 — data is staged
+    ahead, requests arrive online). Everything else composes unchanged:
+    fault traces, recovery policies, dispatch policies, and speculation —
+    which doubles as the replicate-on-straggler latency policy: an
+    overdue copy gets a backup replica, the first finisher wins, the
+    loser is cancelled and its machine-time credited to
+    [outcome.wasted]. *)
+
+type stream_outcome = {
+  outcome : outcome;
+      (** The underlying batch-style outcome. [makespan] is the drain
+          time: the instant the last admitted task finished. *)
+  latencies : float array;
+      (** Per-finished-task response time [finish - arrival], in task-id
+          (= admission) order; stranded tasks are absent. Feed this to
+          [Usched_stats] for p50/p95/p99. *)
+}
+
+val run_stream :
+  ?speeds:float array ->
+  ?speculation:float ->
+  ?dispatch:Dispatch.spec ->
+  ?recovery:Usched_faults.Recovery.t ->
+  ?metrics:Metrics.t ->
+  ?faults:Usched_faults.Trace.t ->
+  Instance.t ->
+  Realization.t ->
+  arrivals:float array ->
+  placement:Bitset.t array ->
+  order:int array ->
+  stream_outcome
+(** Simulate the open system until it drains: every admitted task
+    completes or strands. [arrivals] gives task [j]'s arrival instant
+    (one per task, finite, [>= 0], any order — generate with
+    {!Arrival.generate} / {!Arrival.generate_until}); [faults] defaults
+    to the empty trace.
+
+    Ordering contract: arrivals are events on the virtual source
+    "machine" [-1] with class [Event_core.cls_arrival], so at an equal
+    instant every arrival strikes before any per-machine event. In
+    particular a stream whose arrivals all land at t = 0 sees the whole
+    workload before the first dispatch decision and reproduces the batch
+    engine bit-for-bit.
+
+    Streaming runs register two extra instruments (never present in
+    batch snapshots): [engine.arrivals] (counter) and [engine.latency]
+    (histogram of per-completion response times).
+
+    Raises [Invalid_argument] on malformed inputs (see {!run_faulty})
+    or when [arrivals] has the wrong length or a non-finite/negative
+    entry. *)
+
+val run_stream_traced :
+  ?speeds:float array ->
+  ?speculation:float ->
+  ?dispatch:Dispatch.spec ->
+  ?recovery:Usched_faults.Recovery.t ->
+  ?metrics:Metrics.t ->
+  ?faults:Usched_faults.Trace.t ->
+  Instance.t ->
+  Realization.t ->
+  arrivals:float array ->
+  placement:Bitset.t array ->
+  order:int array ->
+  stream_outcome * event list
+(** Like {!run_stream}, also returning the chronological event log
+    (arrivals included). *)
 
 (** {1 JSON serialization}
 

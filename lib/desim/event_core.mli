@@ -25,7 +25,10 @@ val cls_fault : int
 (** Faults, machine rejoins, failure detections. *)
 
 val cls_arrival : int
-(** Copy completions and data-transfer arrivals. *)
+(** Copy completions, data-transfer arrivals, and task arrivals in the
+    streaming service mode (the latter addressed to the virtual source
+    machine [-1], so they strike before every per-machine event of the
+    same instant). *)
 
 val cls_decision : int
 (** Dispatch decisions (a machine looks for work). *)

@@ -12,7 +12,11 @@ let is_empty t = t.size = 0
 let grow t x =
   if t.size = Array.length t.data then begin
     let capacity = Stdlib.max 8 (2 * Array.length t.data) in
-    let data = Array.make capacity x in
+    (* Fill value: the current root when one exists (it is live in the
+       heap anyway, so the spare slots retain nothing extra), otherwise
+       the element being pushed (about to become live in slot 0). *)
+    let fill = if t.size > 0 then t.data.(0) else x in
+    let data = Array.make capacity fill in
     Array.blit t.data 0 data 0 t.size;
     t.data <- data
   end
@@ -57,8 +61,20 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
+      (* Clear the vacated slot by aliasing the element just moved to
+         the root: without this the slot keeps the old last element (and
+         transitively popped payloads) reachable for the heap's
+         lifetime — a real leak once the engine streams millions of
+         events through one queue. Aliasing a live element costs nothing
+         and retains nothing extra. *)
+      t.data.(t.size) <- t.data.(0);
       sift_down t 0
-    end;
+    end
+    else
+      (* Drained: drop the storage outright so an empty queue holds no
+         payload references at all (spare capacity is rebuilt by the
+         next push). *)
+      t.data <- [||];
     Some root
   end
 

@@ -15,7 +15,11 @@ val is_empty : 'a t -> bool
 val push : 'a t -> 'a -> unit
 
 val pop : 'a t -> 'a option
-(** Remove and return the smallest element. *)
+(** Remove and return the smallest element. The vacated slot is cleared
+    (spare slots only ever alias elements still in the heap, and a
+    drained heap releases its storage), so popped payloads become
+    garbage immediately — the queue never retains them for its own
+    lifetime. *)
 
 val pop_exn : 'a t -> 'a
 (** Like {!pop}; raises [Invalid_argument] on the empty heap. *)

@@ -40,6 +40,8 @@ let render_events events =
     (fun event ->
       let line =
         match event with
+        | Engine.Arrived { time; task } ->
+            Printf.sprintf "t=%-10.4f      arrive   task %d\n" time task
         | Engine.Started { time; machine; task } ->
             Printf.sprintf "t=%-10.4f m%-3d start    task %d\n" time machine task
         | Engine.Completed { time; machine; task } ->

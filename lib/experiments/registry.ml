@@ -92,6 +92,11 @@ let all =
       run = Recovery_sweep.run;
     };
     {
+      id = "stream";
+      title = "Stream: open-system latency under offered load";
+      run = Stream_sweep.run;
+    };
+    {
       id = "policy-sweep";
       title = "Policy sweep: pluggable dispatch rules on fixed placements";
       run = Policy_sweep.run;

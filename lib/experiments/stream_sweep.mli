@@ -1,0 +1,9 @@
+(** Stream experiment: the open-system service mode swept over offered
+    load. Poisson arrivals feed each placement strategy at rho in
+    {0.6, 0.85, 1.1}; reports per-task latency quantiles (p50/p95/p99),
+    machine utilization, and a latency-drift instability verdict that
+    locates each strategy's stability frontier (every cell at rho = 1.1
+    is past it). Arrivals, workloads and realizations are paired across
+    strategies within a load point. *)
+
+val run : Runner.config -> unit

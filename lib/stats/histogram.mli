@@ -1,27 +1,46 @@
 (** Fixed-bin histograms with a terminal rendering.
 
     Used by experiment reports to show the empirical distribution of
-    measured competitive ratios. *)
+    measured competitive ratios, and by the streaming service mode for
+    per-task latency distributions. *)
 
 type t
-(** An immutable histogram over [[lo, hi]] with equal-width bins. *)
+(** An immutable histogram over [[lo, hi]] with equal-width bins, plus
+    out-of-range tallies. *)
 
 val create : ?bins:int -> lo:float -> hi:float -> float array -> t
 (** [create ~bins ~lo ~hi data] counts each datum into one of [bins]
-    equal-width bins (default 10). Data outside [[lo, hi]] land in the
-    first/last bin. Raises [Invalid_argument] if [bins <= 0] or
-    [lo >= hi]. *)
+    equal-width bins (default 10). [hi] itself lands in the last bin;
+    data strictly outside [[lo, hi]] is tallied in {!underflow} /
+    {!overflow} rather than silently folded into the edge bins (folding
+    misreports exactly the tails a latency distribution is measured
+    for). Raises [Invalid_argument] if [bins <= 0], [lo >= hi], or any
+    of [lo], [hi], or the samples is NaN. *)
 
 val of_data : ?bins:int -> float array -> t
 (** Like {!create} with [lo]/[hi] taken from the data (empty data yields
-    the range [[0, 1]]). *)
+    the range [[0, 1]]; all-equal data the range [[x, x + 1]]).
+    Raises [Invalid_argument] on NaN samples — a NaN range would
+    otherwise slip past {!create}'s [lo >= hi] guard and produce garbage
+    bins. *)
 
 val bins : t -> int
 val counts : t -> int array
+
 val total : t -> int
+(** In-range samples only; [total t + underflow t + overflow t] is the
+    input length. *)
+
+val underflow : t -> int
+(** Samples strictly below [lo]. Always 0 for {!of_data}. *)
+
+val overflow : t -> int
+(** Samples strictly above [hi]. Always 0 for {!of_data}. *)
 
 val bin_range : t -> int -> float * float
-(** Inclusive-exclusive range covered by bin [i]. *)
+(** Inclusive-exclusive range covered by bin [i] (the last bin also
+    includes [hi]). *)
 
 val pp : Format.formatter -> t -> unit
-(** Multi-line bar rendering. *)
+(** Multi-line bar rendering; appends an out-of-range line when
+    underflow/overflow is non-zero. *)

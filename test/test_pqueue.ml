@@ -55,6 +55,42 @@ let tie_breaking_via_compare () =
     [ (0.5, 9); (1.0, 1); (1.0, 2); (1.0, 3) ]
     (Pqueue.drain q)
 
+(* A drained queue must not keep popped payloads reachable: the engine
+   holds one queue for a whole run, so a leaked slot pins event payloads
+   (closures over large simulation state) for the run's lifetime. Weak
+   pointers see through the heap's internal array. *)
+let no_retention_after_drain () =
+  let compare (a, _) (b, _) = Int.compare a b in
+  let q = Pqueue.create ~compare () in
+  let n = 64 in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let boxed = (i, ref i) in
+    Weak.set weak i (Some boxed);
+    Pqueue.push q boxed
+  done;
+  (* Interleave pops and pushes so the heap grows, shrinks and re-grows
+     (exercising the grow-array fill and the vacated-slot aliasing). *)
+  for _ = 1 to n / 2 do
+    ignore (Pqueue.pop q)
+  done;
+  for i = n to n + 7 do
+    let boxed = (i, ref i) in
+    Pqueue.push q boxed
+  done;
+  while not (Pqueue.is_empty q) do
+    ignore (Pqueue.pop q)
+  done;
+  Gc.full_major ();
+  let leaked = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr leaked
+  done;
+  Alcotest.(check int) "no payload survives a full drain" 0 !leaked;
+  (* The queue stays usable after releasing its storage. *)
+  Pqueue.push q (42, ref 42);
+  Alcotest.(check int) "reusable" 42 (fst (Pqueue.pop_exn q))
+
 let prop_drain_is_sorted =
   QCheck.Test.make ~name:"drain yields a sorted permutation" ~count:300
     QCheck.(list int)
@@ -98,6 +134,7 @@ let () =
           Alcotest.test_case "of_array" `Quick of_array_heapifies;
           Alcotest.test_case "interleaved" `Quick interleaved_operations;
           Alcotest.test_case "tie breaking" `Quick tie_breaking_via_compare;
+          Alcotest.test_case "no retention" `Quick no_retention_after_drain;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

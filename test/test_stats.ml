@@ -93,10 +93,37 @@ let histogram_counts () =
   Alcotest.(check (array int)) "counts" [| 1; 2; 1; 1 |] (Histogram.counts h);
   Alcotest.(check int) "total" 5 (Histogram.total h)
 
-let histogram_clamps_outliers () =
-  let h = Histogram.create ~bins:2 ~lo:0.0 ~hi:2.0 [| -5.0; 10.0 |] in
-  Alcotest.(check (array int)) "clamped into edge bins" [| 1; 1 |]
-    (Histogram.counts h)
+let histogram_counts_outliers () =
+  let h = Histogram.create ~bins:2 ~lo:0.0 ~hi:2.0 [| -5.0; 0.5; 10.0 |] in
+  Alcotest.(check (array int)) "edge bins untouched" [| 1; 0 |]
+    (Histogram.counts h);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Histogram.overflow h);
+  Alcotest.(check int) "total is in-range only" 1 (Histogram.total h)
+
+let histogram_hi_lands_in_last_bin () =
+  let h = Histogram.create ~bins:2 ~lo:0.0 ~hi:2.0 [| 2.0 |] in
+  Alcotest.(check (array int)) "hi in last bin" [| 0; 1 |] (Histogram.counts h);
+  Alcotest.(check int) "no overflow at hi" 0 (Histogram.overflow h)
+
+let histogram_rejects_nan () =
+  Alcotest.check_raises "NaN bound"
+    (Invalid_argument "Histogram.create: lo is NaN") (fun () ->
+      ignore (Histogram.create ~lo:Float.nan ~hi:1.0 [||]));
+  Alcotest.check_raises "NaN sample"
+    (Invalid_argument "Histogram.create: NaN sample") (fun () ->
+      ignore (Histogram.create ~lo:0.0 ~hi:1.0 [| 0.5; Float.nan |]));
+  Alcotest.check_raises "NaN sample in of_data"
+    (Invalid_argument "Histogram.of_data: NaN sample") (fun () ->
+      ignore (Histogram.of_data [| 1.0; Float.nan; 2.0 |]))
+
+let histogram_degenerate_data () =
+  let empty = Histogram.of_data [||] in
+  Alcotest.(check int) "empty total" 0 (Histogram.total empty);
+  let equal = Histogram.of_data ~bins:3 [| 4.0; 4.0; 4.0 |] in
+  Alcotest.(check int) "all-equal total" 3 (Histogram.total equal);
+  Alcotest.(check int) "all-equal underflow" 0 (Histogram.underflow equal);
+  Alcotest.(check int) "all-equal overflow" 0 (Histogram.overflow equal)
 
 let histogram_bin_range () =
   let h = Histogram.create ~bins:4 ~lo:0.0 ~hi:8.0 [||] in
@@ -172,7 +199,10 @@ let () =
       ( "histogram",
         [
           Alcotest.test_case "counts" `Quick histogram_counts;
-          Alcotest.test_case "outliers clamped" `Quick histogram_clamps_outliers;
+          Alcotest.test_case "outliers counted" `Quick histogram_counts_outliers;
+          Alcotest.test_case "hi endpoint" `Quick histogram_hi_lands_in_last_bin;
+          Alcotest.test_case "NaN rejected" `Quick histogram_rejects_nan;
+          Alcotest.test_case "degenerate data" `Quick histogram_degenerate_data;
           Alcotest.test_case "bin ranges" `Quick histogram_bin_range;
           Alcotest.test_case "auto range" `Quick histogram_of_data_auto_range;
         ] );
