@@ -240,6 +240,26 @@ let benches () =
             ignore
               (Engine.run_stream ~speculation:1.2 disp disp_realization
                  ~arrivals ~placement:disp_sets ~order:fcfs))));
+    (* Mid-run speed revelation through the fault layer: machines start
+       at their optimistic in-band speeds and one Slowdown per machine
+       reveals the sampled speed while work is in flight. *)
+    (let band = Usched_model.Speed_band.uniform ~m:32 ~lo:0.5 ~hi:2.0 in
+     let his = Usched_model.Speed_band.his band in
+     let revealed =
+       Usched_model.Speed_band.sample band (Rng.create ~seed:17 ())
+     in
+     let factors = Array.mapi (fun i s -> s /. his.(i)) revealed in
+     let optimistic =
+       Usched_desim.Schedule.makespan
+         (Engine.run ~speeds:his disp disp_realization ~placement:disp_sets
+            ~order:disp_order)
+     in
+     let faults = Trace.revelation ~m:32 ~at:(0.5 *. optimistic) factors in
+     Test.make ~name:"faulty/speed-revelation (n=300,m=32)"
+       (Staged.stage (fun () ->
+            ignore
+              (Engine.run_faulty ~speeds:his disp disp_realization ~faults
+                 ~placement:disp_sets ~order:disp_order))));
     (* Substrates. *)
     (let keys = Array.init 10_000 (fun i -> (i * 2_654_435_761) land 0xFFFFF) in
      Test.make ~name:"pqueue/push-pop churn (10k)"

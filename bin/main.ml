@@ -127,11 +127,21 @@ let gen_cmd =
                    comma-separated list of M probabilities. Serialized into \
                    the instance header and read back by 'solve'.")
   in
+  let speed_band =
+    Arg.(value & opt (some string) None
+         & info [ "speed-band" ] ~docv:"SPEC"
+             ~doc:"Attach per-machine speed uncertainty bands: either \
+                   uniform:LO:HI (the same band on every machine) or a \
+                   comma-separated list of M LO:HI pairs (a single speed S \
+                   means a known speed). Serialized into the instance header \
+                   and read back by 'solve', which then reports adversarial \
+                   and Monte-Carlo speed robustness.")
+  in
   let out =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"FILE" ~doc:"Output instance file.")
   in
-  let run spec n m alpha seed failp out =
+  let run spec n m alpha seed failp speed_band out =
     let failure =
       match failp with
       | None -> None
@@ -159,6 +169,16 @@ let gen_cmd =
               Printf.eprintf "usched: --failp: %s\n" msg;
               exit 2)
     in
+    let band =
+      match speed_band with
+      | None -> None
+      | Some s -> (
+          match Model.Speed_band.of_spec ~m s with
+          | Ok b -> Some b
+          | Error msg ->
+              Printf.eprintf "usched: --speed-band: %s\n" msg;
+              exit 2)
+    in
     let rng = Usched_prng.Rng.create ~seed () in
     let instance =
       Model.Workload.generate spec ~n ~m
@@ -169,15 +189,25 @@ let gen_cmd =
       | None -> instance
       | Some _ -> Model.Instance.with_failure instance failure
     in
+    let instance =
+      match band with
+      | None -> instance
+      | Some _ -> Model.Instance.with_speed_band instance band
+    in
     Model.Io.save_instance ~path:out instance;
-    Printf.printf "wrote %s (%d tasks, %d machines, alpha=%g%s)\n" out n m alpha
+    Printf.printf "wrote %s (%d tasks, %d machines, alpha=%g%s%s)\n" out n m
+      alpha
       (match failure with
       | None -> ""
       | Some f -> Printf.sprintf ", failure profile %s" (Model.Failure.to_string f))
+      (match band with
+      | None -> ""
+      | Some b ->
+          Printf.sprintf ", speed band %s" (Model.Speed_band.to_string b))
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic instance file.")
-    Term.(const run $ spec $ n $ m $ alpha $ seed $ failp $ out)
+    Term.(const run $ spec $ n $ m $ alpha $ seed $ failp $ speed_band $ out)
 
 (* The strategy catalog owns the whole --algo grammar: parsing,
    parameter validation (NaN deltas, zero group counts, ...), and the
@@ -232,6 +262,32 @@ let nonneg_float_conv ~docv =
 let open_prob_conv ~docv =
   float_conv_of ~docv ~expect:"a probability in (0, 1)" (fun f ->
       f > 0.0 && f < 1.0)
+
+(* --speeds parses into a validated array; the length check against the
+   instance's machine count happens once the file is loaded. *)
+let speeds_conv =
+  let parse s =
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | p :: rest -> (
+          match float_of_string_opt (String.trim p) with
+          | Some f when Float.is_finite f && f > 0.0 -> go (f :: acc) rest
+          | _ ->
+              Error
+                (`Msg
+                   (Printf.sprintf
+                      "invalid machine speed %S: expected a comma-separated \
+                       list of finite speeds > 0"
+                      p)))
+    in
+    go [] (String.split_on_char ',' s)
+  in
+  let print ppf a =
+    Format.fprintf ppf "%s"
+      (String.concat ","
+         (Array.to_list (Array.map (Printf.sprintf "%g") a)))
+  in
+  Arg.conv ~docv:"SPEEDS" (parse, print)
 
 (* --recover takes a replica count or the keyword "degree" (restore each
    task to its phase-1 replication degree); Recovery owns the grammar. *)
@@ -325,6 +381,26 @@ let solve_cmd =
                    it next to the analytic union bound, and report whether \
                    $(docv) is met. Pairs with --algo reliability:$(docv).")
   in
+  let speeds =
+    Arg.(value & opt (some speeds_conv) None
+         & info [ "speeds" ] ~docv:"SPEEDS"
+             ~doc:"Machine speeds for every engine replay (healthy, faulty, \
+                   stream): a comma-separated list of M finite speeds > 0. A \
+                   task with actual processing requirement p occupies machine \
+                   i for p / SPEEDS[i] — the uniform (related) machines \
+                   extension. Default: all 1.")
+  in
+  let speed_band =
+    Arg.(value & opt (some string) None
+         & info [ "speed-band" ] ~docv:"SPEC"
+             ~doc:"Per-machine speed uncertainty bands (uniform:LO:HI or M \
+                   comma-separated LO:HI / S entries), overriding any band in \
+                   the instance header. With a band present — from this flag \
+                   or the header — solve reports speed robustness: the \
+                   adversarial in-band revelation, Monte-Carlo revelations it \
+                   dominates, and a mid-run revelation replayed through the \
+                   fault layer.")
+  in
   let policy =
     Arg.(value & opt policy_conv Usched_desim.Dispatch.default
          & info [ "policy" ] ~docv:"POLICY"
@@ -364,7 +440,8 @@ let solve_cmd =
                    created as needed.")
   in
   let run file spec seed gantt fail_rate speculate recover detect_latency
-      bandwidth checkpoint target_reliability policy stream arrival trace_path =
+      bandwidth checkpoint target_reliability speeds speed_band policy stream
+      arrival trace_path =
     let recovery =
       if
         recover = Usched_faults.Recovery.Fixed 0
@@ -386,6 +463,23 @@ let solve_cmd =
     let instance = Model.Io.load_instance ~path:file in
     let m = Model.Instance.m instance in
     let n = Model.Instance.n instance in
+    (match speeds with
+    | Some a when Array.length a <> m ->
+        Printf.eprintf "usched: --speeds lists %d speeds for %d machines\n"
+          (Array.length a) m;
+        exit 2
+    | _ -> ());
+    (* The flag overrides any band the instance header carries. *)
+    let band =
+      match speed_band with
+      | Some s -> (
+          match Model.Speed_band.of_spec ~m s with
+          | Ok b -> Some b
+          | Error msg ->
+              Printf.eprintf "usched: --speed-band: %s\n" msg;
+              exit 2)
+      | None -> Model.Instance.speed_band instance
+    in
     (* Per-instance constraints (group count vs m, speeds length) can
        only be checked once the instance is known. *)
     let algo =
@@ -421,6 +515,15 @@ let solve_cmd =
            ("n", Json.Int n);
            ("m", Json.Int m);
            ("fail_rate", Json.float fail_rate);
+           ( "speeds",
+             match speeds with
+             | None -> Json.Null
+             | Some a ->
+                 Json.List (Array.to_list (Array.map Json.float a)) );
+           ( "speed_band",
+             match band with
+             | None -> Json.Null
+             | Some b -> Json.String (Model.Speed_band.to_string b) );
            ("policy", Json.String (Usched_desim.Dispatch.name policy));
            ("stream", Json.Bool stream);
            ( "arrival",
@@ -457,6 +560,26 @@ let solve_cmd =
       (Core.Placement.memory_max placement ~sizes:(Model.Instance.sizes instance));
     if gantt then print_string (Usched_desim.Gantt.render schedule);
     print_string (Usched_desim.Timeline.render_stats schedule);
+    (match speeds with
+    | None -> ()
+    | Some sp ->
+        let replay =
+          Usched_desim.Schedule.makespan
+            (Usched_desim.Engine.run ~speeds:sp ~dispatch:policy instance
+               realization
+               ~placement:(Core.Placement.sets placement)
+               ~order:(Model.Instance.lpt_order instance))
+        in
+        let slb =
+          Core.Uniform.lower_bound ~speeds:sp
+            (Model.Realization.actuals realization)
+        in
+        Printf.printf
+          "machine speeds [%s]: replay C_max = %.4f (LB at speeds %.4f, \
+           ratio <= %.4f)\n"
+          (String.concat "; "
+             (Array.to_list (Array.map (Printf.sprintf "%g") sp)))
+          replay slb (replay /. slb));
     (match target_reliability with
     | None -> ()
     | Some target ->
@@ -492,12 +615,86 @@ let solve_cmd =
                ("survival_bound", Json.float bound);
                ("met", Json.Bool (status <> "MISSED"));
              ]));
+    (match band with
+    | None -> ()
+    | Some band ->
+        (* Speed robustness of the committed placement: the adversary
+           picks the worst in-band revelation of machine speeds, with the
+           Monte-Carlo draws folded into its candidate set (so the
+           adversarial ratio dominates every sampled one by
+           construction); then the same adversarial revelation is
+           replayed mid-run through the fault layer — machines start at
+           their optimistic speeds and Slowdown events re-predict
+           in-flight work. *)
+        let actuals = Model.Realization.actuals realization in
+        let sets = Core.Placement.sets placement in
+        let order = Model.Instance.lpt_order instance in
+        let makespan_at sp =
+          Usched_desim.Schedule.makespan
+            (Usched_desim.Engine.run ~speeds:sp ~dispatch:policy instance
+               realization ~placement:sets ~order)
+        in
+        let ratio_at sp = makespan_at sp /. Core.Uniform.lower_bound ~speeds:sp actuals in
+        let mc_draws = 32 in
+        let mc_rng = Usched_prng.Rng.create ~seed:(seed + 1) () in
+        let draws =
+          Array.init mc_draws (fun _ ->
+              Model.Speed_band.sample band (Usched_prng.Rng.split mc_rng))
+        in
+        let adv_speeds, ratio_adv =
+          Core.Speed_adversary.worst_case ~run:ratio_at
+            ~candidates:(Array.to_list draws) instance placement band
+        in
+        let makespan_adv = makespan_at adv_speeds in
+        let mc_ratios = Array.map ratio_at draws in
+        let mc_mean =
+          Array.fold_left ( +. ) 0.0 mc_ratios /. float_of_int mc_draws
+        in
+        let mc_max = Array.fold_left Float.max neg_infinity mc_ratios in
+        let his = Model.Speed_band.his band in
+        let reveal_at = 0.5 *. Core.Uniform.lower_bound ~speeds:his actuals in
+        let factors = Array.mapi (fun i s -> s /. his.(i)) adv_speeds in
+        let reveal =
+          Usched_desim.Engine.run_faulty ?speculation:speculate ~speeds:his
+            ~dispatch:policy ~recovery instance realization
+            ~faults:(Usched_faults.Trace.revelation ~m ~at:reveal_at factors)
+            ~placement:sets ~order
+        in
+        Printf.printf
+          "speed robustness over band %s:\n\
+          \  adversarial revelation [%s]: C_max = %.4f, ratio vs \
+           revealed-speed LB = %.4f\n\
+          \  Monte-Carlo (%d draws): mean ratio %.4f, worst %.4f (dominated \
+           by the adversary)\n\
+          \  mid-run revelation at t=%.4f (fault-layer slowdowns): C_max = \
+           %.4f\n"
+          (Model.Speed_band.to_string band)
+          (String.concat "; "
+             (Array.to_list (Array.map (Printf.sprintf "%g") adv_speeds)))
+          makespan_adv ratio_adv mc_draws mc_mean mc_max reveal_at
+          reveal.Usched_desim.Engine.makespan;
+        emit
+          (Json.Obj
+             [
+               ("type", Json.String "summary");
+               ("phase", Json.String "speed_robustness");
+               ("band", Json.String (Model.Speed_band.to_string band));
+               ( "adv_speeds",
+                 Json.List (Array.to_list (Array.map Json.float adv_speeds)) );
+               ("makespan_adv", Json.float makespan_adv);
+               ("ratio_adv", Json.float ratio_adv);
+               ("mc_draws", Json.Int mc_draws);
+               ("mc_ratio_mean", Json.float mc_mean);
+               ("mc_ratio_max", Json.float mc_max);
+               ("reveal_at", Json.float reveal_at);
+               ("makespan_reveal", Json.float reveal.Usched_desim.Engine.makespan);
+             ]));
     if policy <> Usched_desim.Dispatch.default then begin
       (* Same placement, same LPT order, only the dispatch rule differs —
          the ratio isolates the policy from the algorithm's own ordering. *)
       let replay dispatch =
         Usched_desim.Schedule.makespan
-          (Usched_desim.Engine.run ~dispatch instance realization
+          (Usched_desim.Engine.run ?speeds ~dispatch instance realization
              ~placement:(Core.Placement.sets placement)
              ~order:(Model.Instance.lpt_order instance))
       in
@@ -514,8 +711,8 @@ let solve_cmd =
            [ ("type", Json.String "phase"); ("name", Json.String "healthy") ]);
       let metrics = Metrics.create () in
       let replay, events =
-        Usched_desim.Engine.run_traced ~dispatch:policy ~metrics instance
-          realization
+        Usched_desim.Engine.run_traced ?speeds ~dispatch:policy ~metrics
+          instance realization
           ~placement:(Core.Placement.sets placement)
           ~order:(Model.Instance.lpt_order instance)
       in
@@ -564,8 +761,9 @@ let solve_cmd =
       let so =
         if tracing then begin
           let so, events =
-            Usched_desim.Engine.run_stream_traced ?speculation:speculate
-              ~dispatch:policy ~recovery ~metrics ~faults instance realization
+            Usched_desim.Engine.run_stream_traced ?speeds
+              ?speculation:speculate ~dispatch:policy ~recovery ~metrics
+              ~faults instance realization
               ~arrivals
               ~placement:(Core.Placement.sets placement)
               ~order
@@ -581,8 +779,9 @@ let solve_cmd =
           so
         end
         else
-          Usched_desim.Engine.run_stream ?speculation:speculate ~dispatch:policy
-            ~recovery ~metrics ~faults instance realization ~arrivals
+          Usched_desim.Engine.run_stream ?speeds ?speculation:speculate
+            ~dispatch:policy ~recovery ~metrics ~faults instance realization
+            ~arrivals
             ~placement:(Core.Placement.sets placement)
             ~order
       in
@@ -679,7 +878,7 @@ let solve_cmd =
         if tracing || rec_active then Metrics.create () else Metrics.disabled
       in
       let outcome, events =
-        Usched_desim.Engine.run_faulty_traced ?speculation:speculate
+        Usched_desim.Engine.run_faulty_traced ?speeds ?speculation:speculate
           ~dispatch:policy ~recovery ~metrics instance realization ~faults
           ~placement:(Core.Placement.sets placement)
           ~order:(Model.Instance.lpt_order instance)
@@ -733,8 +932,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Run a two-phase algorithm on an instance file.")
     Term.(
       const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate $ recover
-      $ detect_latency $ bandwidth $ checkpoint $ target_reliability $ policy
-      $ stream $ arrival $ trace)
+      $ detect_latency $ bandwidth $ checkpoint $ target_reliability $ speeds
+      $ speed_band $ policy $ stream $ arrival $ trace)
 
 let strategies_cmd =
   let run () =

@@ -13,6 +13,7 @@ type t =
   | Memory_budget of float
   | Reliability of { target : float; budget : float option }
   | Uniform of { variant : uniform_variant; speeds : float array }
+  | Speed_robust of { k : int }
 
 (* Domain checks independent of m. Group counts against m and speeds
    length are deferred to [build]/[check], which know m. *)
@@ -43,6 +44,9 @@ let validate = function
   | Selective count ->
       if count >= 0 then Ok ()
       else Error (Printf.sprintf "selective count must be >= 0, got %d" count)
+  | Speed_robust { k } ->
+      if k >= 1 then Ok ()
+      else Error (Printf.sprintf "speed class count must be >= 1, got %d" k)
   | Sabo delta -> positive_finite "delta" delta
   | Abo delta -> positive_finite "delta" delta
   | Memory_budget budget -> positive_finite "memory budget" budget
@@ -96,6 +100,7 @@ let abo ~delta = checked (Abo delta)
 let memory_budget ~budget = checked (Memory_budget budget)
 let reliability ~target ~budget = checked (Reliability { target; budget })
 let uniform ~variant ~speeds = checked (Uniform { variant; speeds })
+let speed_robust ~k = checked (Speed_robust { k })
 
 (* Floats must survive print -> parse exactly for the round-trip law.
    %.12g covers every float people actually write; fall back to %.17g
@@ -130,6 +135,7 @@ let to_string = function
       Printf.sprintf "uniform-lpt-no-restriction:%s" (speeds_str speeds)
   | Uniform { variant = U_group k; speeds } ->
       Printf.sprintf "uniform-ls-group:%d:%s" k (speeds_str speeds)
+  | Speed_robust { k } -> Printf.sprintf "speedrobust:%d" k
 
 let name = function
   | No_replication Lpt -> "LPT-No Choice"
@@ -152,6 +158,7 @@ let name = function
   | Uniform { variant = U_no_restriction; _ } -> "Uniform LPT-No Restriction"
   | Uniform { variant = U_group k; _ } ->
       Printf.sprintf "Uniform LS-Group(k=%d)" k
+  | Speed_robust { k } -> Printf.sprintf "SpeedRobust(k=%d)" k
 
 (* Parsing ------------------------------------------------------------ *)
 
@@ -319,6 +326,13 @@ let all =
       portfolio = (fun ~m:_ -> []);
     };
     {
+      keyword = "speedrobust";
+      params = ":K";
+      doc = "replicas hedged across K machine speed classes (speed bands)";
+      example = (fun ~m -> Speed_robust { k = Stdlib.min 2 m });
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
       keyword = "lpt-no-restriction";
       params = "";
       doc = "replicate everywhere, online LPT in phase 2 (Thm 3)";
@@ -442,6 +456,8 @@ let of_string s =
                    "%s takes TARGET[:budget:B], e.g. %s:0.999 or \
                     %s:0.99:budget:16"
                    keyword keyword keyword))
+      | "speedrobust" ->
+          one_int keyword (fun k -> Speed_robust { k }) params
       | "uniform-lpt-no-choice" -> speeds_only keyword U_no_choice params
       | "uniform-lpt-no-restriction" ->
           speeds_only keyword U_no_restriction params
@@ -470,6 +486,9 @@ let check spec ~m =
   | Group { k; _ } when k > m ->
       Error
         (Printf.sprintf "group count %d exceeds machine count %d" k m)
+  | Speed_robust { k } when k > m ->
+      Error
+        (Printf.sprintf "speed class count %d exceeds machine count %d" k m)
   | Uniform { variant; speeds } -> (
       if Array.length speeds <> m then
         Error
@@ -506,6 +525,7 @@ let build spec ~m =
   | Uniform { variant = U_no_restriction; speeds } ->
       Uniform.lpt_no_restriction ~speeds
   | Uniform { variant = U_group k; speeds } -> Uniform.ls_group ~speeds ~k
+  | Speed_robust { k } -> Speed_robust.algorithm ~k
 
 let default_portfolio ~m =
   List.concat_map (fun e -> e.portfolio ~m) all

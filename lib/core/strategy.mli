@@ -52,6 +52,10 @@ type t =
           replica memory. See {!Reliability}. *)
   | Uniform of { variant : uniform_variant; speeds : float array }
       (** Related-machines extension; [speeds] must have length [m]. *)
+  | Speed_robust of { k : int }
+      (** Replicas hedged across [k] machine speed classes built from the
+          instance's speed band (pessimistic in-band speed, fastest class
+          first) — one replica per class. See {!Speed_robust}. *)
 
 (** {1 Validated smart constructors}
 
@@ -73,6 +77,7 @@ val abo : delta:float -> t
 val memory_budget : budget:float -> t
 val reliability : target:float -> budget:float option -> t
 val uniform : variant:uniform_variant -> speeds:float array -> t
+val speed_robust : k:int -> t
 
 val validate : t -> (unit, string) result
 (** The m-independent domain checks behind the smart constructors, for
@@ -87,7 +92,8 @@ val to_string : t -> string
     [selective:COUNT], [sabo:DELTA], [abo:DELTA], [memory:BUDGET],
     [reliability:TARGET] / [reliability:TARGET:budget:B],
     [uniform-lpt-no-choice:SPEEDS], [uniform-lpt-no-restriction:SPEEDS],
-    [uniform-ls-group:K:SPEEDS] with SPEEDS comma-separated. Floats are
+    [uniform-ls-group:K:SPEEDS] with SPEEDS comma-separated, and
+    [speedrobust:K]. Floats are
     printed so they parse back to the identical value —
     [of_string (to_string s) = Ok s] for every valid spec. *)
 

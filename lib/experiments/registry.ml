@@ -102,6 +102,11 @@ let all =
       run = Policy_sweep.run;
     };
     {
+      id = "speed-robust";
+      title = "Speed-robust: sand/bricks/rocks under banded machine speeds";
+      run = Speed_sweep.run;
+    };
+    {
       id = "hetero";
       title = "Heterogeneous machines: replication vs slow nodes";
       run = Hetero.run;

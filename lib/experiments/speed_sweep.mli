@@ -1,0 +1,8 @@
+(** The speed-robust experiment ([speed-robust]): sand, bricks and rocks
+    workloads under banded machine speeds, fixed-degree vs speed-robust
+    replication, adversarial and Monte-Carlo revelations (paired — the
+    sampled draws are folded into the adversary's candidate set, so the
+    adversarial ratio dominates every sampled one by construction), and a
+    mid-run revelation replayed through the fault layer. *)
+
+val run : Runner.config -> unit

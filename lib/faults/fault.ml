@@ -10,6 +10,8 @@ let pp ppf e =
   | Crash -> Format.fprintf ppf "crash(m%d @ %g)" e.machine e.time
   | Outage until ->
       Format.fprintf ppf "outage(m%d @ %g until %g)" e.machine e.time until
+  | Slowdown factor when factor > 1.0 ->
+      Format.fprintf ppf "speedup(m%d @ %g x%g)" e.machine e.time factor
   | Slowdown factor ->
       Format.fprintf ppf "slowdown(m%d @ %g x%g)" e.machine e.time factor
 
@@ -31,5 +33,8 @@ let check ~m e =
       if not (Float.is_finite until) || until <= e.time then
         reject e "outage [%g, %g) is empty" e.time until
   | Slowdown factor ->
-      if not (factor > 0.0 && factor <= 1.0) then
-        reject e "slowdown factor %g outside (0, 1]" factor
+      (* Any finite positive factor: < 1 is the classical straggler,
+         > 1 a speed-up — an in-band speed revelation can go either
+         way. NaN fails both comparisons and is rejected too. *)
+      if not (Float.is_finite factor && factor > 0.0) then
+        reject e "speed factor %g must be finite and > 0" factor

@@ -15,26 +15,30 @@
       [[time, until)]; in-flight work is lost (unless a {!Recovery}
       policy checkpoints it) but the data on disk survives, so the
       machine rejoins at [until];
-    - {b straggler slowdown}: from [time] on, the machine runs at
-      [factor] times its configured speed (the MapReduce straggler that
-      speculation exists to beat). *)
+    - {b speed change}: from [time] on, the machine runs at [factor]
+      times its configured speed — a [factor < 1] is the MapReduce
+      straggler that speculation exists to beat, a [factor > 1] a
+      speed-up (an in-band speed revelation can go either way, see
+      [Usched_model.Speed_band]). *)
 
 type kind =
   | Crash  (** Permanent: machine and its stored data are gone. *)
   | Outage of float
       (** [Outage until]: unavailable on [[time, until)], data survives. *)
   | Slowdown of float
-      (** [Slowdown factor]: speed multiplied by [factor] (in [(0, 1]])
-          from [time] on; a later slowdown replaces the factor. *)
+      (** [Slowdown factor]: speed multiplied by [factor] (any finite
+          positive value; [> 1] speeds the machine up) from [time] on; a
+          later slowdown replaces the factor. *)
 
 type event = { machine : int; time : float; kind : kind }
 
 val check : m:int -> event -> unit
 (** Raises [Invalid_argument] unless [machine] is in [[0, m)], [time] is
     finite and non-negative, outages end strictly after they start, and
-    slowdown factors lie in [(0, 1]]. The message names the offending
-    event via {!pp}. *)
+    speed factors are finite and strictly positive. The message names
+    the offending event via {!pp}. *)
 
 val pp : Format.formatter -> event -> unit
 (** Renders as [crash(m2 @ 3.5)], [outage(m0 @ 1 until 4)],
-    [slowdown(m1 @ 2 x0.5)]. *)
+    [slowdown(m1 @ 2 x0.5)] ([speedup(...)] when the factor
+    exceeds 1). *)

@@ -101,11 +101,30 @@ let random_outages rng ~m ~p ~horizon ~duration:(lo, hi) =
       { Fault.machine; time; kind = Fault.Outage (time +. d) })
 
 let random_slowdowns rng ~m ~p ~horizon ~factor:(lo, hi) =
-  if not (0.0 < lo && lo <= hi && hi <= 1.0) then
-    invalid_arg "Trace.random_slowdowns: factor range must be inside (0, 1]";
+  if not (0.0 < lo && lo <= hi && Float.is_finite hi) then
+    invalid_arg
+      "Trace.random_slowdowns: factor range must satisfy 0 < lo <= hi, finite";
   per_machine rng ~m ~p ~horizon ~name:"random_slowdowns" (fun machine ~time ->
       let f = Rng.float_range rng ~lo ~hi in
       { Fault.machine; time; kind = Fault.Slowdown f })
+
+let revelation ~m ~at factors =
+  if Array.length factors <> m then
+    invalid_arg
+      (Printf.sprintf "Trace.revelation: %d factors for %d machines"
+         (Array.length factors) m);
+  let events = ref [] in
+  for machine = m - 1 downto 0 do
+    (* A factor of exactly 1.0 is a no-op; emitting it anyway would
+       perturb in-flight completion re-prediction (float resync), so the
+       degenerate band would no longer reproduce the plain engine
+       bit-for-bit. Skip it. *)
+    if factors.(machine) <> 1.0 then
+      events :=
+        { Fault.machine; time = at; kind = Fault.Slowdown factors.(machine) }
+        :: !events
+  done;
+  of_events ~m !events
 
 let pp ppf t =
   Format.fprintf ppf "trace(m=%d, %d events:@ " t.m (length t);

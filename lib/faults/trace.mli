@@ -69,8 +69,20 @@ val random_outages :
 val random_slowdowns :
   Usched_prng.Rng.t ->
   m:int -> p:float -> horizon:float -> factor:float * float -> t
-(** Each machine degrades with probability [p] from a time uniform in
-    [(0, horizon)] to a speed factor uniform in [factor] (a sub-range of
-    [(0, 1]]). *)
+(** Each machine changes speed with probability [p] from a time uniform
+    in [(0, horizon)] to a factor uniform in [factor] — any finite range
+    with [0 < lo <= hi]. Sub-unit ranges model classical stragglers;
+    ranges above 1 model speed-ups. *)
+
+val revelation : m:int -> at:float -> float array -> t
+(** A mid-run speed revelation as a fault trace: at time [at], machine
+    [i]'s speed is multiplied by [factors.(i)] (one [Fault.Slowdown]
+    event per machine, relative to the engine's configured base speeds).
+    Factors of exactly 1.0 are skipped — they are semantic no-ops, and
+    omitting them keeps a degenerate revelation bit-identical to no
+    revelation at all. Composes with every other trace via {!merge} and
+    runs under [run_faulty]/[run_stream] with recovery and dispatch
+    unchanged. Raises [Invalid_argument] when [factors] does not have
+    length [m] or an entry is not finite and positive. *)
 
 val pp : Format.formatter -> t -> unit

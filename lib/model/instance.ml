@@ -3,9 +3,10 @@ type t = {
   alpha : Uncertainty.alpha;
   tasks : Task.t array;
   failure : Failure.t option;
+  speed_band : Speed_band.t option;
 }
 
-let make ?failure ~m ~alpha tasks =
+let make ?failure ?speed_band ~m ~alpha tasks =
   if m < 1 then invalid_arg "Instance.make: need at least one machine";
   Array.iteri
     (fun i task ->
@@ -19,9 +20,16 @@ let make ?failure ~m ~alpha tasks =
            "Instance.make: failure profile covers %d machines, instance has %d"
            (Failure.m f) m)
   | _ -> ());
-  { m; alpha; tasks = Array.copy tasks; failure }
+  (match speed_band with
+  | Some b when Speed_band.m b <> m ->
+      invalid_arg
+        (Printf.sprintf
+           "Instance.make: speed band covers %d machines, instance has %d"
+           (Speed_band.m b) m)
+  | _ -> ());
+  { m; alpha; tasks = Array.copy tasks; failure; speed_band }
 
-let of_ests ?failure ~m ~alpha ?sizes ests =
+let of_ests ?failure ?speed_band ~m ~alpha ?sizes ests =
   let n = Array.length ests in
   (match sizes with
   | Some s when Array.length s <> n ->
@@ -31,7 +39,7 @@ let of_ests ?failure ~m ~alpha ?sizes ests =
   let tasks =
     Array.init n (fun i -> Task.make ~id:i ~est:ests.(i) ~size:(size_of i) ())
   in
-  make ?failure ~m ~alpha tasks
+  make ?failure ?speed_band ~m ~alpha tasks
 
 let n t = Array.length t.tasks
 let m t = t.m
@@ -50,7 +58,18 @@ let failure_or_default t =
   | Some f -> f
   | None -> Failure.uniform ~m:t.m ~p:Failure.default_p
 
-let with_failure t failure = make ?failure ~m:t.m ~alpha:t.alpha t.tasks
+let with_failure t failure =
+  make ?failure ?speed_band:t.speed_band ~m:t.m ~alpha:t.alpha t.tasks
+
+let speed_band t = t.speed_band
+
+let speed_band_or_nominal t =
+  match t.speed_band with
+  | Some b -> b
+  | None -> Speed_band.nominal ~m:t.m
+
+let with_speed_band t speed_band =
+  make ?failure:t.failure ?speed_band ~m:t.m ~alpha:t.alpha t.tasks
 
 let total_est t = Array.fold_left (fun acc task -> acc +. Task.est task) 0.0 t.tasks
 
@@ -69,8 +88,13 @@ let lpt_order t =
   order
 
 let pp ppf t =
-  Format.fprintf ppf "instance(n=%d, m=%d, %a%t)" (n t) t.m Uncertainty.pp
-    t.alpha (fun ppf ->
+  Format.fprintf ppf "instance(n=%d, m=%d, %a%t%t)" (n t) t.m Uncertainty.pp
+    t.alpha
+    (fun ppf ->
       match t.failure with
       | None -> ()
       | Some f -> Format.fprintf ppf ", %a" Failure.pp f)
+    (fun ppf ->
+      match t.speed_band with
+      | None -> ()
+      | Some b -> Format.fprintf ppf ", %a" Speed_band.pp b)

@@ -7,14 +7,20 @@
 type t
 
 val make :
-  ?failure:Failure.t -> m:int -> alpha:Uncertainty.alpha -> Task.t array -> t
+  ?failure:Failure.t ->
+  ?speed_band:Speed_band.t ->
+  m:int ->
+  alpha:Uncertainty.alpha ->
+  Task.t array ->
+  t
 (** Validates and builds an instance. Raises [Invalid_argument] if
     [m < 1], task ids are not exactly [0 .. n-1] in order, or the
-    optional failure profile does not cover exactly [m] machines. The
-    task array is copied. *)
+    optional failure profile / speed band does not cover exactly [m]
+    machines. The task array is copied. *)
 
 val of_ests :
   ?failure:Failure.t ->
+  ?speed_band:Speed_band.t ->
   m:int ->
   alpha:Uncertainty.alpha ->
   ?sizes:float array ->
@@ -58,6 +64,20 @@ val with_failure : t -> Failure.t option -> t
 (** Same instance with the failure profile replaced (or removed).
     Raises [Invalid_argument] when the profile's machine count differs
     from [m]. *)
+
+val speed_band : t -> Speed_band.t option
+(** The per-machine speed uncertainty band attached to this instance,
+    if any. Speed-robust algorithms that need one unconditionally
+    should use {!speed_band_or_nominal}. *)
+
+val speed_band_or_nominal : t -> Speed_band.t
+(** The attached band, or the degenerate all-1 band (identical
+    machines, no uncertainty) when the instance carries none. *)
+
+val with_speed_band : t -> Speed_band.t option -> t
+(** Same instance with the speed band replaced (or removed). Raises
+    [Invalid_argument] when the band's machine count differs from
+    [m]. *)
 
 val total_est : t -> float
 val max_est : t -> float

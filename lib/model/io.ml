@@ -7,8 +7,13 @@ let header_line ~kind instance =
     | None -> ""
     | Some f -> " failp=" ^ Failure.to_string f
   in
-  Printf.sprintf "# usched-%s m=%d alpha=%.17g%s" kind (Instance.m instance)
-    (Instance.alpha_value instance) failp
+  let speedband =
+    match Instance.speed_band instance with
+    | None -> ""
+    | Some b -> " speedband=" ^ Speed_band.to_string b
+  in
+  Printf.sprintf "# usched-%s m=%d alpha=%.17g%s%s" kind (Instance.m instance)
+    (Instance.alpha_value instance) failp speedband
 
 let parse_header ~kind line =
   let prefix = Printf.sprintf "# usched-%s " kind in
@@ -48,7 +53,15 @@ let parse_header ~kind line =
         | Ok f -> Some f
         | Error msg -> parse_error 1 (Printf.sprintf "bad failp=: %s" msg))
   in
-  (m, Uncertainty.alpha alpha, failure)
+  let speed_band =
+    match lookup_opt "speedband" with
+    | None -> None
+    | Some raw -> (
+        match Speed_band.of_string raw with
+        | Ok b -> Some b
+        | Error msg -> parse_error 1 (Printf.sprintf "bad speedband=: %s" msg))
+  in
+  (m, Uncertainty.alpha alpha, failure, speed_band)
 
 let body_lines text =
   String.split_on_char '\n' text
@@ -86,7 +99,7 @@ let instance_of_string text =
   match String.split_on_char '\n' text with
   | [] -> parse_error 1 "empty input"
   | header :: _ ->
-      let m, alpha, failure = parse_header ~kind:"instance" header in
+      let m, alpha, failure, speed_band = parse_header ~kind:"instance" header in
       let tasks =
         List.mapi
           (fun i line ->
@@ -103,7 +116,7 @@ let instance_of_string text =
               ())
           (body_lines text)
       in
-      Instance.make ?failure ~m ~alpha (Array.of_list tasks)
+      Instance.make ?failure ?speed_band ~m ~alpha (Array.of_list tasks)
 
 let realization_to_string realization =
   let instance = Realization.instance realization in
@@ -123,7 +136,9 @@ let realization_of_string text =
   match String.split_on_char '\n' text with
   | [] -> parse_error 1 "empty input"
   | header :: _ ->
-      let m, alpha, failure = parse_header ~kind:"realization" header in
+      let m, alpha, failure, speed_band =
+        parse_header ~kind:"realization" header
+      in
       let rows =
         List.mapi
           (fun i line ->
@@ -142,7 +157,8 @@ let realization_of_string text =
           (body_lines text)
       in
       let instance =
-        Instance.make ?failure ~m ~alpha (Array.of_list (List.map fst rows))
+        Instance.make ?failure ?speed_band ~m ~alpha
+          (Array.of_list (List.map fst rows))
       in
       Realization.of_actuals instance (Array.of_list (List.map snd rows))
 

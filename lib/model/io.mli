@@ -5,7 +5,7 @@
     shareable and replayable. Format (header line included):
 
     {v
-    # usched-instance m=<m> alpha=<alpha>[ failp=<p0>,<p1>,...]
+    # usched-instance m=<m> alpha=<alpha>[ failp=<p0>,...][ speedband=<b0>,...]
     id,est,size
     0,9.5,1
     ...
@@ -13,9 +13,12 @@
 
     The optional [failp=] field carries the per-machine failure profile
     ({!Failure.t}), comma-separated with one probability per machine;
-    files written before profiles existed parse to instances without
-    one. Realizations append an [actual] column and reference the
-    instance parameters in the header. *)
+    the optional [speedband=] field carries the per-machine speed
+    uncertainty band ({!Speed_band.t}) as comma-separated [lo:hi] pairs
+    (a single value for a known speed). Both round-trip bit-exactly;
+    files written before either field existed parse to instances
+    without them. Realizations append an [actual] column and reference
+    the instance parameters in the header. *)
 
 val instance_to_string : Instance.t -> string
 val instance_of_string : string -> Instance.t

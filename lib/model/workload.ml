@@ -8,6 +8,9 @@ type spec =
   | Pareto of { shape : float; scale : float; cap : float }
   | Bimodal of { p_long : float; short_mean : float; long_mean : float }
   | Lpt_adversarial of { m : int }
+  | Sand of { total : float }
+  | Bricks of { size : float }
+  | Rocks of { lo : float; hi : float }
 
 type size_spec =
   | Unit_sizes
@@ -34,7 +37,11 @@ let draw_est spec rng =
         (Dist.bimodal rng ~p_long
            ~short:(fun rng -> Dist.exponential rng ~mean:short_mean)
            ~long:(fun rng -> Dist.exponential rng ~mean:long_mean))
-  | Lpt_adversarial _ -> assert false (* handled structurally in [generate] *)
+  | Rocks { lo; hi } ->
+      if lo <= 0.0 || lo > hi then invalid_arg "Workload: bad rocks range";
+      Dist.uniform rng ~lo ~hi
+  | Lpt_adversarial _ | Sand _ | Bricks _ ->
+      assert false (* handled structurally in [generate] *)
 
 let draw_size size_spec ~est rng =
   match size_spec with
@@ -68,6 +75,15 @@ let generate spec ?(size_spec = Unit_sizes) ~n ~m ~alpha rng =
   let ests =
     match spec with
     | Lpt_adversarial { m = m' } -> lpt_adversarial_ests m'
+    | Sand { total } ->
+        if total <= 0.0 || not (Float.is_finite total) then
+          invalid_arg "Workload: sand total must be finite and > 0";
+        if n < 1 then invalid_arg "Workload: sand needs at least one grain";
+        Array.make n (total /. float_of_int n)
+    | Bricks { size } ->
+        if size <= 0.0 || not (Float.is_finite size) then
+          invalid_arg "Workload: brick size must be finite and > 0";
+        Array.make n size
     | _ -> Array.init n (fun _ -> draw_est spec rng)
   in
   let sizes = Array.map (fun est -> draw_size size_spec ~est rng) ests in
@@ -80,6 +96,9 @@ let spec_name = function
   | Pareto _ -> "pareto"
   | Bimodal _ -> "bimodal"
   | Lpt_adversarial _ -> "lpt-adversarial"
+  | Sand _ -> "sand"
+  | Bricks _ -> "bricks"
+  | Rocks _ -> "rocks"
 
 let size_spec_name = function
   | Unit_sizes -> "unit"
@@ -96,4 +115,12 @@ let standard_suite ~m =
     ( "bimodal",
       Bimodal { p_long = 0.1; short_mean = 1.0; long_mean = 50.0 } );
     ("lpt-adversarial", Lpt_adversarial { m });
+  ]
+
+let speed_robust_suite ~m =
+  [
+    (* Total work scales with m so every class keeps all machines busy. *)
+    ("sand", Sand { total = 8.0 *. float_of_int m });
+    ("bricks", Bricks { size = 1.0 });
+    ("rocks", Rocks { lo = 1.0; hi = 12.0 });
   ]

@@ -22,6 +22,17 @@ type spec =
           tasks 2m-1..m+1 duplicated plus m tasks of length m
           (scaled to floats). The [n] argument of {!generate} is ignored
           in favour of the canonical 2m+1 tasks. *)
+  | Sand of { total : float }
+      (** [n] identical grains of [total / n] each — infinitely divisible
+          load in the limit. The easiest speed-robust class of Eberle et
+          al.: any placement can rebalance grain by grain. *)
+  | Bricks of { size : float }
+      (** [n] identical unit bricks — equal jobs, where the granularity
+          (not the mix) limits rebalancing under revealed speeds. *)
+  | Rocks of { lo : float; hi : float }
+      (** Uniform heterogeneous rocks — arbitrary job sizes, the hardest
+          speed-robust class: one big rock stuck on a slow machine
+          dominates the makespan. *)
 
 type size_spec =
   | Unit_sizes  (** Every task has size 1. *)
@@ -48,3 +59,8 @@ val size_spec_name : size_spec -> string
 
 val standard_suite : m:int -> (string * spec) list
 (** The named workload families exercised by the experiment harness. *)
+
+val speed_robust_suite : m:int -> (string * spec) list
+(** The sand / bricks / rocks instance classes of the speed-robust
+    model (Eberle et al.), sized to keep [m] machines busy — what the
+    [speed-robust] experiment crosses with the strategy catalog. *)

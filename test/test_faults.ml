@@ -112,6 +112,100 @@ let slowdown_stretches_remaining () =
   close "nothing wasted" 0.0 outcome.Engine.wasted;
   checki "still completes" 1 outcome.Engine.completed
 
+let speedup_compresses_remaining () =
+  (* Slowdown factors above 1 are speed-ups: one task of 4 started at 0,
+     the machine doubles its speed at 2. Two units done, two remaining
+     at speed 2: finish = 2 + 2/2. *)
+  let instance =
+    Instance.of_ests ~m:1 ~alpha:Uncertainty.alpha_exact [| 4.0 |]
+  in
+  let realization = Realization.exact instance in
+  let placement = [| Bitset.full 1 |] in
+  let outcome =
+    Engine.run_faulty instance realization
+      ~faults:
+        (trace_of ~m:1
+           [ { Fault.machine = 0; time = 2.0; kind = Fault.Slowdown 2.0 } ])
+      ~placement ~order:(submission_order 1)
+  in
+  close "remaining work compressed" 3.0 outcome.Engine.makespan;
+  checki "still completes" 1 outcome.Engine.completed;
+  (* pp renders factors above 1 as a speedup. *)
+  let rendered =
+    Format.asprintf "%a" Fault.pp
+      { Fault.machine = 0; time = 2.0; kind = Fault.Slowdown 2.0 }
+  in
+  checkb "pp says speedup" true
+    (String.length rendered >= 7 && String.sub rendered 0 7 = "speedup")
+
+let rejects_bad_slowdown_factor () =
+  List.iter
+    (fun (name, factor) ->
+      checkb name true
+        (try
+           ignore
+             (trace_of ~m:1
+                [ { Fault.machine = 0; time = 0.0; kind = Fault.Slowdown factor } ]);
+           false
+         with Invalid_argument _ -> true))
+    [
+      ("zero factor", 0.0);
+      ("negative factor", -0.5);
+      ("nan factor", Float.nan);
+      ("infinite factor", Float.infinity);
+    ];
+  (* Any finite positive factor is accepted, above 1 included. *)
+  List.iter
+    (fun factor ->
+      ignore
+        (trace_of ~m:1
+           [ { Fault.machine = 0; time = 0.0; kind = Fault.Slowdown factor } ]))
+    [ 0.25; 1.0; 3.5 ]
+
+let revelation_trace () =
+  (* A revelation is one Slowdown per machine whose factor moves; exact
+     factor-1 entries are skipped so a degenerate revelation is the
+     empty trace (and replays bit-for-bit as no trace at all). *)
+  let t = Trace.revelation ~m:3 ~at:2.5 [| 0.5; 1.0; 2.0 |] in
+  let events = Trace.events t in
+  checki "factor-1 machines emit nothing" 2 (List.length events);
+  List.iter
+    (fun e ->
+      close "revealed at the given instant" 2.5 e.Fault.time;
+      checkb "is a slowdown" true
+        (match e.Fault.kind with Fault.Slowdown _ -> true | _ -> false))
+    events;
+  checkb "degenerate revelation is empty" true
+    (Trace.events (Trace.revelation ~m:2 ~at:1.0 [| 1.0; 1.0 |]) = []);
+  checkb "wrong machine count rejected" true
+    (try
+       ignore (Trace.revelation ~m:3 ~at:1.0 [| 1.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "bad factor rejected" true
+    (try
+       ignore (Trace.revelation ~m:1 ~at:1.0 [| 0.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let random_slowdowns_above_one () =
+  (* The generalized factor range: any finite positive band, straddling
+     1 included. *)
+  let rng = Rng.create ~seed:11 () in
+  let t = Trace.random_slowdowns rng ~m:6 ~p:1.0 ~horizon:4.0 ~factor:(0.5, 2.0) in
+  List.iter
+    (fun e ->
+      match e.Fault.kind with
+      | Fault.Slowdown f -> checkb "in band" true (f >= 0.5 && f <= 2.0)
+      | _ -> Alcotest.fail "not a slowdown")
+    (Trace.events t);
+  checkb "inverted range rejected" true
+    (try
+       ignore
+         (Trace.random_slowdowns rng ~m:2 ~p:0.5 ~horizon:1.0 ~factor:(2.0, 0.5));
+       false
+     with Invalid_argument _ -> true)
+
 let speculation_backup_wins () =
   (* One task, estimate 2 but actual 8, on two machines. Machine 0 is a
      congenital straggler (quarter speed from t=0): the primary copy
@@ -504,6 +598,13 @@ let () =
             outage_kills_and_restarts;
           Alcotest.test_case "slowdown stretches remaining work" `Quick
             slowdown_stretches_remaining;
+          Alcotest.test_case "speedup compresses remaining work" `Quick
+            speedup_compresses_remaining;
+          Alcotest.test_case "slowdown factor validation" `Quick
+            rejects_bad_slowdown_factor;
+          Alcotest.test_case "revelation trace" `Quick revelation_trace;
+          Alcotest.test_case "slowdown factors above one" `Quick
+            random_slowdowns_above_one;
           Alcotest.test_case "speculative backup beats the straggler" `Quick
             speculation_backup_wins;
           Alcotest.test_case "speculation needs a second data holder" `Quick

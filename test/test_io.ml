@@ -90,6 +90,73 @@ let failure_profile_round_trip () =
   checkb "old headers parse as no profile" true
     (Instance.failure (Io.instance_of_string legacy) = None)
 
+let speed_band_round_trip () =
+  let module Speed_band = Usched_model.Speed_band in
+  let b =
+    Speed_band.make
+      [| (0.5, 2.0); (1.0 /. 3.0, Float.pi); (1.0, 1.0) |]
+  in
+  let inst = Instance.with_speed_band (sample_instance ()) (Some b) in
+  let back = Io.instance_of_string (Io.instance_to_string inst) in
+  checkb "tasks preserved" true (same_instance inst back);
+  (match Instance.speed_band back with
+  | Some g -> checkb "band bit-exact" true (Speed_band.equal g b)
+  | None -> Alcotest.fail "speedband field lost");
+  (* Realization files carry the band too. *)
+  let r = Realization.exact inst in
+  (match
+     Instance.speed_band
+       (Realization.instance (Io.realization_of_string (Io.realization_to_string r)))
+   with
+  | Some g -> checkb "realization keeps the band" true (Speed_band.equal g b)
+  | None -> Alcotest.fail "speedband lost through realization io");
+  (* Pre-band files (no speedband field) still parse, with no band. *)
+  let legacy = "# usched-instance m=2 alpha=1.5\nid,est,size\n0,4,1\n" in
+  checkb "old headers parse as no band" true
+    (Instance.speed_band (Io.instance_of_string legacy) = None);
+  (* A band and a failure profile share the header. *)
+  let module Failure = Usched_model.Failure in
+  let f = Failure.make [| 0.05; 0.1; 0.0 |] in
+  let both = Instance.with_failure inst (Some f) in
+  let back = Io.instance_of_string (Io.instance_to_string both) in
+  checkb "failp and speedband coexist" true
+    ((match Instance.failure back with
+     | Some g -> Failure.equal g f
+     | None -> false)
+    &&
+    match Instance.speed_band back with
+    | Some g -> Speed_band.equal g b
+    | None -> false)
+
+let rejects_bad_speed_band () =
+  List.iter
+    (fun (name, band) ->
+      let bad =
+        Printf.sprintf
+          "# usched-instance m=2 alpha=1.5 speedband=%s\nid,est,size\n0,4,1\n"
+          band
+      in
+      checkb name true
+        (try
+           ignore (Io.instance_of_string bad);
+           false
+         with Failure _ -> true))
+    [
+      ("inverted band", "2:0.5,1");
+      ("zero speed", "0:1,1");
+      ("nan speed", "nan:1,1");
+      ("junk entry", "1,fast");
+    ];
+  (* A machine-count mismatch is caught by instance validation. *)
+  let mismatched =
+    "# usched-instance m=2 alpha=1.5 speedband=1,1,1\nid,est,size\n0,4,1\n"
+  in
+  checkb "wrong machine count" true
+    (try
+       ignore (Io.instance_of_string mismatched);
+       false
+     with Invalid_argument _ -> true)
+
 let rejects_bad_failure_profile () =
   List.iter
     (fun (name, failp) ->
@@ -199,12 +266,14 @@ let () =
           Alcotest.test_case "generated workloads" `Quick
             generated_workloads_round_trip;
           Alcotest.test_case "failure profile" `Quick failure_profile_round_trip;
+          Alcotest.test_case "speed band" `Quick speed_band_round_trip;
         ] );
       ( "validation",
         [
           Alcotest.test_case "wrong kind" `Quick rejects_wrong_kind;
           Alcotest.test_case "bad failure profile" `Quick
             rejects_bad_failure_profile;
+          Alcotest.test_case "bad speed band" `Quick rejects_bad_speed_band;
           Alcotest.test_case "malformed rows" `Quick rejects_malformed_rows;
           Alcotest.test_case "missing header" `Quick rejects_missing_header_field;
           Alcotest.test_case "inadmissible actuals" `Quick

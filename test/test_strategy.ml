@@ -351,6 +351,7 @@ let inline_build spec =
       Core.Uniform.lpt_no_restriction ~speeds
   | Strategy.Uniform { variant = Strategy.U_group k; speeds } ->
       Core.Uniform.ls_group ~speeds ~k
+  | Strategy.Speed_robust { k } -> Core.Speed_robust.algorithm ~k
 
 let golden_gen =
   QCheck.Gen.(

@@ -76,6 +76,53 @@ let lpt_adversarial_is_tight () =
     (Usched_core.Guarantees.lpt_offline ~m)
     (lpt /. opt)
 
+let sand_divides_total () =
+  let inst = gen (Workload.Sand { total = 12.0 }) ~n:16 ~m:4 in
+  Array.iter (fun e -> close "grain" 0.75 e) (Instance.ests inst);
+  close "grains sum to the total" 12.0
+    (Array.fold_left ( +. ) 0.0 (Instance.ests inst))
+
+let bricks_identical () =
+  let inst = gen (Workload.Bricks { size = 2.5 }) ~n:9 ~m:3 in
+  Array.iter (fun e -> close "brick" 2.5 e) (Instance.ests inst)
+
+let rocks_in_range () =
+  let inst = gen (Workload.Rocks { lo = 3.0; hi = 9.0 }) ~n:300 ~m:4 in
+  Array.iter
+    (fun e -> checkb "in [3,9)" true (e >= 3.0 && e < 9.0))
+    (Instance.ests inst)
+
+let sand_bricks_rocks_rejections () =
+  List.iter
+    (fun (name, spec) ->
+      checkb name true
+        (try
+           ignore (gen spec ~n:4 ~m:2);
+           false
+         with Invalid_argument _ -> true))
+    [
+      ("sand total 0", Workload.Sand { total = 0.0 });
+      ("sand total nan", Workload.Sand { total = Float.nan });
+      ("bricks size < 0", Workload.Bricks { size = -1.0 });
+      ("bricks size inf", Workload.Bricks { size = Float.infinity });
+      ("rocks inverted", Workload.Rocks { lo = 9.0; hi = 3.0 });
+    ];
+  checkb "sand needs a grain" true
+    (try
+       ignore (gen (Workload.Sand { total = 1.0 }) ~n:0 ~m:2);
+       false
+     with Invalid_argument _ -> true)
+
+let speed_robust_suite_generates () =
+  List.iter
+    (fun (name, spec) ->
+      let inst =
+        Workload.generate spec ~n:20 ~m:4 ~alpha (Rng.create ~seed:1 ())
+      in
+      checkb (name ^ " nonempty") true (Instance.n inst > 0);
+      Alcotest.(check string) "name matches" name (Workload.spec_name spec))
+    (Workload.speed_robust_suite ~m:4)
+
 let unit_sizes_default () =
   let inst = gen (Workload.Identical 1.0) ~n:5 ~m:2 in
   Array.iter (fun s -> close "unit" 1.0 s) (Instance.sizes inst)
@@ -175,6 +222,13 @@ let () =
             lpt_adversarial_structure;
           Alcotest.test_case "lpt adversarial tightness" `Quick
             lpt_adversarial_is_tight;
+          Alcotest.test_case "sand" `Quick sand_divides_total;
+          Alcotest.test_case "bricks" `Quick bricks_identical;
+          Alcotest.test_case "rocks" `Quick rocks_in_range;
+          Alcotest.test_case "sand/bricks/rocks rejections" `Quick
+            sand_bricks_rocks_rejections;
+          Alcotest.test_case "speed-robust suite" `Quick
+            speed_robust_suite_generates;
         ] );
       ( "sizes",
         [
