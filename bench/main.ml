@@ -3,10 +3,13 @@
 
    Run with: dune exec bench/main.exe
    Flags:
-     --quick       skip Part 1 and shorten the measurement quota (CI preset)
-     --json PATH   also write the Part-2 results as a machine-readable
-                   BENCH_*.json report (name -> ns/run + minor allocs/run),
-                   comparable against the committed BENCH_baseline.json *)
+     --quick          skip Part 1 and shorten the measurement quota (CI preset)
+     --json PATH      also write the Part-2 results as a machine-readable
+                      BENCH_*.json report (name -> ns/run + minor allocs/run),
+                      comparable against the committed BENCH_baseline.json
+     --filter SUBSTR  run only the bench rows whose name contains SUBSTR
+                      (case-sensitive; repeatable — a row matching any
+                      filter runs) *)
 
 open Bechamel
 module Experiments = Usched_experiments
@@ -280,6 +283,23 @@ let benches () =
       (Staged.stage (fun () -> ignore (Rng.float rng)));
     Test.make ~name:"workload/uniform n=1000"
       (Staged.stage (fun () -> ignore (bench_instance ~n:1000 ~m:210)));
+    (* Million-task scale rows (ROADMAP item 2): phase-1 + phase-2 at
+       n=10^6, m=10^4 must complete in seconds, and the multifit rewrite
+       must hold its allocation discipline at that size. These dominate
+       the bench wall-clock; [--filter scale/] runs them alone. *)
+    (let big = bench_instance ~n:1_000_000 ~m:10_000 in
+     let big_realization =
+       Realization.uniform_factor big (Rng.create ~seed:18 ())
+     in
+     let ls_group2_10k = strat ~m:10_000 Strategy.(group ~order:Ls ~k:2) in
+     Test.make ~name:"scale/two-phase ls-group k=2 (n=1e6,m=10k)"
+       (Staged.stage (fun () ->
+            ignore
+              (Core.Two_phase.makespan ls_group2_10k big big_realization))));
+    (let big_weights = Instance.ests (bench_instance ~n:1_000_000 ~m:10_000) in
+     Test.make ~name:"scale/multifit (n=1e6,m=10k)"
+       (Staged.stage (fun () ->
+            ignore (Core.Multifit.makespan ~m:10_000 big_weights))));
   ]
   @ List.map
       (fun policy ->
@@ -306,7 +326,12 @@ type bench_result = {
   minor_allocs_per_run : float;
 }
 
-let run_benches ~quota_s () =
+let contains ~sub s =
+  let ls = String.length s and lu = String.length sub in
+  let rec go i = i + lu <= ls && (String.sub s i lu = sub || go (i + 1)) in
+  lu = 0 || go 0
+
+let run_benches ~quota_s ~filters () =
   Printf.printf "\n%s\n== Bechamel micro-benchmarks (ns per run)\n%s\n"
     (String.make 72 '=') (String.make 72 '=');
   let ols =
@@ -316,7 +341,19 @@ let run_benches ~quota_s () =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota_s) ~stabilize:true ()
   in
-  let grouped = Test.make_grouped ~name:"usched" ~fmt:"%s %s" (benches ()) in
+  let selected =
+    match filters with
+    | [] -> benches ()
+    | _ ->
+        List.filter
+          (fun t ->
+            List.exists (fun sub -> contains ~sub (Test.name t)) filters)
+          (benches ())
+  in
+  if selected = [] then (
+    Printf.printf "  (no bench row matches the given --filter)\n";
+    exit 1);
+  let grouped = Test.make_grouped ~name:"usched" ~fmt:"%s %s" selected in
   let raw = Benchmark.all cfg instances grouped in
   let estimates_of instance =
     let per_test = Analyze.all ols instance raw in
@@ -378,6 +415,7 @@ let write_json_report ~path ~quota_s results =
 let () =
   let json_path = ref None in
   let quick = ref false in
+  let filters = ref [] in
   Arg.parse
     [
       ( "--json",
@@ -386,12 +424,16 @@ let () =
       ( "--quick",
         Arg.Set quick,
         "  skip the paper-artifact part and shorten the quota (CI preset)" );
+      ( "--filter",
+        Arg.String (fun s -> filters := s :: !filters),
+        "SUBSTR  run only bench rows whose name contains SUBSTR (repeatable)"
+      );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [--quick] [--json PATH]";
-  if not !quick then run_experiments ();
+    "bench [--quick] [--json PATH] [--filter SUBSTR]";
+  if (not !quick) && !filters = [] then run_experiments ();
   let quota_s = if !quick then 0.08 else 0.5 in
-  let results = run_benches ~quota_s () in
+  let results = run_benches ~quota_s ~filters:!filters () in
   (match !json_path with
   | Some path -> write_json_report ~path ~quota_s results
   | None -> ());

@@ -585,8 +585,9 @@ let solve_cmd =
     | Some target ->
         let profile = Model.Instance.failure_or_default instance in
         let sv =
-          Experiments.Reliability_sweep.monte_carlo_survival ~seed ~profile
-            placement
+          Experiments.Reliability_sweep.monte_carlo_survival
+            ~domains:(Usched_parallel.Pool.recommended_domains ())
+            ~seed ~profile placement
         in
         let bound = Core.Reliability.survival_bound instance placement in
         let status =
@@ -643,7 +644,9 @@ let solve_cmd =
         in
         let adv_speeds, ratio_adv =
           Core.Speed_adversary.worst_case ~run:ratio_at
-            ~candidates:(Array.to_list draws) instance placement band
+            ~candidates:(Array.to_list draws)
+            ~domains:(Usched_parallel.Pool.recommended_domains ())
+            instance placement band
         in
         let makespan_adv = makespan_at adv_speeds in
         let mc_ratios = Array.map ratio_at draws in

@@ -1,0 +1,40 @@
+(* In-place descending heapsort specialized to float arrays.
+
+   [Array.sort] with a [fun a b -> Float.compare b a] comparator boxes
+   both floats at every comparison (the closure call is a generic
+   two-argument application); on the million-task instances phase 1
+   sorts, that is tens of megabytes of minor garbage per sort. The
+   specialized sift loop below compares unboxed array reads directly
+   and allocates nothing.
+
+   A *min*-heap extracting to the back of the array yields descending
+   order. [Float.compare] (not [<]) keeps the order total: NaNs sort
+   below every number, exactly where the generic comparator put them,
+   so callers see bit-for-bit the array [Array.sort] would have
+   produced (equal floats are indistinguishable, so instability is
+   unobservable). *)
+
+let rec sift_down a size i =
+  let l = (2 * i) + 1 in
+  if l < size then begin
+    let r = l + 1 in
+    let c = if r < size && Float.compare a.(r) a.(l) < 0 then r else l in
+    if Float.compare a.(c) a.(i) < 0 then begin
+      let t = a.(i) in
+      a.(i) <- a.(c);
+      a.(c) <- t;
+      sift_down a size c
+    end
+  end
+
+let descending a =
+  let n = Array.length a in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down a n i
+  done;
+  for last = n - 1 downto 1 do
+    let t = a.(0) in
+    a.(0) <- a.(last);
+    a.(last) <- t;
+    sift_down a last 0
+  done

@@ -1,0 +1,11 @@
+(** Allocation-free in-place sorting of float arrays.
+
+    The phase-1 algorithms sort task weights on every call; the generic
+    [Array.sort] comparator boxes two floats per comparison. This
+    specialized heapsort compares unboxed array reads and allocates
+    nothing, at the same O(n log n) cost. *)
+
+val descending : float array -> unit
+(** Sort in place into non-increasing order under [Float.compare]'s
+    total order (NaNs last). Observationally identical to
+    [Array.sort (fun a b -> Float.compare b a)]. *)

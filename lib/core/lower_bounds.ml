@@ -1,14 +1,26 @@
-let check m p =
+(* for-loops throughout, not [Array.iter]/[fold_left]: the generic
+   combinators box every float element they hand to the closure, and
+   these run over million-task arrays inside the multifit bisection. *)
+let check m (p : float array) =
   if m < 1 then invalid_arg "Lower_bounds: m must be >= 1";
-  Array.iter
-    (fun x -> if x < 0.0 then invalid_arg "Lower_bounds: negative time")
-    p
+  for k = 0 to Array.length p - 1 do
+    if p.(k) < 0.0 then invalid_arg "Lower_bounds: negative time"
+  done
 
-let average ~m p =
+let average ~m (p : float array) =
   check m p;
-  Array.fold_left ( +. ) 0.0 p /. float_of_int m
+  let sum = Array.make 1 0.0 in
+  for k = 0 to Array.length p - 1 do
+    sum.(0) <- sum.(0) +. p.(k)
+  done;
+  sum.(0) /. float_of_int m
 
-let largest p = Array.fold_left Float.max 0.0 p
+let largest (p : float array) =
+  let best = Array.make 1 0.0 in
+  for k = 0 to Array.length p - 1 do
+    if p.(k) > best.(0) then best.(0) <- p.(k)
+  done;
+  best.(0)
 
 let packing ~m p =
   check m p;
@@ -16,7 +28,7 @@ let packing ~m p =
   if n <= m then 0.0
   else begin
     let sorted = Array.copy p in
-    Array.sort (fun a b -> Float.compare b a) sorted;
+    Fsort.descending sorted;
     (* prefix.(i) = sum of the i largest tasks. *)
     let prefix = Array.make (n + 1) 0.0 in
     for i = 0 to n - 1 do

@@ -1,6 +1,7 @@
 module Instance = Usched_model.Instance
 module Realization = Usched_model.Realization
 module Schedule = Usched_desim.Schedule
+module Pool = Usched_parallel.Pool
 
 type t = Realization.t list
 
@@ -15,16 +16,17 @@ type evaluation = {
   per_scenario : float array;
 }
 
-let evaluate algorithm instance scenarios =
+let evaluate ?(domains = 1) algorithm instance scenarios =
   if scenarios = [] then invalid_arg "Scenarios.evaluate: empty scenario set";
   let placement = algorithm.Two_phase.phase1 instance in
+  (* Phase 2 replays are independent reads of the committed placement,
+     so scenarios shard across domains; [per_scenario.(i)] is the same
+     value at any domain count. *)
+  let scen = Array.of_list scenarios in
   let per_scenario =
-    Array.of_list
-      (List.map
-         (fun realization ->
-           Schedule.makespan
-             (algorithm.Two_phase.phase2 instance placement realization))
-         scenarios)
+    Pool.parallel_init ~domains (Array.length scen) (fun i ->
+        Schedule.makespan
+          (algorithm.Two_phase.phase2 instance placement scen.(i)))
   in
   let worst = Array.fold_left Float.max neg_infinity per_scenario in
   let mean =
@@ -40,16 +42,16 @@ let score criterion evaluation =
   | Minimize_worst -> evaluation.worst
   | Minimize_mean -> evaluation.mean
 
-let select criterion ~portfolio instance scenarios =
+let select ?domains criterion ~portfolio instance scenarios =
   match portfolio with
   | [] -> invalid_arg "Scenarios.select: empty portfolio"
   | first :: rest ->
       List.fold_left
         (fun best algorithm ->
-          let candidate = evaluate algorithm instance scenarios in
+          let candidate = evaluate ?domains algorithm instance scenarios in
           if score criterion candidate < score criterion best then candidate
           else best)
-        (evaluate first instance scenarios)
+        (evaluate ?domains first instance scenarios)
         rest
 
 let default_portfolio ~m =

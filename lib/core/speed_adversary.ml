@@ -1,5 +1,6 @@
 module Instance = Usched_model.Instance
 module Speed_band = Usched_model.Speed_band
+module Pool = Usched_parallel.Pool
 
 let critical_load instance placement =
   let m = Instance.m instance and n = Instance.n instance in
@@ -18,17 +19,25 @@ let critical_load instance placement =
 
 let better ((_, mk_a) as a) ((_, mk_b) as b) = if mk_b > mk_a then b else a
 
-let exhaustive ~run band =
+let exhaustive ?(domains = 1) ~run band =
   let m = Speed_band.m band in
   if m > 16 then invalid_arg "Speed_adversary.exhaustive: too many machines";
+  let corners = 1 lsl m in
+  (* Corners shard across domains; the sequential fold below visits them
+     in mask order, so the reported worst corner — [better] keeps the
+     first maximum — is bit-identical at any domain count. *)
+  let measured =
+    Pool.parallel_init ~domains corners (fun mask ->
+        let speeds =
+          Array.init m (fun i ->
+              if mask land (1 lsl i) <> 0 then Speed_band.lo band i
+              else Speed_band.hi band i)
+        in
+        (speeds, run speeds))
+  in
   let best = ref ([||], neg_infinity) in
-  for mask = 0 to (1 lsl m) - 1 do
-    let speeds =
-      Array.init m (fun i ->
-          if mask land (1 lsl i) <> 0 then Speed_band.lo band i
-          else Speed_band.hi band i)
-    in
-    best := better !best (speeds, run speeds)
+  for mask = 0 to corners - 1 do
+    best := better !best measured.(mask)
   done;
   !best
 
@@ -56,8 +65,8 @@ let greedy ?(sweeps = 2) ~run ~order band =
   done;
   (speeds, !best)
 
-let worst_case ?(exact_limit = 10) ?(candidates = []) ~run instance placement
-    band =
+let worst_case ?(exact_limit = 10) ?(candidates = []) ?domains ~run instance
+    placement band =
   let m = Speed_band.m band in
   if Instance.m instance <> m then
     invalid_arg "Speed_adversary.worst_case: machine counts disagree";
@@ -72,7 +81,7 @@ let worst_case ?(exact_limit = 10) ?(candidates = []) ~run instance placement
       better acc (Array.copy speeds, run speeds)
     in
     let searched =
-      if m <= exact_limit then exhaustive ~run band
+      if m <= exact_limit then exhaustive ?domains ~run band
       else begin
         let crit = critical_load instance placement in
         let order = Array.init m (fun i -> i) in

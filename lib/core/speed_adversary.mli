@@ -26,10 +26,17 @@ val critical_load : Instance.t -> Placement.t -> float array
     priority. *)
 
 val exhaustive :
-  run:(float array -> float) -> Speed_band.t -> float array * float
+  ?domains:int ->
+  run:(float array -> float) ->
+  Speed_band.t ->
+  float array * float
 (** The exact worst corner: every machine at [lo] or [hi], all [2^m]
     combinations, returning the speeds and makespan of the worst.
-    Raises [Invalid_argument] for [m > 16]. *)
+    [domains] (default 1) shards the corner evaluations over that many
+    domains; [run] must then be safe to call concurrently on disjoint
+    speed arrays (the engine replays used in practice are). The result
+    is bit-identical at any domain count. Raises [Invalid_argument]
+    for [m > 16]. *)
 
 val greedy :
   ?sweeps:int ->
@@ -45,13 +52,15 @@ val greedy :
 val worst_case :
   ?exact_limit:int ->
   ?candidates:float array list ->
+  ?domains:int ->
   run:(float array -> float) ->
   Instance.t ->
   Placement.t ->
   Speed_band.t ->
   float array * float
 (** The composite adversary: exhaustive corners when
-    [m <= exact_limit] (default 10), the greedy descent in decreasing
+    [m <= exact_limit] (default 10, parallelized over [domains] as in
+    {!exhaustive}), the greedy descent in decreasing
     {!critical_load} order otherwise, plus the all-slow, all-fast and
     midpoint revelations and every extra [candidates] entry (e.g. the
     Monte-Carlo draws of a paired experiment — folding them in makes the

@@ -40,16 +40,19 @@ type view = {
   pos_of : int array;
   dispatchable : bool array;
   holders : Bitset.t array;
-  est : int -> float;
-  speed : int -> float;
+  est : float array;
+  speed : float array;
   load : float array;
-  available : time:float -> int -> bool;
+  now : float array;
+  available : int -> bool;
+  holders_stable : bool;
 }
 
 type t = {
   spec : spec;
-  select : time:float -> machine:int -> int option;
+  select_m : machine:int -> int;
   notify : task:int -> unit;
+  now : float array;
 }
 
 let spec t = t.spec
@@ -59,30 +62,166 @@ let policy_name t = name t.spec
    per-machine cursor over the priority order. Every position skipped by
    the scan is unavailable to this machine at scan time; positions only
    become available again through [notify] (a killed task returning to
-   the pool, or a re-replication growing a holder set), which rewinds
-   every cursor that moved past them. Without such notifications the
-   cursors are monotone and the total scan is O(m*n). *)
-let make_list_priority v =
+   the pool, a streaming arrival, or a re-replication growing a holder
+   set), which rewinds every cursor that moved past them. Without such
+   notifications the cursors are monotone and the total scan is
+   O(m*n). *)
+(* Allocation discipline (applies to every scan in this file): inner
+   loops carry their state in integer parameters instead of refs and
+   live at module level instead of capturing a fresh closure per call —
+   a [let rec] inside [select] would allocate a closure on every
+   dispatch decision. Selection returns a plain int (-1 = nothing) so
+   no [Some j] is boxed on the hot path. *)
+let rec lp_scan v cursor i pos =
+  if pos >= v.n then -1
+  else begin
+    cursor.(i) <- pos + 1;
+    let j = v.order.(pos) in
+    if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then j
+    else lp_scan v cursor i (pos + 1)
+  end
+
+let make_list_priority_plain v =
   let cursor = Array.make v.m 0 in
-  let select ~time:_ ~machine:i =
-    let rec scan pos =
-      if pos >= v.n then None
-      else begin
-        cursor.(i) <- pos + 1;
-        let j = v.order.(pos) in
-        if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then Some j
-        else scan (pos + 1)
-      end
-    in
-    scan cursor.(i)
-  in
+  let select_m ~machine:i = lp_scan v cursor i cursor.(i) in
   let notify ~task =
     let p = v.pos_of.(task) in
     for i = 0 to v.m - 1 do
       if cursor.(i) > p then cursor.(i) <- p
     done
   in
-  { spec = List_priority; select; notify }
+  { spec = List_priority; select_m; notify; now = v.now }
+
+(* Bucketed list-priority for large instances: tasks sharing a holder
+   set (physically — group placements share the bitset across the
+   group's tasks) form a bucket whose members are listed in priority
+   order, with ONE cursor per bucket instead of one per machine. A
+   machine scans only the few buckets whose holder set contains it and
+   takes the best bucket head — O(#buckets) per decision instead of
+   O(n), which is what makes n=10⁶ dispatch feasible (the per-machine
+   cursors would re-scan millions of already-dispatched positions after
+   every rewind).
+
+   Equivalence with the per-machine cursors: both return the minimum
+   global position over dispatchable tasks holding machine [i].
+   Advancing a bucket cursor past a non-dispatchable member is a global
+   skip, valid because eligibility ([dispatchable] && static holder
+   membership) does not depend on the asking machine; members turn
+   dispatchable again only through [notify], which rewinds the bucket
+   cursor just as the plain variant rewinds machine cursors. Requires
+   [holders_stable] (sets never grow mid-run) — the engine clears it
+   when online re-replication is active, and [make] falls back to the
+   plain variant then, or when there are more than [max_lp_buckets]
+   distinct sets (physical identity only: equal-but-distinct sets land
+   in separate buckets, which is still correct — the head minimum just
+   ranges over more buckets). *)
+let max_lp_buckets = 64
+
+type lp_state = {
+  lp_pos_of : int array;
+  lp_dispatchable : bool array;
+  members : int array array;  (* bucket -> member tasks, priority order *)
+  cursor : int array;  (* bucket -> index of its next candidate *)
+  idx_in : int array;  (* task -> its index in members.(bucket) *)
+  task_bucket : int array;  (* task -> bucket *)
+  machine_buckets : int array array;  (* machine -> buckets holding it *)
+}
+
+let rec lpb_find reps count (set : Bitset.t) k =
+  if k >= count then -1 else if reps.(k) == set then k else lpb_find reps count set (k + 1)
+
+(* Advance bucket [b]'s cursor to its first dispatchable member; return
+   that member or -1 when the bucket is exhausted. *)
+let rec lpb_adv s b =
+  let ms = s.members.(b) in
+  let c = s.cursor.(b) in
+  if c >= Array.length ms then -1
+  else
+    let j = ms.(c) in
+    if s.lp_dispatchable.(j) then j
+    else begin
+      s.cursor.(b) <- c + 1;
+      lpb_adv s b
+    end
+
+let rec lpb_best s bs k best best_pos =
+  if k >= Array.length bs then best
+  else
+    let j = lpb_adv s bs.(k) in
+    if j >= 0 && s.lp_pos_of.(j) < best_pos then
+      lpb_best s bs (k + 1) j s.lp_pos_of.(j)
+    else lpb_best s bs (k + 1) best best_pos
+
+let make_list_priority_bucketed v task_bucket buckets =
+  let sizes = Array.make buckets 0 in
+  Array.iter (fun b -> sizes.(b) <- sizes.(b) + 1) task_bucket;
+  let members = Array.init buckets (fun b -> Array.make sizes.(b) 0) in
+  let idx_in = Array.make v.n 0 in
+  let fill = Array.make buckets 0 in
+  (* Walk the priority order so each bucket's members come out sorted by
+     position. *)
+  Array.iter
+    (fun j ->
+      let b = task_bucket.(j) in
+      members.(b).(fill.(b)) <- j;
+      idx_in.(j) <- fill.(b);
+      fill.(b) <- fill.(b) + 1)
+    v.order;
+  let machine_lists = Array.make v.m [] in
+  for j = v.n - 1 downto 0 do
+    (* The first member of each bucket visits its holder set once. *)
+    if idx_in.(j) = 0 then
+      Bitset.iter
+        (fun i -> machine_lists.(i) <- task_bucket.(j) :: machine_lists.(i))
+        v.holders.(j)
+  done;
+  let machine_buckets = Array.map Array.of_list machine_lists in
+  let s =
+    {
+      lp_pos_of = v.pos_of;
+      lp_dispatchable = v.dispatchable;
+      members;
+      cursor = Array.make buckets 0;
+      idx_in;
+      task_bucket;
+      machine_buckets;
+    }
+  in
+  let select_m ~machine:i = lpb_best s s.machine_buckets.(i) 0 (-1) max_int in
+  let notify ~task =
+    let b = s.task_bucket.(task) in
+    let ix = s.idx_in.(task) in
+    if s.cursor.(b) > ix then s.cursor.(b) <- ix
+  in
+  { spec = List_priority; select_m; notify; now = v.now }
+
+let make_list_priority v =
+  if not v.holders_stable then make_list_priority_plain v
+  else begin
+    (* Group by physical holder-set identity, capped. *)
+    let reps = Array.make max_lp_buckets (Bitset.create 0) in
+    let task_bucket = Array.make v.n (-1) in
+    let count = ref 0 in
+    let overflow = ref false in
+    (try
+       for j = 0 to v.n - 1 do
+         let set = v.holders.(j) in
+         let b = lpb_find reps !count set 0 in
+         let b =
+           if b >= 0 then b
+           else if !count = max_lp_buckets then raise Exit
+           else begin
+             reps.(!count) <- set;
+             incr count;
+             !count - 1
+           end
+         in
+         task_bucket.(j) <- b
+       done
+     with Exit -> overflow := true);
+    if !overflow || !count = 0 then make_list_priority_plain v
+    else make_list_priority_bucketed v task_bucket !count
+  end
 
 (* Locality/load-aware rule: the idle machine takes the highest-priority
    eligible task for which it is a least-loaded available holder — no
@@ -91,55 +230,50 @@ let make_list_priority v =
    replica holder could take, and grabs first the tasks it is the best
    (or only) home for. Falls back to the highest-priority eligible task
    when no task prefers this machine, so the rule stays
-   work-conserving. *)
-(* Allocation discipline: these loops are the inner loop of every
-   faulty-engine replay, so they carry their state in integer parameters
-   instead of refs, and live at module level instead of capturing a
-   fresh closure per call. [ll_better] is [Bitset.iter] over the holder
-   set unrolled to an index scan (the two are defined to visit the same
+   work-conserving. [ll_better] is [Bitset.iter] over the holder set
+   unrolled to an index scan (the two are defined to visit the same
    indices), with the original early exit kept as short-circuiting. *)
-let rec ll_better v ~time j i k =
+let rec ll_better v j i k =
   k < v.m
   && ((k <> i
       && Bitset.mem v.holders.(j) k
-      && v.available ~time k
+      && v.available k
       && v.load.(k) < v.load.(i))
-     || ll_better v ~time j i (k + 1))
+     || ll_better v j i (k + 1))
 
-let rec ll_scan v ~time i ~fallback pos =
-  if pos >= v.n then if fallback >= 0 then Some fallback else None
+let rec ll_scan v i ~fallback pos =
+  if pos >= v.n then fallback
   else
     let j = v.order.(pos) in
     if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then
       let fallback = if fallback < 0 then j else fallback in
-      if ll_better v ~time j i 0 then ll_scan v ~time i ~fallback (pos + 1)
-      else Some j
-    else ll_scan v ~time i ~fallback (pos + 1)
+      if ll_better v j i 0 then ll_scan v i ~fallback (pos + 1) else j
+    else ll_scan v i ~fallback (pos + 1)
 
 let make_least_loaded v =
-  let select ~time ~machine:i = ll_scan v ~time i ~fallback:(-1) 0 in
-  { spec = Least_loaded_holder; select; notify = (fun ~task:_ -> ()) }
+  let select_m ~machine:i = ll_scan v i ~fallback:(-1) 0 in
+  { spec = Least_loaded_holder; select_m; notify = (fun ~task:_ -> ()); now = v.now }
 
 (* Shortest-estimated-processing-time on this machine: take the eligible
    task minimizing est(j) / speed(i) — the copy this machine can finish
    earliest, by estimates only (the scheduler is semi-clairvoyant and
    never sees actuals). Ties resolve to the priority order. *)
 let make_earliest_completion v =
-  let select ~time:_ ~machine:i =
+  let select_m ~machine:i =
     let best = ref (-1) and best_cost = ref infinity in
     for pos = 0 to v.n - 1 do
       let j = v.order.(pos) in
       if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then begin
-        let cost = v.est j /. v.speed i in
+        let cost = v.est.(j) /. v.speed.(i) in
         if cost < !best_cost then begin
           best := j;
           best_cost := cost
         end
       end
     done;
-    if !best >= 0 then Some !best else None
+    !best
   in
-  { spec = Earliest_estimated_completion; select; notify = (fun ~task:_ -> ()) }
+  { spec = Earliest_estimated_completion; select_m; notify = (fun ~task:_ -> ()); now = v.now }
 
 (* List priority with seeded random resolution of genuine priority ties:
    among the eligible tasks whose estimate equals the highest-priority
@@ -149,45 +283,54 @@ let make_earliest_completion v =
    the seed (one RNG draw per tied decision). *)
 let make_random_tiebreak seed v =
   let rng = Rng.create ~seed () in
-  let candidates = Array.make v.n 0 in
-  let select ~time:_ ~machine:i =
+  let candidates = Array.make (Stdlib.max 1 v.n) 0 in
+  let select_m ~machine:i =
     let rec first pos =
-      if pos >= v.n then None
+      if pos >= v.n then -1
       else
         let j = v.order.(pos) in
-        if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then Some (pos, j)
+        if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then pos
         else first (pos + 1)
     in
-    match first 0 with
-    | None -> None
-    | Some (pos0, j0) ->
-        let e0 = v.est j0 in
-        let count = ref 0 in
-        for pos = pos0 to v.n - 1 do
-          let j = v.order.(pos) in
-          if v.dispatchable.(j) && Bitset.mem v.holders.(j) i && v.est j = e0
-          then begin
-            candidates.(!count) <- j;
-            incr count
-          end
-        done;
-        if !count <= 1 then Some j0
-        else Some candidates.(Rng.int rng !count)
+    let pos0 = first 0 in
+    if pos0 < 0 then -1
+    else begin
+      let j0 = v.order.(pos0) in
+      let e0 = v.est.(j0) in
+      let count = ref 0 in
+      for pos = pos0 to v.n - 1 do
+        let j = v.order.(pos) in
+        if v.dispatchable.(j) && Bitset.mem v.holders.(j) i && v.est.(j) = e0
+        then begin
+          candidates.(!count) <- j;
+          incr count
+        end
+      done;
+      if !count <= 1 then j0 else candidates.(Rng.int rng !count)
+    end
   in
-  { spec = Random_tiebreak seed; select; notify = (fun ~task:_ -> ()) }
+  { spec = Random_tiebreak seed; select_m; notify = (fun ~task:_ -> ()); now = v.now }
 
 let make spec v =
-  (match v.n with
-  | n when n <> Array.length v.order || n <> Array.length v.pos_of ->
-      invalid_arg "Dispatch.make: order/pos_of length differs from task count"
-  | _ -> ());
+  if v.n <> Array.length v.order || v.n <> Array.length v.pos_of then
+    invalid_arg "Dispatch.make: order/pos_of length differs from task count";
+  if v.n <> Array.length v.est then
+    invalid_arg "Dispatch.make: est length differs from task count";
+  if v.m <> Array.length v.speed then
+    invalid_arg "Dispatch.make: speed length differs from machine count";
+  if Array.length v.now <> 1 then invalid_arg "Dispatch.make: now must have length 1";
   match spec with
   | List_priority -> make_list_priority v
   | Least_loaded_holder -> make_least_loaded v
   | Earliest_estimated_completion -> make_earliest_completion v
   | Random_tiebreak seed -> make_random_tiebreak seed v
 
-let select t ~time ~machine = t.select ~time ~machine
+let select_machine t ~machine = t.select_m ~machine
+
+let select t ~time ~machine =
+  t.now.(0) <- time;
+  match t.select_m ~machine with -1 -> None | j -> Some j
+
 let notify_available t ~task = t.notify ~task
 
 (* THE re-dispatch determinism contract, in exactly one place: machines

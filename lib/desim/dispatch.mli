@@ -22,14 +22,21 @@
     policy value must not be shared between concurrent runs. Identical
     inputs give identical decisions — every policy is deterministic,
     including [Random_tiebreak], whose randomness is a pure function of
-    its seed. *)
+    its seed.
+
+    Selection is allocation-free for the default and least-loaded
+    policies: the raw {!select_machine} returns a plain int ([-1] = no
+    eligible task) and reads the simulation clock from the shared
+    [now] cell instead of taking a (boxed) float argument. *)
 
 module Bitset = Usched_model.Bitset
 
 type spec =
   | List_priority
       (** The paper's default: the highest-priority eligible task, via
-          per-machine cursors over the order (O(m·n) amortized). This is
+          cursors over the order — per-machine cursors on small or
+          re-replicating instances, one cursor per holder-set bucket on
+          large stable ones (O(#distinct sets) per decision). This is
           bit-for-bit the rule the pre-refactor engine hard-coded. *)
   | Least_loaded_holder
       (** The highest-priority eligible task for which this machine is a
@@ -70,7 +77,10 @@ val builtin : spec list
     live views owned by the engine: [dispatchable.(j)] is whether task
     [j] is in the pool right now, [holders.(j)] the machines whose disk
     currently has [j]'s data, [load.(i)] the estimate-units dispatched
-    to machine [i] so far. *)
+    to machine [i] so far. [now] is the shared one-cell simulation
+    clock — the engine stores the current time there before asking for
+    a decision, and [available] reads it, so no float crosses a call
+    boundary on the hot path. *)
 type view = {
   n : int;
   m : int;
@@ -78,18 +88,22 @@ type view = {
   pos_of : int array;  (** inverse permutation of [order] *)
   dispatchable : bool array;
   holders : Bitset.t array;
-  est : int -> float;
-  speed : int -> float;  (** configured base speed (not slowdowns) *)
+  est : float array;  (** per-task estimate *)
+  speed : float array;  (** configured base speed (not slowdowns) *)
   load : float array;
-  available : time:float -> int -> bool;
+  now : float array;  (** length-1 clock cell, engine-owned *)
+  available : int -> bool;  (** at time [now.(0)] *)
+  holders_stable : bool;
+      (** no holder set will gain members mid-run (false under online
+          re-replication) — licenses the bucketed default policy *)
 }
 
 type t
 
 val make : spec -> view -> t
 (** Instantiate the policy with fresh per-run state over the given
-    view. Raises [Invalid_argument] when [order]/[pos_of] disagree with
-    [n]. *)
+    view. Raises [Invalid_argument] when [order]/[pos_of]/[est]/[speed]
+    disagree with [n]/[m] or [now] is not length 1. *)
 
 val spec : t -> spec
 val policy_name : t -> string
@@ -97,13 +111,19 @@ val policy_name : t -> string
 val select : t -> time:float -> machine:int -> int option
 (** The task idle machine [machine] should start now, or [None] when it
     holds no eligible task. Work-conserving: [None] implies no
-    dispatchable task has [machine] among its holders. *)
+    dispatchable task has [machine] among its holders. Stores [time]
+    into the view's [now] cell, then defers to {!select_machine}. *)
+
+val select_machine : t -> machine:int -> int
+(** Raw allocation-free selection: the chosen task, or [-1] for none.
+    The caller must have stored the current time in the view's [now]
+    cell. The engine's hot loops call this instead of {!select}. *)
 
 val notify_available : t -> task:int -> unit
 (** The task (re-)entered the pool or grew its holder set — a kill
-    returned it, or a re-replication landed. Stateful policies must
-    reconsider it ([List_priority] rewinds its cursors); stateless scans
-    ignore the notification. *)
+    returned it, a streaming arrival, or a re-replication landed.
+    Stateful policies must reconsider it ([List_priority] rewinds its
+    cursors); stateless scans ignore the notification. *)
 
 val redispatch_order : t -> int list -> int list
 (** The order in which machines freed at the same instant look for new

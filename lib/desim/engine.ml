@@ -1,17 +1,26 @@
 (* The phase-2 engine, as a thin composition of the desim layers:
 
    - [Machine_state]: per-machine clocks, speeds, up/down state, the
-     in-flight copy, and the recovery bookkeeping (checkpoint store,
-     orphaned copies, detection and backoff timers);
-   - [Event_core]: the typed priority-queue event loop and the
-     simultaneous-event ordering contract;
+     in-flight copy, and the recovery bookkeeping — flat int/float
+     lanes the engine destructures into locals and indexes directly;
+   - [Event_core] / [Event_heap]: the typed event loop (struct-of-arrays
+     4-ary heap) and the simultaneous-event ordering contract;
    - [Dispatch]: the pluggable policy deciding which eligible task an
      idle machine starts, and the re-dispatch order of machines freed
      at the same instant.
 
    What remains here is the physics: what a crash, outage, slowdown,
    completion, transfer, checkpoint, or speculation event does to the
-   shared task state, and the observability taps around it. *)
+   shared task state, and the observability taps around it.
+
+   The hot loops are written to allocate nothing on the minor heap when
+   metrics and tracing are off: event payload data rides the heap's
+   integer [aux] lanes instead of boxed constructor arguments, the
+   simulation clock lives in a shared one-cell float array read by the
+   policy instead of crossing call boundaries as a (boxed) float, trace
+   events are constructed only under an [if tr] guard, and per-task /
+   per-machine state is flat arrays whose full-length allocations land
+   in the major heap. *)
 
 module Bitset = Usched_model.Bitset
 module Instance = Usched_model.Instance
@@ -87,10 +96,20 @@ let inverse_order ~n order =
   pos_of
 
 let run_internal ?speeds ~dispatch ~metrics instance realization ~placement
-    ~order ~emit =
+    ~order ~tr ~emit =
   check_inputs ?speeds ~name:"Engine.run" instance ~placement ~order;
   let n = Instance.n instance and m = Instance.m instance in
-  let speed_of i = match speeds with None -> 1.0 | Some s -> s.(i) in
+  let base =
+    match speeds with None -> Array.make m 1.0 | Some s -> Array.copy s
+  in
+  (* Bulk copies land in the major heap; per-element [Array.init]
+     through a closure would box every returned float. The [est] fill
+     inlines to unboxed loads. *)
+  let actuals = Realization.actuals realization in
+  let ests = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    ests.(j) <- Instance.est instance j
+  done;
   (* Observability. Every update is guarded (a disabled registry hands
      out no-op instruments), and nothing below reads a metric back, so
      the schedule is bit-for-bit identical with metrics on or off. *)
@@ -105,11 +124,12 @@ let run_internal ?speeds ~dispatch ~metrics instance realization ~placement
      task leaves the pool exactly once, so eligibility never grows and
      the default policy's cursors are monotone. *)
   let dispatchable = Array.make n true in
-  let entries =
-    Array.make n { Schedule.machine = 0; start = 0.0; finish = 0.0 }
-  in
+  let e_machine = Array.make n 0 in
+  let e_start = Array.make n 0.0 in
+  let e_finish = Array.make n 0.0 in
   let remaining = ref n in
   let loads = Array.make m 0.0 in
+  let now = Array.make 1 0.0 in
   let policy =
     Dispatch.make dispatch
       {
@@ -119,36 +139,51 @@ let run_internal ?speeds ~dispatch ~metrics instance realization ~placement
         pos_of = inverse_order ~n order;
         dispatchable;
         holders = placement;
-        est = Instance.est instance;
-        speed = speed_of;
+        est = ests;
+        speed = base;
         load = loads;
-        available = (fun ~time:_ _ -> true);
+        now;
+        available = (fun _ -> true);
+        holders_stable = true;
       }
   in
-  let queue = Event_core.create () in
+  let queue = Event_core.create ~dummy:() () in
   for i = 0 to m - 1 do
     Event_core.push queue ~time:0.0 ~machine:i ~cls:Event_core.cls_decision ()
   done;
   if live then
     Metrics.record_max mg_queue (float_of_int (Event_core.length queue));
-  Event_core.drain queue ~handle:(fun ~time ~machine:i () ->
-      Metrics.incr mc_events;
-      match Dispatch.select policy ~time ~machine:i with
-      | None -> () (* machine i retires: nothing it holds remains *)
-      | Some j ->
-          let finish = time +. (Realization.actual realization j /. speed_of i) in
-          entries.(j) <- { Schedule.machine = i; start = time; finish };
-          dispatchable.(j) <- false;
-          loads.(i) <- loads.(i) +. Instance.est instance j;
-          remaining := !remaining - 1;
-          emit (Started { time; machine = i; task = j });
-          emit (Completed { time = finish; machine = i; task = j });
-          Metrics.incr mc_dispatches;
-          if live then busy.(i) <- busy.(i) +. (finish -. time);
-          Event_core.push queue ~time:finish ~machine:i
-            ~cls:Event_core.cls_decision ();
-          if live then
-            Metrics.record_max mg_queue (float_of_int (Event_core.length queue)));
+  while not (Event_heap.is_empty queue) do
+    let time = queue.Event_heap.times.(0) in
+    let i = queue.Event_heap.machines.(0) in
+    Event_heap.remove_min queue;
+    Metrics.incr mc_events;
+    now.(0) <- time;
+    let j = Dispatch.select_machine policy ~machine:i in
+    (* [j < 0]: machine i retires — nothing it holds remains. *)
+    if j >= 0 then begin
+      let finish = time +. (actuals.(j) /. base.(i)) in
+      e_machine.(j) <- i;
+      e_start.(j) <- time;
+      e_finish.(j) <- finish;
+      dispatchable.(j) <- false;
+      loads.(i) <- loads.(i) +. ests.(j);
+      remaining := !remaining - 1;
+      if tr then begin
+        emit (Started { time; machine = i; task = j });
+        emit (Completed { time = finish; machine = i; task = j })
+      end;
+      Metrics.incr mc_dispatches;
+      if live then busy.(i) <- busy.(i) +. (finish -. time);
+      let s = Event_heap.alloc queue in
+      queue.Event_heap.times.(s) <- finish;
+      queue.Event_heap.machines.(s) <- i;
+      queue.Event_heap.classes.(s) <- Event_core.cls_decision;
+      Event_heap.sift_up queue s;
+      if live then
+        Metrics.record_max mg_queue (float_of_int (Event_core.length queue))
+    end
+  done;
   if !remaining > 0 then begin
     let left = ref [] in
     for j = n - 1 downto 0 do
@@ -158,20 +193,18 @@ let run_internal ?speeds ~dispatch ~metrics instance realization ~placement
   end;
   if live then begin
     let mk = ref 0.0 in
-    Array.iter
-      (fun e -> if e.Schedule.finish > !mk then mk := e.Schedule.finish)
-      entries;
+    Array.iter (fun f -> if f > !mk then mk := f) e_finish;
     Metrics.set mg_makespan !mk;
     for i = 0 to m - 1 do
       Metrics.observe mh_idle (!mk -. busy.(i))
     done
   end;
-  Schedule.make ~m entries
+  Schedule.of_soa ~m ~machines:e_machine ~starts:e_start ~finishes:e_finish
 
 let run ?speeds ?(dispatch = Dispatch.default) ?(metrics = Metrics.disabled)
     instance realization ~placement ~order =
   run_internal ?speeds ~dispatch ~metrics instance realization ~placement
-    ~order ~emit:(fun _ -> ())
+    ~order ~tr:false ~emit:(fun _ -> ())
 
 let sort_events events =
   let time_of = function
@@ -197,7 +230,7 @@ let run_traced ?speeds ?(dispatch = Dispatch.default)
   let events = ref [] in
   let schedule =
     run_internal ?speeds ~dispatch ~metrics instance realization ~placement
-      ~order ~emit:(fun e -> events := e :: !events)
+      ~order ~tr:true ~emit:(fun e -> events := e :: !events)
   in
   (schedule, sort_events (List.rev !events))
 
@@ -227,24 +260,42 @@ let outcome_schedule ~m outcome =
             (function Finished e -> e | Stranded -> assert false)
             outcome.fates))
 
-type tstatus = Pending | Running | Done | Lost
+(* Task status as unboxed small ints — comparing these never calls the
+   polymorphic equality the old variant type did. *)
+let st_pending = 0
+let st_running = 1
+let st_done = 2
+let st_lost = 3
 
 (* Simulation event payloads; [Event_core] classes rank simultaneous
    events on one machine: faults (and failure detections) strike before
    completions (and data-transfer arrivals), completions before dispatch
-   decisions, speculation checks last. *)
+   decisions, speculation checks last.
+
+   The per-event integer data rides the heap's [aux]/[aux2] lanes, so
+   the hot constructors are constant (no allocation per push):
+   [Sim_arrive] carries its task in [aux], [Sim_complete] its generation
+   in [aux], [Sim_speculate] its task in [aux] and generation in
+   [aux2]. Only the rare setup/recovery events keep boxed payloads. *)
 type sim =
   | Sim_fault of Fault.kind
   | Sim_up
   | Sim_detect
-  | Sim_arrive of { task : int }
-  | Sim_complete of { gen : int }
+  | Sim_arrive  (** task in [aux] *)
+  | Sim_complete  (** machine generation in [aux] *)
   | Sim_transfer of { task : int; src : int; dst : int; id : int }
   | Sim_dispatch
-  | Sim_speculate of { task : int; gen : int }
+  | Sim_speculate  (** task in [aux], task generation in [aux2] *)
+
+(* Remove the first occurrence of machine [i] — machines appear at most
+   once in a copies list, so this matches [List.filter ((<>) i)]
+   without allocating a closure per call. *)
+let rec remove_machine i = function
+  | [] -> []
+  | k :: rest -> if k = i then rest else k :: remove_machine i rest
 
 let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
-    ~arrivals instance realization ~faults ~placement ~order ~emit =
+    ~arrivals instance realization ~faults ~placement ~order ~tr ~emit =
   check_inputs ?speeds ~name:"Engine.run_faulty" instance ~placement ~order;
   let n = Instance.n instance and m = Instance.m instance in
   if Trace.m faults <> m then
@@ -264,6 +315,8 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   | Some beta when not (beta > 0.0) ->
       invalid_arg "Engine.run_faulty: speculation factor must be > 0"
   | _ -> ());
+  let spec_on = match speculation with Some _ -> true | None -> false in
+  let spec_beta = match speculation with Some b -> b | None -> 0.0 in
   (* [Recovery.none] is recognized physically: the engine then runs the
      exact pre-recovery code path (same branches, same float operations,
      same event sequence numbers), which the golden qcheck property in
@@ -305,27 +358,57 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   let mh_idle = Metrics.histogram metrics "engine.machine_idle" in
   (* Streaming instruments exist only in streaming runs: handles register
      on creation, so a batch snapshot must never see them. *)
-  let streaming = arrivals <> None in
+  let streaming = match arrivals with Some _ -> true | None -> false in
+  let arr = match arrivals with Some a -> a | None -> [||] in
   let stream_metrics = if streaming then metrics else Metrics.disabled in
   let mc_arrivals = Metrics.counter stream_metrics "engine.arrivals" in
   let mh_latency = Metrics.histogram stream_metrics "engine.latency" in
   let busy = if live then Array.make m 0.0 else [||] in
+  (* Bulk copies land in the major heap; per-element [Array.init]
+     through a closure would box every returned float. The [est] fill
+     inlines to unboxed loads. *)
+  let actuals = Realization.actuals realization in
+  let ests = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    ests.(j) <- Instance.est instance j
+  done;
+  (* The machine lanes, destructured into locals once; every handler
+     below indexes them directly. *)
   let st = Machine_state.create ?speeds ~m () in
-  let machine = Machine_state.get st in
-  let eff_speed = Machine_state.eff_speed st in
-  let base_speed = Machine_state.base_speed st in
-  let available ~time i = Machine_state.available st ~time i in
-  let alive_set = Machine_state.alive_set st in
-  let status = Array.make n Pending in
+  let base = st.Machine_state.base in
+  let alive = st.Machine_state.alive in
+  let down_until = st.Machine_state.down_until in
+  let factor = st.Machine_state.factor in
+  let gen = st.Machine_state.gen in
+  let cur_task = st.Machine_state.cur_task in
+  let cur_started = st.Machine_state.cur_started in
+  let cur_remaining = st.Machine_state.cur_remaining in
+  let cur_last = st.Machine_state.cur_last in
+  let cur_base = st.Machine_state.cur_base in
+  let orphan = st.Machine_state.orphan in
+  let undetected = st.Machine_state.undetected in
+  let blinks = st.Machine_state.blinks in
+  let trust_after = st.Machine_state.trust_after in
+  let ckpt_task = st.Machine_state.ckpt_task in
+  let ckpt_work = st.Machine_state.ckpt_work in
+  let alive_set = st.Machine_state.alive_set in
+  let available ~time i = alive.(i) && down_until.(i) <= time in
+  let idle ~time i = available ~time i && cur_task.(i) < 0 in
+  let status = Array.make n st_pending in
   (* In a streaming run a task is invisible to the scheduler until its
      arrival fires; batch runs behave as if everything arrived at t=0. *)
   let arrived = Array.make n (not streaming) in
   let dispatchable = Array.make n (not streaming) in
   let set_status j s =
     status.(j) <- s;
-    dispatchable.(j) <- (s = Pending && arrived.(j))
+    dispatchable.(j) <- (s = st_pending && arrived.(j))
   in
-  let copies = Array.make n ([] : int list) in
+  (* The machines running a copy of each task, newest first, split into
+     an unboxed head lane ([-1] = no copies) plus a spill list that is
+     only ever non-empty under speculation. The single-copy common case
+     therefore never conses. *)
+  let copies_head = Array.make n (-1) in
+  let copies_tail = Array.make n ([] : int list) in
   let task_gen = Array.make n 0 in
   let spec_ready = Array.make n false in
   (* Who holds each task's data *now*. Under an active policy transfers
@@ -338,6 +421,9 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   (* In-flight re-replication per task: (src, dst, id). The id guards
      against stale [Sim_transfer] deliveries after an abort. *)
   let transfer = Array.make n (None : (int * int * int) option) in
+  let transfer_none j =
+    match transfer.(j) with None -> true | Some _ -> false
+  in
   let transfer_id = ref 0 in
   (* Replicas stored on (or reserved for) each machine: the healer's
      least-loaded destination choice. *)
@@ -346,11 +432,14 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
     Array.iter
       (Bitset.iter (fun i -> replica_load.(i) <- replica_load.(i) + 1))
       data;
-  let entries =
-    Array.make n { Schedule.machine = 0; start = 0.0; finish = 0.0 }
-  in
-  let wasted = ref 0.0 in
+  let e_machine = Array.make n 0 in
+  let e_start = Array.make n 0.0 in
+  let e_finish = Array.make n 0.0 in
+  (* One-cell float arrays, not [float ref]s: storing into a float array
+     is unboxed, [:=] on a float ref allocates the new box per store. *)
+  let wasted = Array.make 1 0.0 in
   let loads = Array.make m 0.0 in
+  let now = Array.make 1 0.0 in
   let policy =
     Dispatch.make dispatch
       {
@@ -360,15 +449,22 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
         pos_of = inverse_order ~n order;
         dispatchable;
         holders = data;
-        est = Instance.est instance;
-        speed = base_speed;
+        est = ests;
+        speed = base;
         load = loads;
-        available;
+        now;
+        available = (fun i -> alive.(i) && down_until.(i) <= now.(0));
+        holders_stable = not rec_active;
       }
   in
-  let queue = Event_core.create () in
+  let queue = Event_core.create ~dummy:Sim_dispatch () in
   let push ~time ~machine ~cls sim =
     Event_core.push queue ~time ~machine ~cls sim;
+    if live then
+      Metrics.record_max mg_queue (float_of_int (Event_core.length queue))
+  in
+  let push_aux ~time ~machine ~cls ~aux ~aux2 sim =
+    Event_core.push_aux queue ~time ~machine ~cls ~aux ~aux2 sim;
     if live then
       Metrics.record_max mg_queue (float_of_int (Event_core.length queue))
   in
@@ -386,15 +482,15 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
      dispatch decision — exactly the batch engine's starting state. *)
   (match arrivals with
   | None -> ()
-  | Some arr ->
+  | Some a ->
       Array.iteri
         (fun j t ->
-          push ~time:t ~machine:(-1) ~cls:Event_core.cls_arrival
-            (Sim_arrive { task = j }))
-        arr);
+          push_aux ~time:t ~machine:(-1) ~cls:Event_core.cls_arrival ~aux:j
+            ~aux2:0 Sim_arrive)
+        a);
   let wake_idle ~time =
     for i = 0 to m - 1 do
-      if Machine_state.idle st ~time i then
+      if idle ~time i then
         push ~time ~machine:i ~cls:Event_core.cls_decision Sim_dispatch
     done
   in
@@ -404,8 +500,8 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   let on_arrive ~time j =
     arrived.(j) <- true;
     Metrics.incr mc_arrivals;
-    emit (Arrived { time; task = j });
-    if status.(j) = Pending then begin
+    if tr then emit (Arrived { time; task = j });
+    if status.(j) = st_pending then begin
       dispatchable.(j) <- true;
       Dispatch.notify_available policy ~task:j;
       wake_idle ~time
@@ -420,50 +516,48 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   let heal ~time =
     if heals then
       for j = 0 to n - 1 do
-        match status.(j) with
-        | Done | Lost -> ()
-        | Pending | Running ->
-            if transfer.(j) = None then begin
-              let live = Bitset.cardinal (Bitset.inter alive_set data.(j)) in
-              if live >= 1 && live < target_of j then begin
-                let src = ref (-1) in
-                (try
-                   Bitset.iter
-                     (fun i ->
-                       if available ~time i then begin
-                         src := i;
-                         raise Exit
-                       end)
-                     data.(j)
-                 with Exit -> ());
-                if !src >= 0 then begin
-                  let dst = ref (-1) and best = ref max_int in
-                  for i = 0 to m - 1 do
-                    if
-                      available ~time i
-                      && (not (Bitset.mem data.(j) i))
-                      && replica_load.(i) < !best
-                    then begin
-                      dst := i;
-                      best := replica_load.(i)
-                    end
-                  done;
-                  if !dst >= 0 then begin
-                    incr transfer_id;
-                    transfer.(j) <- Some (!src, !dst, !transfer_id);
-                    replica_load.(!dst) <- replica_load.(!dst) + 1;
-                    emit
-                      (Rereplication_started
-                         { time; task = j; src = !src; dst = !dst });
-                    push
-                      ~time:(time +. transfer_duration j)
-                      ~machine:!dst ~cls:Event_core.cls_arrival
-                      (Sim_transfer
-                         { task = j; src = !src; dst = !dst; id = !transfer_id })
-                  end
+        if status.(j) <= st_running && transfer_none j then begin
+          let nlive = Bitset.inter_cardinal alive_set data.(j) in
+          if nlive >= 1 && nlive < target_of j then begin
+            let src = ref (-1) in
+            (try
+               Bitset.iter
+                 (fun i ->
+                   if available ~time i then begin
+                     src := i;
+                     raise Exit
+                   end)
+                 data.(j)
+             with Exit -> ());
+            if !src >= 0 then begin
+              let dst = ref (-1) and best = ref max_int in
+              for i = 0 to m - 1 do
+                if
+                  available ~time i
+                  && (not (Bitset.mem data.(j) i))
+                  && replica_load.(i) < !best
+                then begin
+                  dst := i;
+                  best := replica_load.(i)
                 end
+              done;
+              if !dst >= 0 then begin
+                incr transfer_id;
+                transfer.(j) <- Some (!src, !dst, !transfer_id);
+                replica_load.(!dst) <- replica_load.(!dst) + 1;
+                if tr then
+                  emit
+                    (Rereplication_started
+                       { time; task = j; src = !src; dst = !dst });
+                push
+                  ~time:(time +. transfer_duration j)
+                  ~machine:!dst ~cls:Event_core.cls_arrival
+                  (Sim_transfer
+                     { task = j; src = !src; dst = !dst; id = !transfer_id })
               end
             end
+          end
+        end
       done
   in
   let abort_transfers ~time x =
@@ -472,54 +566,51 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
       | Some (src, dst, _) when src = x || dst = x ->
           transfer.(j) <- None;
           replica_load.(dst) <- replica_load.(dst) - 1;
-          emit (Rereplication_aborted { time; task = j; src; dst });
+          if tr then emit (Rereplication_aborted { time; task = j; src; dst });
           Metrics.incr (Metrics.counter metrics "engine.transfer_aborts")
       | _ -> ()
     done
   in
-  let start_copy ?resume ~time i j =
-    let ms = machine i in
-    let c =
-      match resume with
-      | None ->
-          Machine_state.fresh_copy ~task:j ~time
-            ~work:(Realization.actual realization j)
-      | Some banked ->
-          Machine_state.resumed_copy ~task:j ~time
-            ~work:(Realization.actual realization j)
-            ~banked
-    in
-    ms.current <- Some c;
-    ms.gen <- ms.gen + 1;
-    let was_primary = copies.(j) = [] in
-    copies.(j) <- i :: copies.(j);
-    set_status j Running;
-    loads.(i) <- loads.(i) +. Instance.est instance j;
+  let start_copy ~resume ~banked ~time i j =
+    cur_task.(i) <- j;
+    cur_started.(i) <- time;
+    cur_remaining.(i) <- (if resume then actuals.(j) -. banked else actuals.(j));
+    cur_last.(i) <- time;
+    cur_base.(i) <- (if resume then banked else 0.0);
+    gen.(i) <- gen.(i) + 1;
+    let was_primary = copies_head.(j) < 0 in
+    if was_primary then copies_head.(j) <- i
+    else begin
+      copies_tail.(j) <- copies_head.(j) :: copies_tail.(j);
+      copies_head.(j) <- i
+    end;
+    set_status j st_running;
+    loads.(i) <- loads.(i) +. ests.(j);
     Metrics.incr mc_dispatches;
     if was_primary then begin
       if task_gen.(j) > 0 then Metrics.incr mc_redispatches
     end
     else Metrics.incr mc_spec_starts;
-    emit (Started { time; machine = i; task = j });
-    (match resume with
-    | Some banked ->
-        ms.ckpt <- None;
-        emit (Checkpoint_resumed { time; machine = i; task = j; progress = banked });
-        Metrics.incr (Metrics.counter metrics "engine.checkpoint_resumes")
-    | None -> ());
-    let finish = time +. (c.Machine_state.c_remaining /. eff_speed i) in
-    push ~time:finish ~machine:i ~cls:Event_core.cls_arrival
-      (Sim_complete { gen = ms.gen });
-    match speculation with
-    | Some beta when was_primary ->
-        (* Arm the straggler check from estimates only: the scheduler is
-           semi-clairvoyant and must not peek at actual times. *)
-        let expected = Instance.est instance j /. base_speed i in
-        push
-          ~time:(time +. (beta *. expected))
-          ~machine:i ~cls:Event_core.cls_audit
-          (Sim_speculate { task = j; gen = task_gen.(j) })
-    | _ -> ()
+    if tr then emit (Started { time; machine = i; task = j });
+    if resume then begin
+      ckpt_task.(i) <- -1;
+      if tr then
+        emit
+          (Checkpoint_resumed { time; machine = i; task = j; progress = banked });
+      Metrics.incr (Metrics.counter metrics "engine.checkpoint_resumes")
+    end;
+    let finish = time +. (cur_remaining.(i) /. (base.(i) *. factor.(i))) in
+    push_aux ~time:finish ~machine:i ~cls:Event_core.cls_arrival
+      ~aux:(gen.(i)) ~aux2:0 Sim_complete;
+    if spec_on && was_primary then begin
+      (* Arm the straggler check from estimates only: the scheduler is
+         semi-clairvoyant and must not peek at actual times. *)
+      let expected = ests.(j) /. base.(i) in
+      push_aux
+        ~time:(time +. (spec_beta *. expected))
+        ~machine:i ~cls:Event_core.cls_audit ~aux:j
+        ~aux2:(task_gen.(j)) Sim_speculate
+    end
   in
   (* Return a copy-less task to the scheduler's pool — or declare it
      [Lost] when no live machine holds its data and no transfer is
@@ -528,11 +619,10 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   let release_task ~time j =
     task_gen.(j) <- task_gen.(j) + 1;
     spec_ready.(j) <- false;
-    if
-      Bitset.is_empty (Bitset.inter alive_set data.(j)) && transfer.(j) = None
-    then set_status j Lost
+    if Bitset.inter_is_empty alive_set data.(j) && transfer_none j then
+      set_status j st_lost
     else begin
-      set_status j Pending;
+      set_status j st_pending;
       Dispatch.notify_available policy ~task:j;
       wake_idle ~time
     end
@@ -541,53 +631,62 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
      is lost — except what a checkpoint salvages on an outage — and the
      task returns to the pool (immediately, or at failure detection when
      the policy models a latency). *)
-  let kill_current ?(salvage = false) ~time i =
-    let ms = machine i in
-    match ms.current with
-    | None -> ()
-    | Some c ->
-        let j = c.Machine_state.c_task in
-        let wall = time -. c.Machine_state.c_started in
-        let waste = ref wall in
+  let kill_current ~salvage ~time i =
+    let j = cur_task.(i) in
+    if j >= 0 then begin
+      let wall = time -. cur_started.(i) in
+      let waste =
         if salvage && ckpt_interval > 0.0 then begin
           (* Work processed this attempt, synced exactly as a slowdown
              resync would do it. *)
           let remaining_now =
-            Machine_state.remaining_at c ~time ~speed:(eff_speed i)
+            Float.max 0.0
+              (cur_remaining.(i)
+              -. ((time -. cur_last.(i)) *. (base.(i) *. factor.(i))))
           in
-          let attempt_total =
-            Realization.actual realization j -. c.Machine_state.c_base
-          in
+          let attempt_total = actuals.(j) -. cur_base.(i) in
           let done_attempt = attempt_total -. remaining_now in
-          let total_done = c.Machine_state.c_base +. done_attempt in
+          let total_done = cur_base.(i) +. done_attempt in
           let preserved =
             Float.min total_done
               (Float.floor (total_done /. ckpt_interval) *. ckpt_interval)
           in
           if preserved > 0.0 then begin
-            ms.ckpt <- Some (j, preserved);
+            ckpt_task.(i) <- j;
+            ckpt_work.(i) <- preserved;
             if done_attempt > 0.0 then begin
               (* Credit the preserved share of this attempt against the
                  waste, pro-rated by wall time so mid-attempt speed
                  changes cannot make the waste negative. *)
               let credit =
                 Float.max 0.0
-                  (Float.min done_attempt (preserved -. c.Machine_state.c_base))
+                  (Float.min done_attempt (preserved -. cur_base.(i)))
               in
-              waste := wall *. (1.0 -. (credit /. done_attempt))
+              wall *. (1.0 -. (credit /. done_attempt))
             end
+            else wall
           end
-        end;
-        wasted := !wasted +. !waste;
-        Metrics.incr mc_kills;
-        if live then busy.(i) <- busy.(i) +. wall;
-        ms.current <- None;
-        ms.gen <- ms.gen + 1;
-        emit (Killed { time; machine = i; task = j });
-        copies.(j) <- List.filter (fun k -> k <> i) copies.(j);
-        if copies.(j) = [] then
-          if rec_active && det_latency > 0.0 then ms.orphan <- Some j
-          else release_task ~time j
+          else wall
+        end
+        else wall
+      in
+      wasted.(0) <- wasted.(0) +. waste;
+      Metrics.incr mc_kills;
+      if live then busy.(i) <- busy.(i) +. wall;
+      cur_task.(i) <- -1;
+      gen.(i) <- gen.(i) + 1;
+      if tr then emit (Killed { time; machine = i; task = j });
+      (if copies_head.(j) = i then
+         match copies_tail.(j) with
+         | [] -> copies_head.(j) <- -1
+         | k :: rest ->
+             copies_head.(j) <- k;
+             copies_tail.(j) <- rest
+       else copies_tail.(j) <- remove_machine i copies_tail.(j));
+      if copies_head.(j) < 0 then
+        if rec_active && det_latency > 0.0 then orphan.(i) <- j
+        else release_task ~time j
+    end
   in
   (* The disk of a dead machine [i] is gone: strand every waiting task
      whose last replica it held (unless a transfer is carrying a copy
@@ -595,11 +694,11 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   let strand_scan i =
     for j = 0 to n - 1 do
       if
-        status.(j) = Pending
+        status.(j) = st_pending
         && Bitset.mem data.(j) i
-        && Bitset.is_empty (Bitset.inter alive_set data.(j))
-        && transfer.(j) = None
-      then set_status j Lost
+        && Bitset.inter_is_empty alive_set data.(j)
+        && transfer_none j
+      then set_status j st_lost
     done
   in
   (* The moment the scheduler learns of machine [i]'s failure — either
@@ -607,135 +706,139 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
      truthfully reports its own outage when it rejoins, whichever comes
      first. Only then is the orphaned copy released for re-dispatch. *)
   let acknowledge ~time i =
-    let ms = machine i in
-    match ms.undetected with
-    | None -> ()
-    | Some t0 ->
-        ms.undetected <- None;
-        emit (Failure_detected { time; machine = i });
-        Metrics.observe
-          (Metrics.histogram metrics "engine.detection_lag")
-          (time -. t0);
-        (match ms.orphan with
-        | Some j ->
-            ms.orphan <- None;
-            if status.(j) = Running && copies.(j) = [] then
-              release_task ~time j
-        | None -> ());
-        if not ms.alive then strand_scan i
+    let t0 = undetected.(i) in
+    if not (Float.is_nan t0) then begin
+      undetected.(i) <- Float.nan;
+      if tr then emit (Failure_detected { time; machine = i });
+      Metrics.observe
+        (Metrics.histogram metrics "engine.detection_lag")
+        (time -. t0);
+      let oj = orphan.(i) in
+      if oj >= 0 then begin
+        orphan.(i) <- -1;
+        if status.(oj) = st_running && copies_head.(oj) < 0 then
+          release_task ~time oj
+      end;
+      if not alive.(i) then strand_scan i
+    end
   in
   let on_transfer ~time ~task ~src ~dst ~id =
     match transfer.(task) with
     | Some (_, _, id') when id' = id ->
         transfer.(task) <- None;
         Bitset.add data.(task) dst;
-        emit (Rereplication_completed { time; task; src; dst });
+        if tr then emit (Rereplication_completed { time; task; src; dst });
         Metrics.incr (Metrics.counter metrics "engine.rereplications");
         Metrics.observe
           (Metrics.histogram metrics "engine.transfer_time")
           (transfer_duration task);
-        if status.(task) = Pending then begin
+        if status.(task) = st_pending then begin
           Dispatch.notify_available policy ~task;
           wake_idle ~time
         end;
         heal ~time
     | _ -> () (* aborted (and possibly re-issued): stale delivery *)
   in
-  let find_speculation i =
-    (* First task in priority order that is running a single overdue copy
-       whose data machine [i] also holds. Speculation is a safety
-       mechanism, not a placement decision, so it stays with the engine
-       rather than the dispatch policy. *)
-    let rec scan pos =
-      if pos >= n then None
-      else
-        let j = order.(pos) in
-        if
-          status.(j) = Running && spec_ready.(j)
-          && (match copies.(j) with [ k ] -> k <> i | _ -> false)
-          && Bitset.mem data.(j) i
-        then Some j
-        else scan (pos + 1)
-    in
-    if speculation = None then None else scan 0
-  in
-  (* A machine holding a checkpoint of a waiting task resumes it in
-     preference to fresh work: the banked progress makes it the cheapest
-     copy anyone can start. *)
-  let resume_candidate i =
-    match (machine i).ckpt with
-    | Some (j, banked) when status.(j) = Pending && Bitset.mem data.(j) i ->
-        Some (j, banked)
-    | _ -> None
+  (* First task in priority order that is running a single overdue copy
+     whose data machine [i] also holds. Speculation is a safety
+     mechanism, not a placement decision, so it stays with the engine
+     rather than the dispatch policy. (Defined once — a per-call
+     [let rec] closure would allocate on every idle scan.) *)
+  let rec spec_scan i pos =
+    if pos >= n then -1
+    else
+      let j = order.(pos) in
+      if
+        status.(j) = st_running
+        && spec_ready.(j)
+        && copies_head.(j) >= 0
+        && copies_head.(j) <> i
+        && (match copies_tail.(j) with [] -> true | _ -> false)
+        && Bitset.mem data.(j) i
+      then j
+      else spec_scan i (pos + 1)
   in
   let dispatch_machine ~time i =
-    let ms = machine i in
-    if available ~time i && ms.current = None && time >= ms.trust_after then
-      match resume_candidate i with
-      | Some (j, banked) -> start_copy ~resume:banked ~time i j
-      | None -> (
-          match Dispatch.select policy ~time ~machine:i with
-          | Some j -> start_copy ~time i j
-          | None -> (
-              match find_speculation i with
-              | Some j -> start_copy ~time i j
-              | None -> () (* idle; woken again if work returns to the pool *))
-          )
+    if available ~time i && cur_task.(i) < 0 && time >= trust_after.(i) then begin
+      (* A machine holding a checkpoint of a waiting task resumes it in
+         preference to fresh work: the banked progress makes it the
+         cheapest copy anyone can start. *)
+      let cj = ckpt_task.(i) in
+      if cj >= 0 && status.(cj) = st_pending && Bitset.mem data.(cj) i then
+        start_copy ~resume:true ~banked:(ckpt_work.(i)) ~time i cj
+      else begin
+        let j = Dispatch.select_machine policy ~machine:i in
+        if j >= 0 then start_copy ~resume:false ~banked:0.0 ~time i j
+        else if spec_on then begin
+          let sj = spec_scan i 0 in
+          if sj >= 0 then start_copy ~resume:false ~banked:0.0 ~time i sj
+          (* else idle; woken again if work returns to the pool *)
+        end
+      end
+    end
   in
-  let complete ~time i gen =
-    let ms = machine i in
-    match ms.current with
-    | Some c when gen = ms.gen ->
-        let j = c.Machine_state.c_task in
-        entries.(j) <-
-          { Schedule.machine = i; start = c.Machine_state.c_started; finish = time };
-        set_status j Done;
-        ms.current <- None;
-        ms.gen <- ms.gen + 1;
-        if live then
-          busy.(i) <- busy.(i) +. (time -. c.Machine_state.c_started);
-        emit (Completed { time; machine = i; task = j });
-        (match arrivals with
-        | None -> ()
-        | Some arr -> Metrics.observe mh_latency (time -. arr.(j)));
+  let complete ~time i g =
+    (* Stale completions (the copy was killed or cancelled) fail the
+       generation check. *)
+    if cur_task.(i) >= 0 && g = gen.(i) then begin
+      let j = cur_task.(i) in
+      let started = cur_started.(i) in
+      e_machine.(j) <- i;
+      e_start.(j) <- started;
+      e_finish.(j) <- time;
+      set_status j st_done;
+      cur_task.(i) <- -1;
+      gen.(i) <- gen.(i) + 1;
+      if live then busy.(i) <- busy.(i) +. (time -. started);
+      if tr then emit (Completed { time; machine = i; task = j });
+      if streaming then Metrics.observe mh_latency (time -. arr.(j));
+      if
+        copies_head.(j) = i
+        && (match copies_tail.(j) with [] -> true | _ -> false)
+      then begin
+        (* No speculative copies in flight: the freed machine is the only
+           one to re-dispatch, so skip the list plumbing entirely. *)
+        copies_head.(j) <- -1;
+        dispatch_machine ~time i
+      end
+      else begin
         (* Speculative losers: first copy to finish wins, the rest abort. *)
-        let losers = List.filter (fun k -> k <> i) copies.(j) in
-        copies.(j) <- [];
+        let losers =
+          List.filter (fun k -> k <> i) (copies_head.(j) :: copies_tail.(j))
+        in
+        copies_head.(j) <- -1;
+        copies_tail.(j) <- [];
         List.iter
           (fun k ->
-            let mk = machine k in
-            (match mk.current with
-            | Some ck ->
-                wasted := !wasted +. (time -. ck.Machine_state.c_started);
-                if live then
-                  busy.(k) <- busy.(k) +. (time -. ck.Machine_state.c_started)
-            | None -> assert false);
-            mk.current <- None;
-            mk.gen <- mk.gen + 1;
+            assert (cur_task.(k) >= 0);
+            wasted.(0) <- wasted.(0) +. (time -. cur_started.(k));
+            if live then busy.(k) <- busy.(k) +. (time -. cur_started.(k));
+            cur_task.(k) <- -1;
+            gen.(k) <- gen.(k) + 1;
             Metrics.incr mc_spec_cancelled;
-            emit (Cancelled { time; machine = k; task = j }))
+            if tr then emit (Cancelled { time; machine = k; task = j }))
           losers;
         List.iter (dispatch_machine ~time)
           (Dispatch.redispatch_order policy (i :: losers))
-    | _ -> () (* stale completion: the copy was killed or cancelled *)
+      end
+    end
   in
   let on_fault ~time i kind =
-    let ms = machine i in
     match kind with
     | Fault.Crash ->
-        if ms.alive then begin
+        if alive.(i) then begin
           Metrics.incr mc_crashes;
           Machine_state.mark_crashed st i;
-          emit (Machine_crashed { time; machine = i });
+          if tr then emit (Machine_crashed { time; machine = i });
           (* Physical consequences are immediate: the disk (and any
              checkpoint on it) is gone, in-flight transfers touching the
              machine die, the running copy dies. *)
-          ms.ckpt <- None;
+          ckpt_task.(i) <- -1;
           if rec_active then abort_transfers ~time i;
-          kill_current ~time i;
+          kill_current ~salvage:false ~time i;
           if rec_active && det_latency > 0.0 then begin
             (* The scheduler only reacts once the detector fires. *)
-            if ms.undetected = None then ms.undetected <- Some time;
+            if Float.is_nan undetected.(i) then undetected.(i) <- time;
             push ~time:(time +. det_latency) ~machine:i
               ~cls:Event_core.cls_fault Sim_detect
           end
@@ -747,45 +850,47 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
           end
         end
     | Fault.Outage until ->
-        if ms.alive then begin
+        if alive.(i) then begin
           Metrics.incr mc_outages;
-          ms.down_until <- Float.max ms.down_until until;
-          emit (Machine_down { time; machine = i; until = ms.down_until });
+          down_until.(i) <- Float.max down_until.(i) until;
+          if tr then
+            emit (Machine_down { time; machine = i; until = down_until.(i) });
           kill_current ~salvage:true ~time i;
           if rec_active then begin
-            ms.blinks <- ms.blinks + 1;
-            let b = Recovery.backoff recovery ~blinks:ms.blinks in
+            blinks.(i) <- blinks.(i) + 1;
+            let b = Recovery.backoff recovery ~blinks:(blinks.(i)) in
             if b > 0.0 then
-              ms.trust_after <- Float.max ms.trust_after (ms.down_until +. b);
+              trust_after.(i) <- Float.max trust_after.(i) (down_until.(i) +. b);
             (* Detection only matters when a copy was orphaned: the
                outage's other effects wait for the rejoin anyway. *)
-            if det_latency > 0.0 && ms.orphan <> None then begin
-              if ms.undetected = None then ms.undetected <- Some time;
+            if det_latency > 0.0 && orphan.(i) >= 0 then begin
+              if Float.is_nan undetected.(i) then undetected.(i) <- time;
               push ~time:(time +. det_latency) ~machine:i
                 ~cls:Event_core.cls_fault Sim_detect
             end
           end;
-          push ~time:ms.down_until ~machine:i ~cls:Event_core.cls_fault Sim_up
+          push ~time:(down_until.(i)) ~machine:i ~cls:Event_core.cls_fault
+            Sim_up
         end
-    | Fault.Slowdown factor ->
+    | Fault.Slowdown f ->
         Metrics.incr mc_slowdowns;
-        let old_speed = eff_speed i in
-        ms.factor <- factor;
-        emit (Machine_slowed { time; machine = i; factor });
-        (match ms.current with
-        | Some c ->
-            Machine_state.sync_remaining c ~time ~speed:old_speed;
-            ms.gen <- ms.gen + 1;
-            push
-              ~time:(time +. (c.Machine_state.c_remaining /. eff_speed i))
-              ~machine:i ~cls:Event_core.cls_arrival
-              (Sim_complete { gen = ms.gen })
-        | None -> ())
+        let old_speed = base.(i) *. factor.(i) in
+        factor.(i) <- f;
+        if tr then emit (Machine_slowed { time; machine = i; factor = f });
+        if cur_task.(i) >= 0 then begin
+          cur_remaining.(i) <-
+            cur_remaining.(i) -. ((time -. cur_last.(i)) *. old_speed);
+          cur_last.(i) <- time;
+          gen.(i) <- gen.(i) + 1;
+          push_aux
+            ~time:(time +. (cur_remaining.(i) /. (base.(i) *. factor.(i))))
+            ~machine:i ~cls:Event_core.cls_arrival ~aux:(gen.(i)) ~aux2:0
+            Sim_complete
+        end
   in
   let on_up ~time i =
-    let ms = machine i in
-    if ms.alive && time >= ms.down_until then begin
-      emit (Machine_up { time; machine = i });
+    if alive.(i) && time >= down_until.(i) then begin
+      if tr then emit (Machine_up { time; machine = i });
       if rec_active then begin
         (* The machine reports its own fate truthfully on rejoin, which
            may beat the detector; its return may also unblock healing
@@ -793,11 +898,11 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
         acknowledge ~time i;
         heal ~time
       end;
-      if time >= ms.trust_after then dispatch_machine ~time i
+      if time >= trust_after.(i) then dispatch_machine ~time i
       else
         (* Backoff: the machine blinked recently, so it only receives
            new work once its distrust window expires. *)
-        push ~time:ms.trust_after ~machine:i ~cls:Event_core.cls_decision
+        push ~time:(trust_after.(i)) ~machine:i ~cls:Event_core.cls_decision
           Sim_dispatch
     end
   in
@@ -805,26 +910,26 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
     acknowledge ~time i;
     heal ~time
   in
-  let on_speculate ~time task gen =
+  let on_speculate ~time task g =
     if
-      task_gen.(task) = gen && status.(task) = Running
-      && List.length copies.(task) = 1
+      task_gen.(task) = g
+      && status.(task) = st_running
+      && copies_head.(task) >= 0
+      && (match copies_tail.(task) with [] -> true | _ -> false)
     then begin
       spec_ready.(task) <- true;
       (* Grab an idle surviving holder right now if one exists; otherwise
          the next machine to go idle picks the task up in
          [dispatch_machine]. *)
-      let runner = List.hd copies.(task) in
+      let runner = copies_head.(task) in
       let exception Found of int in
       match
         Bitset.iter
-          (fun i ->
-            if i <> runner && Machine_state.idle st ~time i then
-              raise (Found i))
+          (fun i -> if i <> runner && idle ~time i then raise (Found i))
           data.(task)
       with
       | () -> ()
-      | exception Found i -> start_copy ~time i task
+      | exception Found i -> start_copy ~resume:false ~banked:0.0 ~time i task
     end
   in
   (* An active healer starts working before the first dispatch: a
@@ -832,49 +937,63 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
      to its per-task target from time zero. (Under [Degree] the initial
      placement already meets the target, so this is a no-op there.) *)
   if rec_active then heal ~time:0.0;
-  Event_core.drain queue ~handle:(fun ~time ~machine sim ->
-      Metrics.incr mc_events;
-      match sim with
-      | Sim_fault kind -> on_fault ~time machine kind
-      | Sim_up -> on_up ~time machine
-      | Sim_detect -> on_detect ~time machine
-      | Sim_arrive { task } -> on_arrive ~time task
-      | Sim_complete { gen } -> complete ~time machine gen
-      | Sim_transfer { task; src; dst; id } ->
-          on_transfer ~time ~task ~src ~dst ~id
-      | Sim_dispatch -> dispatch_machine ~time machine
-      | Sim_speculate { task; gen } -> on_speculate ~time task gen);
+  while not (Event_heap.is_empty queue) do
+    let time = queue.Event_heap.times.(0) in
+    let machine = queue.Event_heap.machines.(0) in
+    let a1 = queue.Event_heap.aux.(0) in
+    let a2 = queue.Event_heap.aux2.(0) in
+    let sim = queue.Event_heap.payloads.(0) in
+    Event_heap.remove_min queue;
+    Metrics.incr mc_events;
+    now.(0) <- time;
+    match sim with
+    | Sim_fault kind -> on_fault ~time machine kind
+    | Sim_up -> on_up ~time machine
+    | Sim_detect -> on_detect ~time machine
+    | Sim_arrive -> on_arrive ~time a1
+    | Sim_complete -> complete ~time machine a1
+    | Sim_transfer { task; src; dst; id } ->
+        on_transfer ~time ~task ~src ~dst ~id
+    | Sim_dispatch -> dispatch_machine ~time machine
+    | Sim_speculate -> on_speculate ~time a1 a2
+  done;
   let fates =
     Array.init n (fun j ->
-        match status.(j) with
-        | Done -> Finished entries.(j)
-        | Lost | Pending | Running -> Stranded)
+        if status.(j) = st_done then
+          Finished
+            {
+              Schedule.machine = e_machine.(j);
+              start = e_start.(j);
+              finish = e_finish.(j);
+            }
+        else Stranded)
   in
-  let completed = ref 0 and stranded = ref [] and makespan = ref 0.0 in
+  let completed = ref 0 and stranded = ref [] in
+  let makespan = Array.make 1 0.0 in
   for j = n - 1 downto 0 do
-    match fates.(j) with
-    | Finished e ->
-        incr completed;
-        makespan := Float.max !makespan e.Schedule.finish
-    | Stranded -> stranded := j :: !stranded
+    if status.(j) = st_done then begin
+      incr completed;
+      makespan.(0) <- Float.max makespan.(0) e_finish.(j)
+    end
+    else stranded := j :: !stranded
   done;
   if live then begin
     Metrics.add mc_completed !completed;
     Metrics.add mc_stranded (List.length !stranded);
-    Metrics.set mg_makespan !makespan;
-    Metrics.set mg_wasted !wasted;
+    Metrics.set mg_makespan makespan.(0);
+    Metrics.set mg_wasted wasted.(0);
     for i = 0 to m - 1 do
       (* Everything a machine did not spend processing (including
          downtime and its post-crash tail) counts as idle. *)
-      Metrics.observe mh_idle (!makespan -. busy.(i))
+      Metrics.observe mh_idle (makespan.(0) -. busy.(i))
     done
   end;
   {
     fates;
     completed = !completed;
     stranded = !stranded;
-    makespan = !makespan;
-    wasted = !wasted;
+    makespan = makespan.(0);
+    wasted = wasted.(0);
     metrics = Metrics.snapshot metrics;
   }
 
@@ -882,7 +1001,7 @@ let run_faulty ?speeds ?speculation ?(dispatch = Dispatch.default)
     ?(recovery = Recovery.none) ?(metrics = Metrics.disabled) instance
     realization ~faults ~placement ~order =
   run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
-    ~arrivals:None instance realization ~faults ~placement ~order
+    ~arrivals:None instance realization ~faults ~placement ~order ~tr:false
     ~emit:(fun _ -> ())
 
 let run_faulty_traced ?speeds ?speculation ?(dispatch = Dispatch.default)
@@ -891,7 +1010,7 @@ let run_faulty_traced ?speeds ?speculation ?(dispatch = Dispatch.default)
   let events = ref [] in
   let outcome =
     run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
-      ~arrivals:None instance realization ~faults ~placement ~order
+      ~arrivals:None instance realization ~faults ~placement ~order ~tr:true
       ~emit:(fun e -> events := e :: !events)
   in
   (outcome, sort_events (List.rev !events))
@@ -906,13 +1025,23 @@ type stream_outcome = { outcome : outcome; latencies : float array }
    Stranded tasks contribute nothing: their latency is unbounded, and
    averaging an arbitrary sentinel in would poison the quantiles. *)
 let stream_latencies ~arrivals outcome =
-  let acc = ref [] in
-  for j = Array.length outcome.fates - 1 downto 0 do
+  let n = Array.length outcome.fates in
+  let count = ref 0 in
+  for j = 0 to n - 1 do
     match outcome.fates.(j) with
-    | Finished e -> acc := (e.Schedule.finish -. arrivals.(j)) :: !acc
+    | Finished _ -> incr count
     | Stranded -> ()
   done;
-  Array.of_list !acc
+  let out = Array.make !count 0.0 in
+  let k = ref 0 in
+  for j = 0 to n - 1 do
+    match outcome.fates.(j) with
+    | Finished e ->
+        out.(!k) <- e.Schedule.finish -. arrivals.(j);
+        incr k
+    | Stranded -> ()
+  done;
+  out
 
 let run_stream ?speeds ?speculation ?(dispatch = Dispatch.default)
     ?(recovery = Recovery.none) ?(metrics = Metrics.disabled) ?faults instance
@@ -923,7 +1052,7 @@ let run_stream ?speeds ?speculation ?(dispatch = Dispatch.default)
   let outcome =
     run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
       ~arrivals:(Some arrivals) instance realization ~faults ~placement ~order
-      ~emit:(fun _ -> ())
+      ~tr:false ~emit:(fun _ -> ())
   in
   { outcome; latencies = stream_latencies ~arrivals outcome }
 
@@ -937,7 +1066,7 @@ let run_stream_traced ?speeds ?speculation ?(dispatch = Dispatch.default)
   let outcome =
     run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
       ~arrivals:(Some arrivals) instance realization ~faults ~placement ~order
-      ~emit:(fun e -> events := e :: !events)
+      ~tr:true ~emit:(fun e -> events := e :: !events)
   in
   ( { outcome; latencies = stream_latencies ~arrivals outcome },
     sort_events (List.rev !events) )

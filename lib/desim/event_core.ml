@@ -14,7 +14,10 @@ let cls_audit = 3
 (* Total order on simultaneous events: time, then machine id, then
    class, then insertion order. This is THE tie-break rule of the
    simulation — every determinism statement in the engine docs reduces
-   to this comparator plus [Dispatch.redispatch_order]. *)
+   to this comparator plus [Dispatch.redispatch_order]. The heap
+   implements it natively over its lanes ([Event_heap.lt]); this record
+   form and comparator remain for callers that work with whole
+   events. *)
 let compare_event a b =
   match Float.compare a.time b.time with
   | 0 -> (
@@ -26,22 +29,21 @@ let compare_event a b =
       | c -> c)
   | c -> c
 
-type 'a t = { queue : 'a event Pqueue.t; mutable seq : int }
+type 'a t = 'a Event_heap.t
 
-let create () = { queue = Pqueue.create ~compare:compare_event (); seq = 0 }
+let create ?capacity ~dummy () = Event_heap.create ?capacity ~dummy ()
+let push t ~time ~machine ~cls payload = Event_heap.push t ~time ~machine ~cls payload
 
-let push t ~time ~machine ~cls payload =
-  t.seq <- t.seq + 1;
-  Pqueue.push t.queue { time; machine; cls; seq = t.seq; payload }
+let push_aux t ~time ~machine ~cls ~aux ~aux2 payload =
+  Event_heap.push_aux t ~time ~machine ~cls ~aux ~aux2 payload
 
-let length t = Pqueue.length t.queue
+let length = Event_heap.length
 
 let drain t ~handle =
-  let rec loop () =
-    match Pqueue.pop t.queue with
-    | None -> ()
-    | Some { time; machine; payload; _ } ->
-        handle ~time ~machine payload;
-        loop ()
-  in
-  loop ()
+  while not (Event_heap.is_empty t) do
+    let time = t.Event_heap.times.(0) in
+    let machine = t.Event_heap.machines.(0) in
+    let payload = t.Event_heap.payloads.(0) in
+    Event_heap.remove_min t;
+    handle ~time ~machine payload
+  done

@@ -7,7 +7,13 @@
     detections strike before completions and data-transfer arrivals,
     completions before dispatch decisions, speculation audits last),
     then by insertion order. Handlers may push further events while the
-    queue drains. *)
+    queue drains.
+
+    Backed by {!Event_heap} — an allocation-free struct-of-arrays
+    4-ary heap whose lane order implements the same total order. The
+    concrete equality [type 'a t = 'a Event_heap.t] is exposed so the
+    engine's hot loops can push and pop through direct lane access;
+    everyone else should stay on this interface. *)
 
 type 'a event = {
   time : float;
@@ -16,6 +22,10 @@ type 'a event = {
   seq : int;  (** Insertion order, assigned by {!push}. *)
   payload : 'a;
 }
+
+val compare_event : 'a event -> 'a event -> int
+(** The total event order [(time, machine, cls, seq)] on record-form
+    events, e.g. for sorting externally collected streams. *)
 
 (** {2 Event classes}
 
@@ -36,16 +46,25 @@ val cls_decision : int
 val cls_audit : int
 (** Speculation checks — run after every state change of the instant. *)
 
-type 'a t
+type 'a t = 'a Event_heap.t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills vacated payload slots so popped payloads are not
+    retained after a drain. *)
 
 val push : 'a t -> time:float -> machine:int -> cls:int -> 'a -> unit
 (** Enqueue an event; insertion order within equal (time, machine, cls)
     is preserved. *)
 
+val push_aux :
+  'a t -> time:float -> machine:int -> cls:int -> aux:int -> aux2:int -> 'a -> unit
+(** {!push} that also sets the slot's two integer payload words (read
+    back via the heap's [aux]/[aux2] lanes; {!push} zeroes them). *)
+
 val length : 'a t -> int
 (** Current queue depth (the engine's high-water gauge reads this). *)
 
 val drain : 'a t -> handle:(time:float -> machine:int -> 'a -> unit) -> unit
-(** Pop-and-handle until the queue is empty. The handler may push. *)
+(** Pop-and-handle until the queue is empty. The handler may push.
+    Note: record-form handler — the engine's metrics-off loops bypass
+    this and read heap lanes directly to avoid boxing [time]. *)

@@ -1,90 +1,95 @@
 module Bitset = Usched_model.Bitset
 
-type copy = {
-  c_task : int;
-  c_started : float;
-  mutable c_remaining : float; (* actual-time units of work left *)
-  mutable c_last : float; (* when [c_remaining] was last synced *)
-  c_base : float; (* actual-time units resumed from a checkpoint *)
-}
+(* Struct-of-arrays machine state. The previous layout — one mutable
+   record per machine plus a [copy option] chain — cost an allocation
+   for every dispatch (the fresh copy record) and for every recovery
+   transition ([Some task], [Some time], [(task, work)] pairs). Flat
+   int/float lanes keep every per-machine field unboxed: the in-flight
+   copy is the [cur_*] lanes (with [cur_task = -1] meaning idle), the
+   recovery options become sentinel values ([orphan = -1],
+   [undetected = nan], [ckpt_task = -1]).
 
-type machine = {
-  mutable alive : bool;
-  mutable down_until : float; (* unavailable while [now < down_until] *)
-  mutable factor : float; (* straggler speed multiplier *)
-  mutable gen : int; (* invalidates queued completion events *)
-  mutable current : copy option;
-  (* Recovery bookkeeping — all fields stay at their initial value when
-     the policy is [Recovery.none]. *)
-  mutable orphan : int option;
-      (* copy killed by a failure the scheduler has not yet detected *)
-  mutable undetected : float option;
-      (* earliest failure time awaiting detection *)
-  mutable blinks : int; (* outages suffered so far, drives backoff *)
-  mutable trust_after : float; (* no dispatches before this time *)
-  mutable ckpt : (int * float) option;
-      (* task and work preserved on local disk by its last checkpoint *)
-}
+   Lanes of length [m] land in the major heap for any non-toy instance,
+   so mutating them never touches the minor allocator; the engine
+   destructures them into locals at setup and indexes directly. *)
 
 type t = {
   m : int;
-  speeds : float array option;
-  machines : machine array;
+  base : float array;  (* configured speed (1.0 when unspecified) *)
+  alive : bool array;
+  down_until : float array;  (* unavailable while [now < down_until] *)
+  factor : float array;  (* straggler speed multiplier *)
+  gen : int array;  (* invalidates queued completion events *)
+  (* The in-flight copy, one lane per former [copy] field; task = -1
+     means the machine holds nothing. *)
+  cur_task : int array;
+  cur_started : float array;
+  cur_remaining : float array;  (* actual-time units of work left *)
+  cur_last : float array;  (* when [cur_remaining] was last synced *)
+  cur_base : float array;  (* actual-time units resumed from a checkpoint *)
+  (* Recovery bookkeeping — initial values throughout under
+     [Recovery.none]. *)
+  orphan : int array;  (* killed, undetected copy's task; -1 = none *)
+  undetected : float array;  (* earliest undetected failure; nan = none *)
+  blinks : int array;  (* outages suffered so far, drives backoff *)
+  trust_after : float array;  (* no dispatches before this time *)
+  ckpt_task : int array;  (* checkpointed task on local disk; -1 = none *)
+  ckpt_work : float array;  (* work banked by that checkpoint *)
   alive_set : Bitset.t;
 }
 
 let create ?speeds ~m () =
   {
     m;
-    speeds;
-    machines =
-      Array.init m (fun _ ->
-          {
-            alive = true;
-            down_until = 0.0;
-            factor = 1.0;
-            gen = 0;
-            current = None;
-            orphan = None;
-            undetected = None;
-            blinks = 0;
-            trust_after = 0.0;
-            ckpt = None;
-          });
+    base = (match speeds with None -> Array.make m 1.0 | Some s -> Array.copy s);
+    alive = Array.make m true;
+    down_until = Array.make m 0.0;
+    factor = Array.make m 1.0;
+    gen = Array.make m 0;
+    cur_task = Array.make m (-1);
+    cur_started = Array.make m 0.0;
+    cur_remaining = Array.make m 0.0;
+    cur_last = Array.make m 0.0;
+    cur_base = Array.make m 0.0;
+    orphan = Array.make m (-1);
+    undetected = Array.make m Float.nan;
+    blinks = Array.make m 0;
+    trust_after = Array.make m 0.0;
+    ckpt_task = Array.make m (-1);
+    ckpt_work = Array.make m 0.0;
     alive_set = Bitset.full m;
   }
 
 let m t = t.m
-let get t i = t.machines.(i)
 let alive_set t = t.alive_set
-let base_speed t i = match t.speeds with None -> 1.0 | Some s -> s.(i)
-let eff_speed t i = base_speed t i *. t.machines.(i).factor
-
-let available t ~time i =
-  let ms = t.machines.(i) in
-  ms.alive && ms.down_until <= time
-
-let idle t ~time i = available t ~time i && t.machines.(i).current = None
+let base_speed t i = t.base.(i)
+let eff_speed t i = t.base.(i) *. t.factor.(i)
+let available t ~time i = t.alive.(i) && t.down_until.(i) <= time
+let idle t ~time i = available t ~time i && t.cur_task.(i) < 0
 
 let mark_crashed t i =
-  t.machines.(i).alive <- false;
+  t.alive.(i) <- false;
   Bitset.remove t.alive_set i
 
-let fresh_copy ~task ~time ~work =
-  { c_task = task; c_started = time; c_remaining = work; c_last = time; c_base = 0.0 }
+let start_fresh t i ~task ~time ~work =
+  t.cur_task.(i) <- task;
+  t.cur_started.(i) <- time;
+  t.cur_remaining.(i) <- work;
+  t.cur_last.(i) <- time;
+  t.cur_base.(i) <- 0.0
 
-let resumed_copy ~task ~time ~work ~banked =
-  {
-    c_task = task;
-    c_started = time;
-    c_remaining = work -. banked;
-    c_last = time;
-    c_base = banked;
-  }
+let start_resumed t i ~task ~time ~work ~banked =
+  t.cur_task.(i) <- task;
+  t.cur_started.(i) <- time;
+  t.cur_remaining.(i) <- work -. banked;
+  t.cur_last.(i) <- time;
+  t.cur_base.(i) <- banked
 
-let sync_remaining c ~time ~speed =
-  c.c_remaining <- c.c_remaining -. ((time -. c.c_last) *. speed);
-  c.c_last <- time
+let clear_current t i = t.cur_task.(i) <- -1
 
-let remaining_at c ~time ~speed =
-  Float.max 0.0 (c.c_remaining -. ((time -. c.c_last) *. speed))
+let sync_remaining t i ~time ~speed =
+  t.cur_remaining.(i) <- t.cur_remaining.(i) -. ((time -. t.cur_last.(i)) *. speed);
+  t.cur_last.(i) <- time
+
+let remaining_at t i ~time ~speed =
+  Float.max 0.0 (t.cur_remaining.(i) -. ((time -. t.cur_last.(i)) *. speed))

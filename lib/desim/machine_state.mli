@@ -1,57 +1,58 @@
-(** Per-machine dynamic state of the fault-injected simulation.
+(** Per-machine dynamic state of the fault-injected simulation,
+    laid out struct-of-arrays.
 
-    Extracted from the engine monolith: each machine carries its
-    liveness, outage clock, straggler speed factor, the copy it is
-    processing, and the recovery bookkeeping (orphaned copies, pending
-    failure detections, blink count for backoff, and the machine-local
-    checkpoint store). The engine mutates these fields directly — the
-    module is a state container plus the clock/speed helpers, not an
-    abstraction boundary; keeping the fields transparent is what lets
-    the refactored engine stay bit-for-bit identical to the monolith. *)
+    Each machine carries its liveness, outage clock, straggler speed
+    factor, the copy it is processing, and the recovery bookkeeping
+    (orphaned copies, pending failure detections, blink count for
+    backoff, and the machine-local checkpoint store) — one unboxed
+    int/float lane per field instead of a record per machine. The
+    in-flight copy lives in the [cur_*] lanes with [cur_task.(i) = -1]
+    meaning idle; the former option-typed recovery fields use sentinel
+    values ([orphan = -1], [undetected = nan], [ckpt_task = -1]).
+
+    The engine mutates the lanes directly — this module is a state
+    container plus the clock/speed helpers, not an abstraction
+    boundary. Keeping the representation transparent (and off the
+    minor heap: full-length lanes are major-heap allocations) is what
+    lets the engine's hot loops run allocation-free. *)
 
 module Bitset = Usched_model.Bitset
 
-(** A copy of a task in flight on one machine. [c_remaining] is
-    re-synced at every speed change, so completion predictions stay
-    exact under mid-task slowdowns. [c_base] is work banked by earlier
-    checkpointed attempts (always 0 without a recovery policy). *)
-type copy = {
-  c_task : int;
-  c_started : float;
-  mutable c_remaining : float;  (** actual-time units of work left *)
-  mutable c_last : float;  (** when [c_remaining] was last synced *)
-  c_base : float;  (** actual-time units resumed from a checkpoint *)
+type t = {
+  m : int;
+  base : float array;  (** configured speed (1.0 when unspecified) *)
+  alive : bool array;
+  down_until : float array;  (** unavailable while [now < down_until] *)
+  factor : float array;  (** straggler speed multiplier *)
+  gen : int array;  (** invalidates queued completion events *)
+  cur_task : int array;  (** task in flight; -1 = idle *)
+  cur_started : float array;
+  cur_remaining : float array;  (** actual-time units of work left *)
+  cur_last : float array;  (** when [cur_remaining] was last synced *)
+  cur_base : float array;
+      (** actual-time units resumed from a checkpoint (0 without
+          recovery) *)
+  orphan : int array;
+      (** copy killed by an undetected failure; -1 = none *)
+  undetected : float array;
+      (** earliest failure time awaiting detection; nan = none *)
+  blinks : int array;  (** outages suffered so far, drives backoff *)
+  trust_after : float array;  (** no dispatches before this time *)
+  ckpt_task : int array;
+      (** task preserved on local disk by its last checkpoint; -1 = none *)
+  ckpt_work : float array;  (** work banked by that checkpoint *)
+  alive_set : Bitset.t;
+      (** machines that have not crashed (kept in sync by
+          {!mark_crashed}) *)
 }
-
-type machine = {
-  mutable alive : bool;
-  mutable down_until : float;
-      (** unavailable while [now < down_until] *)
-  mutable factor : float;  (** straggler speed multiplier *)
-  mutable gen : int;  (** invalidates queued completion events *)
-  mutable current : copy option;
-  mutable orphan : int option;
-      (** copy killed by a failure the scheduler has not yet detected *)
-  mutable undetected : float option;
-      (** earliest failure time awaiting detection *)
-  mutable blinks : int;  (** outages suffered so far, drives backoff *)
-  mutable trust_after : float;  (** no dispatches before this time *)
-  mutable ckpt : (int * float) option;
-      (** task and work preserved on local disk by its last checkpoint *)
-}
-
-type t
 
 val create : ?speeds:float array -> m:int -> unit -> t
 (** All machines up, at their configured base speed (default 1.0),
-    holding nothing. *)
+    holding nothing. [speeds] is copied. *)
 
 val m : t -> int
-val get : t -> int -> machine
 
 val alive_set : t -> Bitset.t
-(** Machines that have not crashed (shared, kept in sync by
-    {!mark_crashed}). *)
 
 val base_speed : t -> int -> float
 (** The configured speed, before any slowdown factor. *)
@@ -68,16 +69,23 @@ val idle : t -> time:float -> int -> bool
 
 val mark_crashed : t -> int -> unit
 (** Permanently removes the machine: clears [alive] and updates
-    {!alive_set}. *)
+    [alive_set]. *)
 
-val fresh_copy : task:int -> time:float -> work:float -> copy
-val resumed_copy : task:int -> time:float -> work:float -> banked:float -> copy
+val start_fresh : t -> int -> task:int -> time:float -> work:float -> unit
+(** Install a fresh copy of [task] on machine [i]. *)
 
-val sync_remaining : copy -> time:float -> speed:float -> unit
+val start_resumed :
+  t -> int -> task:int -> time:float -> work:float -> banked:float -> unit
+(** Install a copy resuming from [banked] checkpointed work. *)
+
+val clear_current : t -> int -> unit
+(** The machine holds nothing ([cur_task.(i) <- -1]). *)
+
+val sync_remaining : t -> int -> time:float -> speed:float -> unit
 (** Bank the work processed since the last sync at [speed] (used at
     speed changes; intentionally unclamped, matching the engine's
     slowdown arithmetic). *)
 
-val remaining_at : copy -> time:float -> speed:float -> float
+val remaining_at : t -> int -> time:float -> speed:float -> float
 (** Non-mutating, clamped view of the work left at [time] if the copy
     ran at [speed] since its last sync (used by checkpoint salvage). *)

@@ -4,55 +4,88 @@ module Realization = Usched_model.Realization
 
 type entry = { machine : int; start : float; finish : float }
 
-type t = { m : int; entries : entry array }
+(* Struct-of-arrays internally: one int lane and two unboxed float
+   lanes instead of an array of 4-word mixed records. The engines fill
+   the lanes in place and hand them over via [of_soa] without building
+   a record per task; [entry] records are materialized on demand. *)
+type t = { m : int; machines : int array; starts : float array; finishes : float array }
+
+let check ~m t =
+  let n = Array.length t.machines in
+  for j = 0 to n - 1 do
+    let machine = t.machines.(j) in
+    if machine < 0 || machine >= m then
+      invalid_arg (Printf.sprintf "Schedule.make: task %d on machine %d" j machine);
+    let start = t.starts.(j) and finish = t.finishes.(j) in
+    if start < 0.0 || finish < start then
+      invalid_arg (Printf.sprintf "Schedule.make: task %d has bad times" j)
+  done;
+  t
 
 let make ~m entries =
-  Array.iteri
-    (fun j e ->
-      if e.machine < 0 || e.machine >= m then
-        invalid_arg (Printf.sprintf "Schedule.make: task %d on machine %d" j e.machine);
-      if e.start < 0.0 || e.finish < e.start then
-        invalid_arg (Printf.sprintf "Schedule.make: task %d has bad times" j))
-    entries;
-  { m; entries = Array.copy entries }
+  check ~m
+    {
+      m;
+      machines = Array.map (fun e -> e.machine) entries;
+      starts = Array.map (fun e -> e.start) entries;
+      finishes = Array.map (fun e -> e.finish) entries;
+    }
 
-let n t = Array.length t.entries
+let of_soa ~m ~machines ~starts ~finishes =
+  let n = Array.length machines in
+  if Array.length starts <> n || Array.length finishes <> n then
+    invalid_arg "Schedule.of_soa: length mismatch";
+  check ~m { m; machines; starts; finishes }
+
+let n t = Array.length t.machines
 let m t = t.m
-let entry t j = t.entries.(j)
-let machine_of t j = t.entries.(j).machine
 
-let makespan t = Array.fold_left (fun acc e -> Float.max acc e.finish) 0.0 t.entries
+let entry t j =
+  { machine = t.machines.(j); start = t.starts.(j); finish = t.finishes.(j) }
+
+let machine_of t j = t.machines.(j)
+
+let makespan t = Array.fold_left Float.max 0.0 t.finishes
 
 let loads t =
   let loads = Array.make t.m 0.0 in
-  Array.iter
-    (fun e -> loads.(e.machine) <- loads.(e.machine) +. (e.finish -. e.start))
-    t.entries;
+  for j = 0 to n t - 1 do
+    let i = t.machines.(j) in
+    loads.(i) <- loads.(i) +. (t.finishes.(j) -. t.starts.(j))
+  done;
   loads
 
 let machine_tasks t i =
   let tasks = ref [] in
-  Array.iteri (fun j e -> if e.machine = i then tasks := j :: !tasks) t.entries;
-  List.sort
-    (fun a b -> Float.compare t.entries.(a).start t.entries.(b).start)
-    !tasks
+  for j = n t - 1 downto 0 do
+    if t.machines.(j) = i then tasks := j :: !tasks
+  done;
+  List.sort (fun a b -> Float.compare t.starts.(a) t.starts.(b)) !tasks
 
-let assignment t = Array.map (fun e -> e.machine) t.entries
+let assignment t = Array.copy t.machines
 
 let of_assignment ~m ~durations assignment =
-  if Array.length durations <> Array.length assignment then
+  let n = Array.length assignment in
+  if Array.length durations <> n then
     invalid_arg "Schedule.of_assignment: length mismatch";
   let next_free = Array.make m 0.0 in
-  let entries =
-    Array.mapi
-      (fun j machine ->
+  let machines = Array.copy assignment in
+  let starts = Array.make n 0.0 in
+  let finishes = Array.make n 0.0 in
+  (* Machine range is validated by [check] below; guard the indexing
+     into [next_free] here so a bad machine id fails with the make
+     error, not an array bound. *)
+  Array.iteri
+    (fun j machine ->
+      if machine >= 0 && machine < m then begin
         let start = next_free.(machine) in
         let finish = start +. durations.(j) in
         next_free.(machine) <- finish;
-        { machine; start; finish })
-      assignment
-  in
-  make ~m entries
+        starts.(j) <- start;
+        finishes.(j) <- finish
+      end)
+    machines;
+  check ~m { m; machines; starts; finishes }
 
 type violation =
   | Overlap of { machine : int; task_a : int; task_b : int }
@@ -66,28 +99,26 @@ let validate ?placement ?speeds instance realization t =
   let speed_of i = match speeds with None -> 1.0 | Some s -> s.(i) in
   (* Durations must match the realized actual times (scaled by machine
      speed on uniform machines). *)
-  Array.iteri
-    (fun j e ->
-      let expected = Realization.actual realization j /. speed_of e.machine in
-      let got = e.finish -. e.start in
-      if Float.abs (expected -. got) > tolerance then
-        push (Wrong_duration { task = j; expected; got }))
-    t.entries;
+  for j = 0 to n t - 1 do
+    let expected = Realization.actual realization j /. speed_of t.machines.(j) in
+    let got = t.finishes.(j) -. t.starts.(j) in
+    if Float.abs (expected -. got) > tolerance then
+      push (Wrong_duration { task = j; expected; got })
+  done;
   (* Data locality: each task ran where its data was placed. *)
   (match placement with
   | None -> ()
   | Some sets ->
-      Array.iteri
-        (fun j e ->
-          if not (Bitset.mem sets.(j) e.machine) then
-            push (Not_allowed { task = j; machine = e.machine }))
-        t.entries);
+      for j = 0 to n t - 1 do
+        if not (Bitset.mem sets.(j) t.machines.(j)) then
+          push (Not_allowed { task = j; machine = t.machines.(j) })
+      done);
   (* No two tasks overlap on one machine. *)
   for i = 0 to t.m - 1 do
     let tasks = machine_tasks t i in
     let rec check = function
       | a :: (b :: _ as rest) ->
-          if t.entries.(a).finish > t.entries.(b).start +. tolerance then
+          if t.finishes.(a) > t.starts.(b) +. tolerance then
             push (Overlap { machine = i; task_a = a; task_b = b });
           check rest
       | _ -> ()

@@ -17,6 +17,13 @@ val make : m:int -> entry array -> t
 (** [make ~m entries] wraps per-task entries. Raises [Invalid_argument] on
     negative times, [finish < start], or machines outside [0, m). *)
 
+val of_soa :
+  m:int -> machines:int array -> starts:float array -> finishes:float array -> t
+(** Struct-of-arrays constructor: takes ownership of the three lanes
+    (no copy — callers must not mutate them afterwards) and runs the
+    same validation as {!make}. This is the engines' hand-off path; it
+    allocates nothing per task. *)
+
 val n : t -> int
 val m : t -> int
 

@@ -32,16 +32,24 @@ let crashed_set ~m faults =
   List.iter (fun i -> Bitset.add set i) (Trace.crashed faults);
   set
 
-let monte_carlo_survival ?(trials = 1000) ~seed ~profile placement =
+let monte_carlo_survival ?(trials = 1000) ?(domains = 1) ~seed ~profile
+    placement =
   if trials < 1 then invalid_arg "monte_carlo_survival: trials must be >= 1";
   let sets = Core.Placement.sets placement in
   let mm = Failure.m profile in
   let rng = Rng.create ~seed () in
-  let data = Array.make trials 0.0 in
-  for t = 0 to trials - 1 do
-    let faults = Trace.profile_crashes (Rng.split rng) ~profile ~horizon:1.0 in
-    if survives sets (crashed_set ~m:mm faults) then data.(t) <- 1.0
-  done;
+  (* Trial generators are split off sequentially before the fan-out, so
+     trial [t] sees the same stream — and the bootstrap below continues
+     from the same master state — at any domain count: N-domain and
+     1-domain runs are bit-identical. *)
+  let trial_rngs = Array.init trials (fun _ -> Rng.split rng) in
+  let data =
+    Usched_parallel.Pool.parallel_init ~domains trials (fun t ->
+        let faults =
+          Trace.profile_crashes trial_rngs.(t) ~profile ~horizon:1.0
+        in
+        if survives sets (crashed_set ~m:mm faults) then 1.0 else 0.0)
+  in
   let iv = Bootstrap.mean_interval ~rng data in
   { point = iv.Bootstrap.point; lo = iv.Bootstrap.lo; hi = iv.Bootstrap.hi;
     trials }

@@ -23,6 +23,7 @@ type survival = { point : float; lo : float; hi : float; trials : int }
 
 val monte_carlo_survival :
   ?trials:int ->
+  ?domains:int ->
   seed:int ->
   profile:Usched_model.Failure.t ->
   Usched_core.Placement.t ->
@@ -31,6 +32,9 @@ val monte_carlo_survival :
     (default 1000) independent crash traces from the profile
     ({!Usched_faults.Trace.profile_crashes}) and reports the fraction
     under which no task is stranded — a task strands when every machine
-    in its replica set crashes. Deterministic given [seed]. *)
+    in its replica set crashes. [domains] (default 1) shards the draws
+    over that many domains; trial generators are pre-split
+    sequentially, so the result is deterministic given [seed] and
+    bit-identical at any domain count. *)
 
 val run : Runner.config -> unit

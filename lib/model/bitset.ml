@@ -49,13 +49,21 @@ let capacity t = t.len
 
 let copy t = { len = t.len; words = Array.copy t.words }
 
+(* Kernighan's bit-clear loop: one iteration per set bit, not per bit
+   position. *)
 let popcount word =
-  let rec loop acc w = if w = 0 then acc else loop (acc + (w land 1)) (w lsr 1) in
+  let rec loop acc w = if w = 0 then acc else loop (acc + 1) (w land (w - 1)) in
   loop 0 word
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 
-let is_empty t = Array.for_all (fun w -> w = 0) t.words
+(* Module-level recursion instead of [Array.for_all] with a lambda —
+   the closure allocated per call showed up in the engine's
+   validate-every-placement loop. *)
+let rec words_zero words k =
+  k >= Array.length words || (words.(k) = 0 && words_zero words (k + 1))
+
+let is_empty t = words_zero t.words 0
 
 let iter f t =
   for i = 0 to t.len - 1 do
@@ -86,6 +94,24 @@ let union a b =
 let inter a b =
   check_same_capacity a b;
   { len = a.len; words = Array.map2 ( land ) a.words b.words }
+
+(* Word-level intersection queries, allocation-free (no intermediate
+   set) — the engine's strand scans and the healer's degree checks call
+   these per task per event. *)
+let rec words_disjoint aw bw k =
+  k >= Array.length aw || (aw.(k) land bw.(k) = 0 && words_disjoint aw bw (k + 1))
+
+let inter_is_empty a b =
+  check_same_capacity a b;
+  words_disjoint a.words b.words 0
+
+let rec words_inter_count aw bw k acc =
+  if k >= Array.length aw then acc
+  else words_inter_count aw bw (k + 1) (acc + popcount (aw.(k) land bw.(k)))
+
+let inter_cardinal a b =
+  check_same_capacity a b;
+  words_inter_count a.words b.words 0 0
 
 let equal a b = a.len = b.len && a.words = b.words
 

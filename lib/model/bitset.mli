@@ -48,6 +48,14 @@ val union : t -> t -> t
 val inter : t -> t -> t
 (** Functional intersection of two sets of equal capacity. *)
 
+val inter_is_empty : t -> t -> bool
+(** [inter_is_empty a b = is_empty (inter a b)] without allocating the
+    intermediate set. *)
+
+val inter_cardinal : t -> t -> int
+(** [inter_cardinal a b = cardinal (inter a b)] without allocating the
+    intermediate set. *)
+
 val equal : t -> t -> bool
 val subset : t -> t -> bool
 

@@ -24,7 +24,7 @@ let of_factors instance factors =
 
 let exact instance = of_actuals instance (Instance.ests instance)
 
-let actual t j = t.actuals.(j)
+let[@inline] actual t j = t.actuals.(j)
 let actuals t = Array.copy t.actuals
 let total t = Array.fold_left ( +. ) 0.0 t.actuals
 let max_actual t = Array.fold_left Float.max 0.0 t.actuals

@@ -17,18 +17,28 @@ let parallel_init ~domains n f =
   if n = 0 then [||]
   else if domains = 1 || n = 1 then Array.init n f
   else begin
-    let results = Array.make n None in
+    (* Element 0 is computed up front on the calling domain and doubles
+       as the array's fill witness: the result lane is a plain
+       ['a array] instead of an ['a option array], so no [Some] box is
+       allocated per element and float results stay unboxed. Safe
+       because every index in [1, n) is claimed by exactly one chunk
+       and written before the joins complete. *)
+    let first = f 0 in
+    let results = Array.make n first in
     let error = Atomic.make None in
-    let next = Atomic.make 0 in
+    let next = Atomic.make 1 in
     let chunk = Stdlib.max 1 (n / (domains * 4)) in
+    let failed () =
+      match Atomic.get error with Some _ -> true | None -> false
+    in
     let worker () =
       let rec loop () =
         let start = Atomic.fetch_and_add next chunk in
-        if start < n && Atomic.get error = None then begin
+        if start < n && not (failed ()) then begin
           let stop = Stdlib.min n (start + chunk) in
           (try
              for i = start to stop - 1 do
-               results.(i) <- Some (f i)
+               results.(i) <- f i
              done
            with e ->
              (* Capture the backtrace with the exception so the re-raise
@@ -48,11 +58,7 @@ let parallel_init ~domains n f =
     (match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
-    Array.map
-      (function
-        | Some v -> v
-        | None -> failwith "Pool.parallel_init: missing result")
-      results
+    results
   end
 
 let parallel_map ~domains f a =

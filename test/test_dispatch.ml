@@ -325,10 +325,12 @@ let redispatch_order_pinned () =
       pos_of = submission_order 3;
       dispatchable = [| true; true; true |];
       holders = placement;
-      est = Instance.est instance;
-      speed = (fun _ -> 1.0);
+      est = Array.init 3 (Instance.est instance);
+      speed = [| 1.0; 1.0; 1.0 |];
       load = [| 0.0; 0.0; 0.0 |];
-      available = (fun ~time:_ _ -> true);
+      now = [| 0.0 |];
+      available = (fun _ -> true);
+      holders_stable = true;
     }
   in
   let t = Dispatch.make Dispatch.default view in
@@ -355,10 +357,12 @@ let least_loaded_defers () =
       pos_of = [| 0; 1 |];
       dispatchable;
       holders;
-      est = (fun j -> [| 3.0; 5.0 |].(j));
-      speed = (fun _ -> 1.0);
+      est = [| 3.0; 5.0 |];
+      speed = [| 1.0; 1.0 |];
       load;
-      available = (fun ~time:_ _ -> true);
+      now = [| 0.0 |];
+      available = (fun _ -> true);
+      holders_stable = true;
     }
   in
   (* Least-loaded has m0 defer t0 to the idle holder and fall through to
@@ -468,7 +472,7 @@ let random_tiebreak_behavior () =
    original algorithm, frozen here with its refs and [Bitset.iter]
    closure, probed against the module's implementation on random views —
    arbitrary loads, holder sets, availability, and priority order. *)
-let reference_least_loaded (v : Dispatch.view) ~time ~machine:i =
+let reference_least_loaded (v : Dispatch.view) ~machine:i =
   let fallback = ref None and result = ref None in
   let pos = ref 0 in
   while !result = None && !pos < v.Dispatch.n do
@@ -481,7 +485,7 @@ let reference_least_loaded (v : Dispatch.view) ~time ~machine:i =
         (fun k ->
           if
             k <> i
-            && v.Dispatch.available ~time k
+            && v.Dispatch.available k
             && v.Dispatch.load.(k) < v.Dispatch.load.(i)
           then better := true)
         v.Dispatch.holders.(j);
@@ -535,18 +539,112 @@ let prop_least_loaded_matches_reference =
           pos_of;
           dispatchable;
           holders;
-          est = (fun j -> ests.(j));
-          speed = (fun _ -> 1.0);
+          est = ests;
+          speed = Array.make m 1.0;
           load;
-          available = (fun ~time:_ k -> avail.(k));
+          now = [| 0.0 |];
+          available = (fun k -> avail.(k));
+          holders_stable = true;
         }
       in
       let ll = Dispatch.make Dispatch.Least_loaded_holder view in
       Array.for_all
         (fun i ->
           Dispatch.select ll ~time:0.0 ~machine:i
-          = reference_least_loaded view ~time:0.0 ~machine:i)
+          = reference_least_loaded view ~machine:i)
         (Array.init m (fun i -> i)))
+
+(* Reference equivalence for the list-priority rewrite (S1): the rule's
+   meaning is stateless — the minimum-position dispatchable task holding
+   the asking machine — and the cursors (per-machine or per-bucket) are
+   just an incremental evaluation of that scan. Both variants are driven
+   side by side through engine-shaped histories (select-then-start,
+   pool re-entries with [notify]) against the stateless scan. The
+   bucketed variant is forced by sharing holder bitsets physically
+   (holders_stable = true, few distinct sets); the plain variant by
+   clearing [holders_stable] on an otherwise identical view. *)
+let reference_list_priority (v : Dispatch.view) ~machine:i =
+  let rec scan pos =
+    if pos >= v.Dispatch.n then -1
+    else
+      let j = v.Dispatch.order.(pos) in
+      if v.Dispatch.dispatchable.(j) && Bitset.mem v.Dispatch.holders.(j) i
+      then j
+      else scan (pos + 1)
+  in
+  scan 0
+
+let prop_list_priority_matches_reference =
+  QCheck.Test.make
+    ~name:"list-priority (plain and bucketed) matches the stateless scan"
+    ~count:500 view_scenario (fun (n, m, seed) ->
+      let rng = Rng.create ~seed () in
+      let order = Array.init n (fun j -> j) in
+      Rng.shuffle rng order;
+      let pos_of = Array.make n 0 in
+      Array.iteri (fun p j -> pos_of.(j) <- p) order;
+      (* A small pool of physically shared holder sets: group placements
+         share bitsets across tasks, which is what makes the bucket
+         count small and engages the bucketed variant. *)
+      let pool_size = 1 + Rng.int rng 5 in
+      let pool =
+        Array.init pool_size (fun _ ->
+            let s = Bitset.create m in
+            for i = 0 to m - 1 do
+              if Rng.bernoulli rng ~p:0.6 then Bitset.add s i
+            done;
+            if Bitset.cardinal s = 0 then Bitset.add s (Rng.int rng m);
+            s)
+      in
+      let holders = Array.init n (fun _ -> pool.(Rng.int rng pool_size)) in
+      let dispatchable = Array.init n (fun _ -> Rng.bernoulli rng ~p:0.8) in
+      let view =
+        {
+          Dispatch.n;
+          m;
+          order;
+          pos_of;
+          dispatchable;
+          holders;
+          est = Array.init n (fun _ -> Rng.float_range rng ~lo:0.5 ~hi:9.0);
+          speed = Array.make m 1.0;
+          load = Array.make m 0.0;
+          now = [| 0.0 |];
+          available = (fun _ -> true);
+          holders_stable = true;
+        }
+      in
+      (* Both instances share the view's live arrays, so one mutation of
+         [dispatchable] is seen by plain, bucketed, and reference alike. *)
+      let bucketed = Dispatch.make Dispatch.List_priority view in
+      let plain =
+        Dispatch.make Dispatch.List_priority
+          { view with Dispatch.holders_stable = false }
+      in
+      let ok = ref true in
+      for _ = 1 to 3 * (n + 1) do
+        if Rng.bernoulli rng ~p:0.7 then begin
+          (* An idle machine asks for work and starts what it gets —
+             the only way the engine ever consumes a selection. *)
+          let i = Rng.int rng m in
+          let r = reference_list_priority view ~machine:i in
+          let b = Dispatch.select_machine bucketed ~machine:i in
+          let p = Dispatch.select_machine plain ~machine:i in
+          if b <> r || p <> r then ok := false;
+          if r >= 0 then dispatchable.(r) <- false
+        end
+        else begin
+          (* A task returns to the pool (a kill, a streaming arrival):
+             the engine flips the flag and notifies the policy. *)
+          let j = Rng.int rng n in
+          if not dispatchable.(j) then begin
+            dispatchable.(j) <- true;
+            Dispatch.notify_available bucketed ~task:j;
+            Dispatch.notify_available plain ~task:j
+          end
+        end
+      done;
+      !ok)
 
 (* Every policy must refuse work the machine has no data for, and the
    faulty engine must respect availability under every policy. *)
@@ -592,6 +690,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_policies_work_conserving;
           QCheck_alcotest.to_alcotest prop_policy_reachability;
           QCheck_alcotest.to_alcotest prop_least_loaded_matches_reference;
+          QCheck_alcotest.to_alcotest prop_list_priority_matches_reference;
         ] );
       ( "redispatch",
         [
