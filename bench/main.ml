@@ -351,8 +351,15 @@ let run_benches ~quota_s ~filters () =
           (benches ())
   in
   if selected = [] then (
-    Printf.printf "  (no bench row matches the given --filter)\n";
-    exit 1);
+    Printf.eprintf
+      "bench: no bench row matches --filter %s\navailable rows:\n"
+      (String.concat " --filter " (List.map (Printf.sprintf "%S") filters));
+    List.iter
+      (fun t -> Printf.eprintf "  %s\n" (Test.name t))
+      (benches ());
+    Printf.eprintf
+      "usage: bench [--quick] [--json PATH] [--filter SUBSTR]\n";
+    exit 2);
   let grouped = Test.make_grouped ~name:"usched" ~fmt:"%s %s" selected in
   let raw = Benchmark.all cfg instances grouped in
   let estimates_of instance =

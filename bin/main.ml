@@ -137,11 +137,21 @@ let gen_cmd =
                    and read back by 'solve', which then reports adversarial \
                    and Monte-Carlo speed robustness.")
   in
+  let topology =
+    Arg.(value & opt (some string) None
+         & info [ "topology" ] ~docv:"SPEC"
+             ~doc:"Attach a cluster topology: uniform (one zone, free \
+                   transfers), zones:Z:BW[:LAT] (Z balanced zones, one \
+                   cross-zone bandwidth and optional latency), or a \
+                   serialized ZONES|BW|LAT matrix form. Serialized into the \
+                   instance header and read back by 'solve', which then \
+                   prices replication transfers and staging.")
+  in
   let out =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"FILE" ~doc:"Output instance file.")
   in
-  let run spec n m alpha seed failp speed_band out =
+  let run spec n m alpha seed failp speed_band topology out =
     let failure =
       match failp with
       | None -> None
@@ -179,6 +189,16 @@ let gen_cmd =
               Printf.eprintf "usched: --speed-band: %s\n" msg;
               exit 2)
     in
+    let topo =
+      match topology with
+      | None -> None
+      | Some s -> (
+          match Model.Topology.of_spec ~m s with
+          | Ok t -> Some t
+          | Error msg ->
+              Printf.eprintf "usched: --topology: %s\n" msg;
+              exit 2)
+    in
     let rng = Usched_prng.Rng.create ~seed () in
     let instance =
       Model.Workload.generate spec ~n ~m
@@ -194,8 +214,13 @@ let gen_cmd =
       | None -> instance
       | Some _ -> Model.Instance.with_speed_band instance band
     in
+    let instance =
+      match topo with
+      | None -> instance
+      | Some _ -> Model.Instance.with_topology instance topo
+    in
     Model.Io.save_instance ~path:out instance;
-    Printf.printf "wrote %s (%d tasks, %d machines, alpha=%g%s%s)\n" out n m
+    Printf.printf "wrote %s (%d tasks, %d machines, alpha=%g%s%s%s)\n" out n m
       alpha
       (match failure with
       | None -> ""
@@ -204,10 +229,17 @@ let gen_cmd =
       | None -> ""
       | Some b ->
           Printf.sprintf ", speed band %s" (Model.Speed_band.to_string b))
+      (match topo with
+      | None -> ""
+      | Some t ->
+          Printf.sprintf ", topology %d zone%s" (Model.Topology.zones t)
+            (if Model.Topology.zones t = 1 then "" else "s"))
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic instance file.")
-    Term.(const run $ spec $ n $ m $ alpha $ seed $ failp $ speed_band $ out)
+    Term.(
+      const run $ spec $ n $ m $ alpha $ seed $ failp $ speed_band $ topology
+      $ out)
 
 (* The strategy catalog owns the whole --algo grammar: parsing,
    parameter validation (NaN deltas, zero group counts, ...), and the
@@ -401,6 +433,16 @@ let solve_cmd =
                    dominates, and a mid-run revelation replayed through the \
                    fault layer.")
   in
+  let topology =
+    Arg.(value & opt (some string) None
+         & info [ "topology" ] ~docv:"SPEC"
+             ~doc:"Network topology override for transfer costs (uniform, \
+                   zones:Z:BW[:LAT], or a serialized ZONES|BW|LAT form), \
+                   replacing any topology in the instance header. Replication \
+                   and recovery transfers between zones are charged data-size \
+                   / bandwidth + latency; the engine stages a task's data \
+                   before its first copy on each machine.")
+  in
   let policy =
     Arg.(value & opt policy_conv Usched_desim.Dispatch.default
          & info [ "policy" ] ~docv:"POLICY"
@@ -440,8 +482,8 @@ let solve_cmd =
                    created as needed.")
   in
   let run file spec seed gantt fail_rate speculate recover detect_latency
-      bandwidth checkpoint target_reliability speeds speed_band policy stream
-      arrival trace_path =
+      bandwidth checkpoint target_reliability speeds speed_band topology policy
+      stream arrival trace_path =
     let recovery =
       if
         recover = Usched_faults.Recovery.Fixed 0
@@ -480,6 +522,18 @@ let solve_cmd =
               exit 2)
       | None -> Model.Instance.speed_band instance
     in
+    (* The flag overrides any topology the instance header carries. *)
+    let instance =
+      match topology with
+      | None -> instance
+      | Some s -> (
+          match Model.Topology.of_spec ~m s with
+          | Ok t -> Model.Instance.with_topology instance (Some t)
+          | Error msg ->
+              Printf.eprintf "usched: --topology: %s\n" msg;
+              exit 2)
+    in
+    let topo = Model.Instance.topology instance in
     (* Per-instance constraints (group count vs m, speeds length) can
        only be checked once the instance is known. *)
     let algo =
@@ -524,6 +578,19 @@ let solve_cmd =
              match band with
              | None -> Json.Null
              | Some b -> Json.String (Model.Speed_band.to_string b) );
+           ( "topology",
+             match topo with
+             | None -> Json.Null
+             | Some t -> Json.String (Model.Topology.to_string t) );
+           ( "topology_zones",
+             match topo with
+             | None -> Json.Null
+             | Some t -> Json.Int (Model.Topology.zones t) );
+           ( "replication_cost",
+             Json.float
+               (Core.Placement.replication_cost placement
+                  ~topology:(Model.Instance.topology_or_uniform instance)
+                  ~sizes:(Model.Instance.sizes instance)) );
            ("policy", Json.String (Usched_desim.Dispatch.name policy));
            ("stream", Json.Bool stream);
            ( "arrival",
@@ -558,6 +625,13 @@ let solve_cmd =
       algo.Core.Two_phase.name file healthy lb (healthy /. lb)
       (Core.Placement.max_replication placement)
       (Core.Placement.memory_max placement ~sizes:(Model.Instance.sizes instance));
+    (match topo with
+    | None -> ()
+    | Some t ->
+        Printf.printf "topology: %d zones, replication transfer cost %.4f\n"
+          (Model.Topology.zones t)
+          (Core.Placement.replication_cost placement ~topology:t
+             ~sizes:(Model.Instance.sizes instance)));
     if gantt then print_string (Usched_desim.Gantt.render schedule);
     print_string (Usched_desim.Timeline.render_stats schedule);
     (match speeds with
@@ -936,7 +1010,7 @@ let solve_cmd =
     Term.(
       const run $ file $ algo $ seed $ gantt $ fail_rate $ speculate $ recover
       $ detect_latency $ bandwidth $ checkpoint $ target_reliability $ speeds
-      $ speed_band $ policy $ stream $ arrival $ trace)
+      $ speed_band $ topology $ policy $ stream $ arrival $ trace)
 
 let strategies_cmd =
   let run () =

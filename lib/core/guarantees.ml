@@ -84,6 +84,31 @@ let abo_memory ~m ~delta ~rho2 =
   check_rho rho2;
   (1.0 +. (float_of_int m /. delta)) *. rho2
 
+let check_staging s =
+  if Float.is_nan s || not (Float.is_finite s) || s < 0.0 then
+    invalid_arg "Guarantees: staging term must be finite and >= 0"
+
+let check_opt opt =
+  if Float.is_nan opt || not (Float.is_finite opt) || opt < 0.0 then
+    invalid_arg "Guarantees: opt must be finite and >= 0"
+
+(* Staging-aware makespan bounds. Staging occupies the executing machine
+   exactly like processing, so a ratio-[rho] list bound degrades to the
+   additive form [rho * opt + s_max]: the final task's machine pays at
+   most its own staging on top of a schedule the ratio already covers.
+   These return executable upper bounds (absolute makespans, not
+   ratios) — on the uniform topology [s_max = 0] and they collapse to
+   [rho * opt]. *)
+let list_scheduling_staged ~m ~s_max ~opt =
+  check_staging s_max;
+  check_opt opt;
+  (list_scheduling ~m *. opt) +. s_max
+
+let full_replication_staged ~m ~alpha ~s_max ~opt =
+  check_staging s_max;
+  check_opt opt;
+  (full_replication ~m ~alpha *. opt) +. s_max
+
 let tradeoff_impossibility ~makespan_ratio =
   if makespan_ratio <= 1.0 then
     invalid_arg "Guarantees.tradeoff_impossibility: ratio must be > 1";

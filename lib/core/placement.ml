@@ -1,5 +1,6 @@
 module Bitset = Usched_model.Bitset
 module Instance = Usched_model.Instance
+module Topology = Usched_model.Topology
 
 type t = { m : int; sets : Bitset.t array }
 
@@ -52,6 +53,31 @@ let memory_loads t ~sizes =
 
 let memory_max t ~sizes =
   Array.fold_left Float.max 0.0 (memory_loads t ~sizes)
+
+let replication_costs t ~topology ~sizes =
+  if Array.length sizes <> Array.length t.sets then
+    invalid_arg "Placement.replication_costs: sizes length mismatch";
+  if Topology.m topology <> t.m then
+    invalid_arg
+      (Printf.sprintf
+         "Placement.replication_costs: topology covers %d machines, placement \
+          has %d"
+         (Topology.m topology) t.m);
+  Array.mapi
+    (fun j set ->
+      let home = j mod t.m in
+      let acc = Array.make 1 0.0 in
+      Bitset.iter
+        (fun i ->
+          acc.(0) <-
+            acc.(0) +. Topology.staging_time topology ~src:home ~dst:i
+                         ~size:sizes.(j))
+        set;
+      acc.(0))
+    t.sets
+
+let replication_cost t ~topology ~sizes =
+  Array.fold_left ( +. ) 0.0 (replication_costs t ~topology ~sizes)
 
 let without_machines t lost =
   List.iter

@@ -6,6 +6,7 @@
 
 module Bitset = Usched_model.Bitset
 module Instance = Usched_model.Instance
+module Topology = Usched_model.Topology
 
 type t
 
@@ -58,6 +59,20 @@ val memory_loads : t -> sizes:float array -> float array
 
 val memory_max : t -> sizes:float array -> float
 (** [Mem_max = max_i Mem_i]. *)
+
+val replication_costs : t -> topology:Topology.t -> sizes:float array -> float array
+(** Per-task data-movement cost of realizing the placement: task [j]'s
+    data is born on its home machine [j mod m] and must be staged onto
+    every other machine of [M_j], paying
+    [Topology.staging_time topology ~src:(j mod m) ~dst:i ~size:s_j] per
+    replica. Intra-zone copies (and the home replica itself) cost [0],
+    so every placement is free on the uniform topology. Raises
+    [Invalid_argument] on a [sizes] length or topology machine-count
+    mismatch. *)
+
+val replication_cost : t -> topology:Topology.t -> sizes:float array -> float
+(** Total transfer cost: sum of {!replication_costs} over all tasks —
+    the x-axis of the replication-cost vs. robustness frontier. *)
 
 val without_machine : t -> int -> t option
 (** [without_machine t i] is the placement after machine [i] fails: [i]

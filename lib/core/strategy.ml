@@ -14,6 +14,8 @@ type t =
   | Reliability of { target : float; budget : float option }
   | Uniform of { variant : uniform_variant; speeds : float array }
   | Speed_robust of { k : int }
+  | Zone_group of int
+  | Local_budget of float
 
 (* Domain checks independent of m. Group counts against m and speeds
    length are deferred to [build]/[check], which know m. *)
@@ -47,6 +49,16 @@ let validate = function
   | Speed_robust { k } ->
       if k >= 1 then Ok ()
       else Error (Printf.sprintf "speed class count must be >= 1, got %d" k)
+  | Zone_group k ->
+      if k >= 1 then Ok ()
+      else Error (Printf.sprintf "zone count must be >= 1, got %d" k)
+  | Local_budget b ->
+      if Float.is_nan b then Error "transfer budget must not be NaN"
+      else if not (Float.is_finite b) then
+        Error (Printf.sprintf "transfer budget must be finite, got %g" b)
+      else if b < 0.0 then
+        Error (Printf.sprintf "transfer budget must be >= 0, got %g" b)
+      else Ok ()
   | Sabo delta -> positive_finite "delta" delta
   | Abo delta -> positive_finite "delta" delta
   | Memory_budget budget -> positive_finite "memory budget" budget
@@ -101,6 +113,8 @@ let memory_budget ~budget = checked (Memory_budget budget)
 let reliability ~target ~budget = checked (Reliability { target; budget })
 let uniform ~variant ~speeds = checked (Uniform { variant; speeds })
 let speed_robust ~k = checked (Speed_robust { k })
+let zone_group ~k = checked (Zone_group k)
+let local_budget ~budget = checked (Local_budget budget)
 
 (* Floats must survive print -> parse exactly for the round-trip law.
    %.12g covers every float people actually write; fall back to %.17g
@@ -136,6 +150,8 @@ let to_string = function
   | Uniform { variant = U_group k; speeds } ->
       Printf.sprintf "uniform-ls-group:%d:%s" k (speeds_str speeds)
   | Speed_robust { k } -> Printf.sprintf "speedrobust:%d" k
+  | Zone_group k -> Printf.sprintf "zonegroup:%d" k
+  | Local_budget b -> Printf.sprintf "localbudget:%s" (float_str b)
 
 let name = function
   | No_replication Lpt -> "LPT-No Choice"
@@ -159,6 +175,8 @@ let name = function
   | Uniform { variant = U_group k; _ } ->
       Printf.sprintf "Uniform LS-Group(k=%d)" k
   | Speed_robust { k } -> Printf.sprintf "SpeedRobust(k=%d)" k
+  | Zone_group k -> Printf.sprintf "ZoneGroup(k=%d)" k
+  | Local_budget b -> Printf.sprintf "LocalBudget(B=%g)" b
 
 (* Parsing ------------------------------------------------------------ *)
 
@@ -333,6 +351,20 @@ let all =
       portfolio = (fun ~m:_ -> []);
     };
     {
+      keyword = "zonegroup";
+      params = ":K";
+      doc = "one replica in each of the K cheapest zones from the task's home";
+      example = (fun ~m -> Zone_group (Stdlib.min 2 m));
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
+      keyword = "localbudget";
+      params = ":B";
+      doc = "cheapest replica zones under transfer budget B x data size";
+      example = (fun ~m:_ -> Local_budget 1.0);
+      portfolio = (fun ~m:_ -> []);
+    };
+    {
       keyword = "lpt-no-restriction";
       params = "";
       doc = "replicate everywhere, online LPT in phase 2 (Thm 3)";
@@ -458,6 +490,9 @@ let of_string s =
                    keyword keyword keyword))
       | "speedrobust" ->
           one_int keyword (fun k -> Speed_robust { k }) params
+      | "zonegroup" -> one_int keyword (fun k -> Zone_group k) params
+      | "localbudget" ->
+          one_float keyword "1.5" (fun b -> Local_budget b) params
       | "uniform-lpt-no-choice" -> speeds_only keyword U_no_choice params
       | "uniform-lpt-no-restriction" ->
           speeds_only keyword U_no_restriction params
@@ -526,6 +561,8 @@ let build spec ~m =
       Uniform.lpt_no_restriction ~speeds
   | Uniform { variant = U_group k; speeds } -> Uniform.ls_group ~speeds ~k
   | Speed_robust { k } -> Speed_robust.algorithm ~k
+  | Zone_group k -> Zone_placement.zone_group ~k
+  | Local_budget budget -> Zone_placement.local_budget ~budget
 
 let default_portfolio ~m =
   List.concat_map (fun e -> e.portfolio ~m) all

@@ -56,6 +56,14 @@ type t =
       (** Replicas hedged across [k] machine speed classes built from the
           instance's speed band (pessimistic in-band speed, fastest class
           first) — one replica per class. See {!Speed_robust}. *)
+  | Zone_group of int
+      (** One replica in each of the [k] cheapest zones from the task's
+          home zone (clamped to the topology's zone count). See
+          {!Zone_placement}. *)
+  | Local_budget of float
+      (** Cheapest replica zones while the per-task transfer cost stays
+          within [budget * size_j]; home zone always covered. See
+          {!Zone_placement}. *)
 
 (** {1 Validated smart constructors}
 
@@ -78,6 +86,8 @@ val memory_budget : budget:float -> t
 val reliability : target:float -> budget:float option -> t
 val uniform : variant:uniform_variant -> speeds:float array -> t
 val speed_robust : k:int -> t
+val zone_group : k:int -> t
+val local_budget : budget:float -> t
 
 val validate : t -> (unit, string) result
 (** The m-independent domain checks behind the smart constructors, for
@@ -92,8 +102,8 @@ val to_string : t -> string
     [selective:COUNT], [sabo:DELTA], [abo:DELTA], [memory:BUDGET],
     [reliability:TARGET] / [reliability:TARGET:budget:B],
     [uniform-lpt-no-choice:SPEEDS], [uniform-lpt-no-restriction:SPEEDS],
-    [uniform-ls-group:K:SPEEDS] with SPEEDS comma-separated, and
-    [speedrobust:K]. Floats are
+    [uniform-ls-group:K:SPEEDS] with SPEEDS comma-separated,
+    [speedrobust:K], [zonegroup:K], and [localbudget:B]. Floats are
     printed so they parse back to the identical value —
     [of_string (to_string s) = Ok s] for every valid spec. *)
 

@@ -1,10 +1,12 @@
 module Bitset = Usched_model.Bitset
+module Topology = Usched_model.Topology
 module Rng = Usched_prng.Rng
 
 type spec =
   | List_priority
   | Least_loaded_holder
   | Earliest_estimated_completion
+  | Locality
   | Random_tiebreak of int
 
 let default = List_priority
@@ -13,15 +15,18 @@ let name = function
   | List_priority -> "list-priority"
   | Least_loaded_holder -> "least-loaded"
   | Earliest_estimated_completion -> "earliest-completion"
+  | Locality -> "locality"
   | Random_tiebreak seed -> Printf.sprintf "random:%d" seed
 
-let known_names = "list-priority | least-loaded | earliest-completion | random:SEED"
+let known_names =
+  "list-priority | least-loaded | earliest-completion | locality | random:SEED"
 
 let spec_of_string s =
   match String.split_on_char ':' s with
   | [ "list-priority" ] -> Ok List_priority
   | [ "least-loaded" ] -> Ok Least_loaded_holder
   | [ "earliest-completion" ] -> Ok Earliest_estimated_completion
+  | [ "locality" ] -> Ok Locality
   | [ "random" ] -> Ok (Random_tiebreak 0)
   | [ "random"; seed ] -> (
       match int_of_string_opt seed with
@@ -31,7 +36,14 @@ let spec_of_string s =
       Error
         (Printf.sprintf "unknown dispatch policy %S (expected %s)" s known_names)
 
-let builtin = [ List_priority; Least_loaded_holder; Earliest_estimated_completion; Random_tiebreak 0 ]
+let builtin =
+  [
+    List_priority;
+    Least_loaded_holder;
+    Earliest_estimated_completion;
+    Locality;
+    Random_tiebreak 0;
+  ]
 
 type view = {
   n : int;
@@ -46,6 +58,8 @@ type view = {
   now : float array;
   available : int -> bool;
   holders_stable : bool;
+  topology : Topology.t option;
+  size : float array;
 }
 
 type t = {
@@ -257,23 +271,69 @@ let make_least_loaded v =
 (* Shortest-estimated-processing-time on this machine: take the eligible
    task minimizing est(j) / speed(i) — the copy this machine can finish
    earliest, by estimates only (the scheduler is semi-clairvoyant and
-   never sees actuals). Ties resolve to the priority order. *)
+   never sees actuals). Ties resolve to the priority order. The scan
+   carries only the best task id and recomputes both divisions at each
+   comparison: the quotients live in compare position so they stay
+   unboxed, where a float parameter or ref would box on every step.
+   (The divisions must both be taken — [e1/s < e2/s] is not [e1 < e2]
+   in floating point, and the reference qcheck in test_dispatch pins
+   the division-based tie behaviour.) *)
+let rec ec_scan v i pos best =
+  if pos >= v.n then best
+  else
+    let j = v.order.(pos) in
+    let best =
+      if
+        v.dispatchable.(j)
+        && Bitset.mem v.holders.(j) i
+        && (best < 0 || v.est.(j) /. v.speed.(i) < v.est.(best) /. v.speed.(i))
+      then j
+      else best
+    in
+    ec_scan v i (pos + 1) best
+
 let make_earliest_completion v =
-  let select_m ~machine:i =
-    let best = ref (-1) and best_cost = ref infinity in
-    for pos = 0 to v.n - 1 do
-      let j = v.order.(pos) in
-      if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then begin
-        let cost = v.est.(j) /. v.speed.(i) in
-        if cost < !best_cost then begin
-          best := j;
-          best_cost := cost
-        end
-      end
-    done;
-    !best
-  in
+  let select_m ~machine:i = ec_scan v i 0 (-1) in
   { spec = Earliest_estimated_completion; select_m; notify = (fun ~task:_ -> ()); now = v.now }
+
+(* Locality-aware least-loaded: the deferral rule of [Least_loaded_holder]
+   with each candidate holder's load inflated by the staging time it
+   would pay to pull the task's data across zones from its home machine
+   [j mod m] (holders already in the home zone stage for free). A
+   machine grabs first the tasks it is the cheapest home for — counting
+   both queue length and data movement — and defers work that a
+   holder with a strictly smaller load-plus-staging total could take,
+   falling back to plain priority order so the rule stays
+   work-conserving. Without a topology the penalty is identically zero
+   and the policy IS [make_least_loaded] (same scans, zero-alloc). *)
+let rec loc_better v topo j i k =
+  k < v.m
+  && ((k <> i
+      && Bitset.mem v.holders.(j) k
+      && v.available k
+      && v.load.(k)
+         +. Topology.staging_time topo ~src:(j mod v.m) ~dst:k ~size:v.size.(j)
+         < v.load.(i)
+           +. Topology.staging_time topo ~src:(j mod v.m) ~dst:i
+                ~size:v.size.(j))
+     || loc_better v topo j i (k + 1))
+
+let rec loc_scan v topo i ~fallback pos =
+  if pos >= v.n then fallback
+  else
+    let j = v.order.(pos) in
+    if v.dispatchable.(j) && Bitset.mem v.holders.(j) i then
+      let fallback = if fallback < 0 then j else fallback in
+      if loc_better v topo j i 0 then loc_scan v topo i ~fallback (pos + 1)
+      else j
+    else loc_scan v topo i ~fallback (pos + 1)
+
+let make_locality v =
+  match v.topology with
+  | None -> { (make_least_loaded v) with spec = Locality }
+  | Some topo ->
+      let select_m ~machine:i = loc_scan v topo i ~fallback:(-1) 0 in
+      { spec = Locality; select_m; notify = (fun ~task:_ -> ()); now = v.now }
 
 (* List priority with seeded random resolution of genuine priority ties:
    among the eligible tasks whose estimate equals the highest-priority
@@ -319,10 +379,17 @@ let make spec v =
   if v.m <> Array.length v.speed then
     invalid_arg "Dispatch.make: speed length differs from machine count";
   if Array.length v.now <> 1 then invalid_arg "Dispatch.make: now must have length 1";
+  (match v.topology with
+  | Some _ when v.n <> Array.length v.size ->
+      invalid_arg
+        "Dispatch.make: size length differs from task count (required with a \
+         topology)"
+  | _ -> ());
   match spec with
   | List_priority -> make_list_priority v
   | Least_loaded_holder -> make_least_loaded v
   | Earliest_estimated_completion -> make_earliest_completion v
+  | Locality -> make_locality v
   | Random_tiebreak seed -> make_random_tiebreak seed v
 
 let select_machine t ~machine = t.select_m ~machine

@@ -24,12 +24,14 @@
     including [Random_tiebreak], whose randomness is a pure function of
     its seed.
 
-    Selection is allocation-free for the default and least-loaded
-    policies: the raw {!select_machine} returns a plain int ([-1] = no
-    eligible task) and reads the simulation clock from the shared
-    [now] cell instead of taking a (boxed) float argument. *)
+    Selection is allocation-free for the default, least-loaded,
+    earliest-completion, and (topology-free) locality policies: the raw
+    {!select_machine} returns a plain int ([-1] = no eligible task) and
+    reads the simulation clock from the shared [now] cell instead of
+    taking a (boxed) float argument. *)
 
 module Bitset = Usched_model.Bitset
+module Topology = Usched_model.Topology
 
 type spec =
   | List_priority
@@ -48,6 +50,14 @@ type spec =
       (** The eligible task this machine finishes earliest by estimate:
           minimize [est(j) / speed(i)] (SPT restricted to held data);
           ties resolve to the priority order. *)
+  | Locality
+      (** [Least_loaded_holder] with data movement priced in: each
+          candidate holder's load is inflated by the staging time it
+          would pay to pull the task's data across zones from its home
+          machine [j mod m]. A machine defers a task whenever another
+          available holder has a strictly smaller load-plus-staging
+          total. Identical to [Least_loaded_holder] when the view
+          carries no topology (or a single-zone one). *)
   | Random_tiebreak of int
       (** [List_priority] with genuine priority ties — eligible tasks
           sharing the leading estimate — broken uniformly at random from
@@ -59,7 +69,7 @@ val default : spec
 
 val name : spec -> string
 (** Stable CLI/trace name: ["list-priority"], ["least-loaded"],
-    ["earliest-completion"], ["random:SEED"]. *)
+    ["earliest-completion"], ["locality"], ["random:SEED"]. *)
 
 val spec_of_string : string -> (spec, string) result
 (** Inverse of {!name} (["random"] alone means seed 0). The error
@@ -96,6 +106,12 @@ type view = {
   holders_stable : bool;
       (** no holder set will gain members mid-run (false under online
           re-replication) — licenses the bucketed default policy *)
+  topology : Topology.t option;
+      (** the instance's cluster topology, when it has one — what the
+          [Locality] policy prices zone distance with *)
+  size : float array;
+      (** per-task data size; may be [[||]] when [topology] is [None]
+          (no policy reads it then) *)
 }
 
 type t
@@ -103,7 +119,8 @@ type t
 val make : spec -> view -> t
 (** Instantiate the policy with fresh per-run state over the given
     view. Raises [Invalid_argument] when [order]/[pos_of]/[est]/[speed]
-    disagree with [n]/[m] or [now] is not length 1. *)
+    disagree with [n]/[m], [now] is not length 1, or a topology is
+    present but [size] does not cover every task. *)
 
 val spec : t -> spec
 val policy_name : t -> string

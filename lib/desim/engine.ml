@@ -25,6 +25,7 @@
 module Bitset = Usched_model.Bitset
 module Instance = Usched_model.Instance
 module Realization = Usched_model.Realization
+module Topology = Usched_model.Topology
 module Fault = Usched_faults.Fault
 module Trace = Usched_faults.Trace
 module Recovery = Usched_faults.Recovery
@@ -110,6 +111,17 @@ let run_internal ?speeds ~dispatch ~metrics instance realization ~placement
   for j = 0 to n - 1 do
     ests.(j) <- Instance.est instance j
   done;
+  let sizes = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    sizes.(j) <- Instance.size instance j
+  done;
+  (* Staging: with a topology, a machine's (only) copy of task j first
+     pulls j's data from its home machine [j mod m]; the pull extends
+     the copy's duration by the cross-zone staging time (zero within the
+     home zone). Without a topology the float arithmetic below is
+     untouched — [None] keeps this run bit-for-bit the pre-topology
+     engine. *)
+  let topo = Instance.topology instance in
   (* Observability. Every update is guarded (a disabled registry hands
      out no-op instruments), and nothing below reads a metric back, so
      the schedule is bit-for-bit identical with metrics on or off. *)
@@ -145,6 +157,8 @@ let run_internal ?speeds ~dispatch ~metrics instance realization ~placement
         now;
         available = (fun _ -> true);
         holders_stable = true;
+        topology = topo;
+        size = sizes;
       }
   in
   let queue = Event_core.create ~dummy:() () in
@@ -162,7 +176,14 @@ let run_internal ?speeds ~dispatch ~metrics instance realization ~placement
     let j = Dispatch.select_machine policy ~machine:i in
     (* [j < 0]: machine i retires — nothing it holds remains. *)
     if j >= 0 then begin
-      let finish = time +. (actuals.(j) /. base.(i)) in
+      let finish =
+        match topo with
+        | None -> time +. (actuals.(j) /. base.(i))
+        | Some tp ->
+            time
+            +. (actuals.(j) /. base.(i))
+            +. Topology.staging_time tp ~src:(j mod m) ~dst:i ~size:sizes.(j)
+      in
       e_machine.(j) <- i;
       e_start.(j) <- time;
       e_finish.(j) <- finish;
@@ -337,7 +358,6 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
         let degree = Array.map Bitset.cardinal placement in
         fun j -> degree.(j)
   in
-  let bandwidth = recovery.Recovery.bandwidth in
   let ckpt_interval = recovery.Recovery.checkpoint_interval in
   (* Observability: write-only instruments, see [run_internal]. *)
   let live = Metrics.is_enabled metrics in
@@ -372,6 +392,27 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
   for j = 0 to n - 1 do
     ests.(j) <- Instance.est instance j
   done;
+  let sizes = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    sizes.(j) <- Instance.size instance j
+  done;
+  (* Staging: with a topology, the first copy of task j on each machine
+     pulls j's data from its home machine [j mod m] before processing
+     starts. The pull is charged as extra work on the copy (staging
+     time converted to work units at the machine's current speed), so
+     all the slowdown-resync and checkpoint arithmetic below stays
+     consistent without special cases. [staged.(j)] records which
+     machines already hold j's data warm — a checkpoint resume or a
+     landed re-replication transfer never pays twice. Without a
+     topology every float operation below is exactly the pre-topology
+     engine's, and a single-zone topology charges identically zero —
+     the golden qcheck pins both. *)
+  let topo = Instance.topology instance in
+  let staged =
+    match topo with
+    | None -> [||]
+    | Some _ -> Array.init n (fun _ -> Bitset.create m)
+  in
   (* The machine lanes, destructured into locals once; every handler
      below indexes them directly. *)
   let st = Machine_state.create ?speeds ~m () in
@@ -455,6 +496,8 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
         now;
         available = (fun i -> alive.(i) && down_until.(i) <= now.(0));
         holders_stable = not rec_active;
+        topology = topo;
+        size = sizes;
       }
   in
   let queue = Event_core.create ~dummy:Sim_dispatch () in
@@ -511,8 +554,13 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
      its lowest-numbered available holder to the least-loaded available
      non-holder, one transfer per task at a time. Transfers survive
      outages of either endpoint (the stream is buffered; the data lands
-     on the destination disk) but abort when an endpoint crashes. *)
-  let transfer_duration j = Instance.size instance j /. bandwidth in
+     on the destination disk) but abort when an endpoint crashes. The
+     transfer time is path-dependent: cross-zone copies add the zone
+     link's latency and are capped by its bandwidth ([None]/single-zone
+     reduce to the scalar [size / bandwidth], bit-for-bit). *)
+  let transfer_duration ~src ~dst j =
+    Recovery.transfer_time ?topology:topo recovery ~src ~dst ~size:sizes.(j)
+  in
   let heal ~time =
     if heals then
       for j = 0 to n - 1 do
@@ -550,7 +598,7 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
                     (Rereplication_started
                        { time; task = j; src = !src; dst = !dst });
                 push
-                  ~time:(time +. transfer_duration j)
+                  ~time:(time +. transfer_duration ~src:!src ~dst:!dst j)
                   ~machine:!dst ~cls:Event_core.cls_arrival
                   (Sim_transfer
                      { task = j; src = !src; dst = !dst; id = !transfer_id })
@@ -575,6 +623,18 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
     cur_task.(i) <- j;
     cur_started.(i) <- time;
     cur_remaining.(i) <- (if resume then actuals.(j) -. banked else actuals.(j));
+    (match topo with
+    | None -> ()
+    | Some tp ->
+        if not (Bitset.mem staged.(j) i) then begin
+          Bitset.add staged.(j) i;
+          let s = Topology.staging_time tp ~src:(j mod m) ~dst:i ~size:sizes.(j) in
+          (* Charged as work at the current speed so a later slowdown
+             resync rescales the in-flight pull along with the copy. *)
+          if s > 0.0 then
+            cur_remaining.(i) <-
+              cur_remaining.(i) +. (s *. (base.(i) *. factor.(i)))
+        end);
     cur_last.(i) <- time;
     cur_base.(i) <- (if resume then banked else 0.0);
     gen.(i) <- gen.(i) + 1;
@@ -727,11 +787,14 @@ let run_faulty_internal ?speeds ?speculation ~dispatch ~recovery ~metrics
     | Some (_, _, id') when id' = id ->
         transfer.(task) <- None;
         Bitset.add data.(task) dst;
+        (* The landed replica is warm: a copy started here later must
+           not pay the staging pull again. *)
+        (match topo with None -> () | Some _ -> Bitset.add staged.(task) dst);
         if tr then emit (Rereplication_completed { time; task; src; dst });
         Metrics.incr (Metrics.counter metrics "engine.rereplications");
         Metrics.observe
           (Metrics.histogram metrics "engine.transfer_time")
-          (transfer_duration task);
+          (transfer_duration ~src ~dst task);
         if status.(task) = st_pending then begin
           Dispatch.notify_available policy ~task;
           wake_idle ~time

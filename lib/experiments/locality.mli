@@ -1,0 +1,16 @@
+(** locality: replication transfer cost vs zone-outage robustness.
+
+    Replays paired workloads on three topologies (uniform, two-rack,
+    multi-zone WAN), comparing full replication and a degree-2 group
+    against the zone-aware builders ([zonegroup:2], [localbudget:2.5])
+    on {!Usched_core.Placement.replication_cost}, healthy makespan with
+    engine-charged staging, and completed fraction under one whole-zone
+    crash per zone with online re-replication.
+
+    Manifest gauges: [locality.wins] — topologies where a zone-aware
+    placement is strictly cheaper than full replication at
+    equal-or-better completion (2 of 3 expected: the uniform topology's
+    transfers are free) — plus per-topology
+    [locality.<name>.cost_ratio] and [locality.<name>.completion_delta]. *)
+
+val run : Runner.config -> unit

@@ -112,6 +112,11 @@ let all =
       run = Hetero.run;
     };
     {
+      id = "locality";
+      title = "Locality: transfer cost vs zone-outage robustness";
+      run = Locality.run;
+    };
+    {
       id = "lb-search";
       title = "Exact minimax lower bounds on the Theorem-1 family";
       run = Lb_search.run;

@@ -71,6 +71,26 @@ let target_of_string raw =
             (Printf.sprintf
                "bad re-replication target %S (want a count or \"degree\")" raw))
 
+(* Path-dependent transfer time. Without a topology this is exactly the
+   scalar-bandwidth arithmetic the engine hard-coded ([size / bandwidth]
+   — the same float operations, so the refactor is bit-for-bit
+   invisible); with one, the path adds its latency and the effective
+   rate is the slower of the policy's pipeline and the zone link.
+   Intra-zone paths have infinite link bandwidth and zero latency, so a
+   uniform (single-zone) topology reproduces the scalar policy
+   bit-for-bit too — [Float.min bw infinity = bw] and [0.0 +. x = x]
+   for the nonnegative durations involved. *)
+let transfer_time ?topology t ~src ~dst ~size =
+  match topology with
+  | None -> size /. t.bandwidth
+  | Some topo ->
+      if Usched_model.Topology.same_zone topo src dst then size /. t.bandwidth
+      else
+        Usched_model.Topology.path_latency topo ~src ~dst
+        +. (size
+           /. Float.min t.bandwidth
+                (Usched_model.Topology.path_bandwidth topo ~src ~dst))
+
 let backoff t ~blinks =
   if t.max_retries = 0 || t.detection_latency <= 0.0 || blinks <= 0 then 0.0
   else

@@ -16,7 +16,9 @@
     - {b online re-replication}: whenever a task's live replica count
       drops below its target, its data is copied from a surviving holder
       to the least-loaded healthy machine, paying [size / bandwidth]
-      time for the transfer. Eligibility sets grow back mid-run; a task
+      time for the transfer ({!transfer_time} — path-dependent when the
+      instance carries a topology, with cross-zone latency and the
+      zone link's bandwidth capping the rate). Eligibility sets grow back mid-run; a task
       strands only when its last holder dies before any copy completes
       or transfers out. The target is a {!target}: either the same fixed
       count [Fixed r] for every task (the PR 3 behaviour, [Fixed 0] =
@@ -107,6 +109,16 @@ val target_to_string : target -> string
 val target_of_string : string -> (target, string) result
 (** Inverse of {!target_to_string} — a nonnegative count or the word
     ["degree"] (case-insensitive). The CLI [--recover] converter. *)
+
+val transfer_time :
+  ?topology:Usched_model.Topology.t -> t -> src:int -> dst:int -> size:float -> float
+(** Time for a re-replication of [size] data units from machine [src]
+    to machine [dst]. Without a topology (or within one zone) this is
+    the scalar policy: [size / bandwidth] — bit-for-bit the arithmetic
+    the engine used before topologies existed. Across zones the path's
+    latency is added and the effective rate is
+    [min bandwidth (path bandwidth)]: the copy is bounded by both the
+    policy's re-replication pipeline and the inter-zone link. *)
 
 val backoff : t -> blinks:int -> float
 (** Extra distrust delay after a machine's [blinks]-th outage

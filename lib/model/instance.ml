@@ -4,9 +4,10 @@ type t = {
   tasks : Task.t array;
   failure : Failure.t option;
   speed_band : Speed_band.t option;
+  topology : Topology.t option;
 }
 
-let make ?failure ?speed_band ~m ~alpha tasks =
+let make ?failure ?speed_band ?topology ~m ~alpha tasks =
   if m < 1 then invalid_arg "Instance.make: need at least one machine";
   Array.iteri
     (fun i task ->
@@ -27,9 +28,16 @@ let make ?failure ?speed_band ~m ~alpha tasks =
            "Instance.make: speed band covers %d machines, instance has %d"
            (Speed_band.m b) m)
   | _ -> ());
-  { m; alpha; tasks = Array.copy tasks; failure; speed_band }
+  (match topology with
+  | Some tp when Topology.m tp <> m ->
+      invalid_arg
+        (Printf.sprintf
+           "Instance.make: topology covers %d machines, instance has %d"
+           (Topology.m tp) m)
+  | _ -> ());
+  { m; alpha; tasks = Array.copy tasks; failure; speed_band; topology }
 
-let of_ests ?failure ?speed_band ~m ~alpha ?sizes ests =
+let of_ests ?failure ?speed_band ?topology ~m ~alpha ?sizes ests =
   let n = Array.length ests in
   (match sizes with
   | Some s when Array.length s <> n ->
@@ -39,7 +47,7 @@ let of_ests ?failure ?speed_band ~m ~alpha ?sizes ests =
   let tasks =
     Array.init n (fun i -> Task.make ~id:i ~est:ests.(i) ~size:(size_of i) ())
   in
-  make ?failure ?speed_band ~m ~alpha tasks
+  make ?failure ?speed_band ?topology ~m ~alpha tasks
 
 let n t = Array.length t.tasks
 let m t = t.m
@@ -59,7 +67,8 @@ let failure_or_default t =
   | None -> Failure.uniform ~m:t.m ~p:Failure.default_p
 
 let with_failure t failure =
-  make ?failure ?speed_band:t.speed_band ~m:t.m ~alpha:t.alpha t.tasks
+  make ?failure ?speed_band:t.speed_band ?topology:t.topology ~m:t.m
+    ~alpha:t.alpha t.tasks
 
 let speed_band t = t.speed_band
 
@@ -69,7 +78,17 @@ let speed_band_or_nominal t =
   | None -> Speed_band.nominal ~m:t.m
 
 let with_speed_band t speed_band =
-  make ?failure:t.failure ?speed_band ~m:t.m ~alpha:t.alpha t.tasks
+  make ?failure:t.failure ?speed_band ?topology:t.topology ~m:t.m ~alpha:t.alpha
+    t.tasks
+
+let topology t = t.topology
+
+let topology_or_uniform t =
+  match t.topology with Some tp -> tp | None -> Topology.uniform ~m:t.m
+
+let with_topology t topology =
+  make ?failure:t.failure ?speed_band:t.speed_band ?topology ~m:t.m
+    ~alpha:t.alpha t.tasks
 
 let total_est t = Array.fold_left (fun acc task -> acc +. Task.est task) 0.0 t.tasks
 
@@ -88,7 +107,7 @@ let lpt_order t =
   order
 
 let pp ppf t =
-  Format.fprintf ppf "instance(n=%d, m=%d, %a%t%t)" (n t) t.m Uncertainty.pp
+  Format.fprintf ppf "instance(n=%d, m=%d, %a%t%t%t)" (n t) t.m Uncertainty.pp
     t.alpha
     (fun ppf ->
       match t.failure with
@@ -98,3 +117,7 @@ let pp ppf t =
       match t.speed_band with
       | None -> ()
       | Some b -> Format.fprintf ppf ", %a" Speed_band.pp b)
+    (fun ppf ->
+      match t.topology with
+      | None -> ()
+      | Some tp -> Format.fprintf ppf ", %a" Topology.pp tp)

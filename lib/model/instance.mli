@@ -9,18 +9,20 @@ type t
 val make :
   ?failure:Failure.t ->
   ?speed_band:Speed_band.t ->
+  ?topology:Topology.t ->
   m:int ->
   alpha:Uncertainty.alpha ->
   Task.t array ->
   t
 (** Validates and builds an instance. Raises [Invalid_argument] if
     [m < 1], task ids are not exactly [0 .. n-1] in order, or the
-    optional failure profile / speed band does not cover exactly [m]
-    machines. The task array is copied. *)
+    optional failure profile / speed band / topology does not cover
+    exactly [m] machines. The task array is copied. *)
 
 val of_ests :
   ?failure:Failure.t ->
   ?speed_band:Speed_band.t ->
+  ?topology:Topology.t ->
   m:int ->
   alpha:Uncertainty.alpha ->
   ?sizes:float array ->
@@ -77,6 +79,21 @@ val speed_band_or_nominal : t -> Speed_band.t
 val with_speed_band : t -> Speed_band.t option -> t
 (** Same instance with the speed band replaced (or removed). Raises
     [Invalid_argument] when the band's machine count differs from
+    [m]. *)
+
+val topology : t -> Topology.t option
+(** The cluster topology attached to this instance, if any. [None]
+    means transfers are free — the pre-topology model. Zone-aware
+    algorithms that need one unconditionally should use
+    {!topology_or_uniform}. *)
+
+val topology_or_uniform : t -> Topology.t
+(** The attached topology, or the single-zone uniform topology (all
+    transfers free) when the instance carries none. *)
+
+val with_topology : t -> Topology.t option -> t
+(** Same instance with the topology replaced (or removed). Raises
+    [Invalid_argument] when the topology's machine count differs from
     [m]. *)
 
 val total_est : t -> float

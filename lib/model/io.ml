@@ -12,8 +12,13 @@ let header_line ~kind instance =
     | None -> ""
     | Some b -> " speedband=" ^ Speed_band.to_string b
   in
-  Printf.sprintf "# usched-%s m=%d alpha=%.17g%s%s" kind (Instance.m instance)
-    (Instance.alpha_value instance) failp speedband
+  let topology =
+    match Instance.topology instance with
+    | None -> ""
+    | Some tp -> " topology=" ^ Topology.to_string tp
+  in
+  Printf.sprintf "# usched-%s m=%d alpha=%.17g%s%s%s" kind (Instance.m instance)
+    (Instance.alpha_value instance) failp speedband topology
 
 let parse_header ~kind line =
   let prefix = Printf.sprintf "# usched-%s " kind in
@@ -61,7 +66,15 @@ let parse_header ~kind line =
         | Ok b -> Some b
         | Error msg -> parse_error 1 (Printf.sprintf "bad speedband=: %s" msg))
   in
-  (m, Uncertainty.alpha alpha, failure, speed_band)
+  let topology =
+    match lookup_opt "topology" with
+    | None -> None
+    | Some raw -> (
+        match Topology.of_string raw with
+        | Ok tp -> Some tp
+        | Error msg -> parse_error 1 (Printf.sprintf "bad topology=: %s" msg))
+  in
+  (m, Uncertainty.alpha alpha, failure, speed_band, topology)
 
 let body_lines text =
   String.split_on_char '\n' text
@@ -99,7 +112,9 @@ let instance_of_string text =
   match String.split_on_char '\n' text with
   | [] -> parse_error 1 "empty input"
   | header :: _ ->
-      let m, alpha, failure, speed_band = parse_header ~kind:"instance" header in
+      let m, alpha, failure, speed_band, topology =
+        parse_header ~kind:"instance" header
+      in
       let tasks =
         List.mapi
           (fun i line ->
@@ -116,7 +131,8 @@ let instance_of_string text =
               ())
           (body_lines text)
       in
-      Instance.make ?failure ?speed_band ~m ~alpha (Array.of_list tasks)
+      Instance.make ?failure ?speed_band ?topology ~m ~alpha
+        (Array.of_list tasks)
 
 let realization_to_string realization =
   let instance = Realization.instance realization in
@@ -136,7 +152,7 @@ let realization_of_string text =
   match String.split_on_char '\n' text with
   | [] -> parse_error 1 "empty input"
   | header :: _ ->
-      let m, alpha, failure, speed_band =
+      let m, alpha, failure, speed_band, topology =
         parse_header ~kind:"realization" header
       in
       let rows =
@@ -157,7 +173,7 @@ let realization_of_string text =
           (body_lines text)
       in
       let instance =
-        Instance.make ?failure ?speed_band ~m ~alpha
+        Instance.make ?failure ?speed_band ?topology ~m ~alpha
           (Array.of_list (List.map fst rows))
       in
       Realization.of_actuals instance (Array.of_list (List.map snd rows))

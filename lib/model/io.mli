@@ -5,7 +5,7 @@
     shareable and replayable. Format (header line included):
 
     {v
-    # usched-instance m=<m> alpha=<alpha>[ failp=<p0>,...][ speedband=<b0>,...]
+    # usched-instance m=<m> alpha=<alpha>[ failp=<p0>,...][ speedband=<b0>,...][ topology=<zones|bw|lat>]
     id,est,size
     0,9.5,1
     ...
@@ -15,8 +15,10 @@
     ({!Failure.t}), comma-separated with one probability per machine;
     the optional [speedband=] field carries the per-machine speed
     uncertainty band ({!Speed_band.t}) as comma-separated [lo:hi] pairs
-    (a single value for a known speed). Both round-trip bit-exactly;
-    files written before either field existed parse to instances
+    (a single value for a known speed); the optional [topology=] field
+    carries the cluster topology ({!Topology.t}) in its space-free
+    [ZONES|BWROWS|LATROWS] form. All three round-trip bit-exactly;
+    files written before any of the fields existed parse to instances
     without them. Realizations append an [actual] column and reference
     the instance parameters in the header. *)
 

@@ -287,6 +287,10 @@ module R_dispatch = struct
     | Dispatch.List_priority -> make_list_priority v
     | Dispatch.Least_loaded_holder -> make_least_loaded v
     | Dispatch.Earliest_estimated_completion -> make_earliest_completion v
+    (* Golden instances carry no topology, where the live Locality
+       policy is defined to coincide with Least_loaded_holder. *)
+    | Dispatch.Locality ->
+        { (make_least_loaded v) with spec = Dispatch.Locality }
     | Dispatch.Random_tiebreak seed -> make_random_tiebreak seed v
 
   let select t ~time ~machine = t.select ~time ~machine

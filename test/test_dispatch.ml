@@ -62,11 +62,11 @@ let spec_names () =
       in
       checkb "error lists the valid names" true
         (List.for_all contains
-           [ "list-priority"; "least-loaded"; "earliest-completion" ]));
+           [ "list-priority"; "least-loaded"; "earliest-completion"; "locality" ]));
   (match Dispatch.spec_of_string "random:x" with
   | Ok _ -> Alcotest.fail "bad seed accepted"
   | Error _ -> ());
-  checki "four built-in families" 4 (List.length Dispatch.builtin)
+  checki "five built-in families" 5 (List.length Dispatch.builtin)
 
 (* ----------------------- golden equivalence ------------------------- *)
 
@@ -331,6 +331,8 @@ let redispatch_order_pinned () =
       now = [| 0.0 |];
       available = (fun _ -> true);
       holders_stable = true;
+      topology = None;
+      size = [||];
     }
   in
   let t = Dispatch.make Dispatch.default view in
@@ -363,6 +365,8 @@ let least_loaded_defers () =
       now = [| 0.0 |];
       available = (fun _ -> true);
       holders_stable = true;
+      topology = None;
+      size = [||];
     }
   in
   (* Least-loaded has m0 defer t0 to the idle holder and fall through to
@@ -545,6 +549,8 @@ let prop_least_loaded_matches_reference =
           now = [| 0.0 |];
           available = (fun k -> avail.(k));
           holders_stable = true;
+          topology = None;
+          size = [||];
         }
       in
       let ll = Dispatch.make Dispatch.Least_loaded_holder view in
@@ -612,6 +618,8 @@ let prop_list_priority_matches_reference =
           now = [| 0.0 |];
           available = (fun _ -> true);
           holders_stable = true;
+          topology = None;
+          size = [||];
         }
       in
       (* Both instances share the view's live arrays, so one mutation of
@@ -645,6 +653,139 @@ let prop_list_priority_matches_reference =
         end
       done;
       !ok)
+
+(* Reference equivalence for the zero-alloc earliest-completion rewrite:
+   the original algorithm, frozen here with its refs and boxed
+   [infinity] accumulator, probed against the module's tail-recursive
+   scan on random views — including non-unit speeds, since the rule
+   divides by the asking machine's speed. *)
+let reference_earliest_completion (v : Dispatch.view) ~machine:i =
+  let best = ref (-1) and best_cost = ref infinity in
+  for pos = 0 to v.Dispatch.n - 1 do
+    let j = v.Dispatch.order.(pos) in
+    if v.Dispatch.dispatchable.(j) && Bitset.mem v.Dispatch.holders.(j) i
+    then begin
+      let cost = v.Dispatch.est.(j) /. v.Dispatch.speed.(i) in
+      if cost < !best_cost then begin
+        best := j;
+        best_cost := cost
+      end
+    end
+  done;
+  if !best >= 0 then Some !best else None
+
+let prop_earliest_completion_matches_reference =
+  QCheck.Test.make
+    ~name:"earliest-completion select matches the pre-rewrite reference"
+    ~count:500 view_scenario (fun (n, m, seed) ->
+      let rng = Rng.create ~seed () in
+      let order = Array.init n (fun j -> j) in
+      Rng.shuffle rng order;
+      let pos_of = Array.make n 0 in
+      Array.iteri (fun p j -> pos_of.(j) <- p) order;
+      let holders =
+        Array.init n (fun _ ->
+            let s = Bitset.create m in
+            for i = 0 to m - 1 do
+              if Rng.bernoulli rng ~p:0.6 then Bitset.add s i
+            done;
+            if Bitset.cardinal s = 0 then Bitset.add s (Rng.int rng m);
+            s)
+      in
+      let dispatchable = Array.init n (fun _ -> Rng.bernoulli rng ~p:0.7) in
+      (* Coin-flip duplicated estimates so strict-inequality ties are
+         hit — ties must resolve to the priority order in both. *)
+      let ests =
+        Array.init n (fun _ ->
+            if Rng.bernoulli rng ~p:0.3 then 4.0
+            else Rng.float_range rng ~lo:0.5 ~hi:9.0)
+      in
+      let view =
+        {
+          Dispatch.n;
+          m;
+          order;
+          pos_of;
+          dispatchable;
+          holders;
+          est = ests;
+          speed = Array.init m (fun _ -> Rng.float_range rng ~lo:0.5 ~hi:2.0);
+          load = Array.make m 0.0;
+          now = [| 0.0 |];
+          available = (fun _ -> true);
+          holders_stable = true;
+          topology = None;
+          size = [||];
+        }
+      in
+      let ec = Dispatch.make Dispatch.Earliest_estimated_completion view in
+      Array.for_all
+        (fun i ->
+          Dispatch.select ec ~time:0.0 ~machine:i
+          = reference_earliest_completion view ~machine:i)
+        (Array.init m (fun i -> i)))
+
+(* Locality without a topology is least-loaded by definition — pinned
+   through the engine so spec naming, policy state, and the hot loop all
+   agree. *)
+let prop_locality_defaults_to_least_loaded =
+  QCheck.Test.make ~name:"locality = least-loaded without a topology"
+    ~count:200 scenario (fun s ->
+      let instance, realization, placement, order, _ = build s in
+      let a =
+        Engine.run ~dispatch:Dispatch.Least_loaded_holder instance realization
+          ~placement ~order
+      in
+      let b =
+        Engine.run ~dispatch:Dispatch.Locality instance realization ~placement
+          ~order
+      in
+      Array.for_all2 entries_equal (entries a) (entries b))
+
+(* With a topology, locality inflates each candidate holder's load by
+   the staging it would pay from the task's home machine. Mirror of
+   [least_loaded_defers]: m0 (load 3) would defer t0 to the idle m1,
+   but m1 sits across a 0.1-bandwidth link from t0's home (machine 0),
+   so its effective cost is 0 + 1/0.1 = 10 > 3 and m0 keeps t0. *)
+let locality_prices_staging () =
+  let topo =
+    Usched_model.Topology.make ~zone_of:[| 0; 1 |]
+      ~bandwidth:[| [| infinity; 0.1 |]; [| 0.1; infinity |] |]
+      ~latency:[| [| 0.0; 0.0 |]; [| 0.0; 0.0 |] |]
+  in
+  let mk topology size =
+    {
+      Dispatch.n = 2;
+      m = 2;
+      order = [| 0; 1 |];
+      pos_of = [| 0; 1 |];
+      dispatchable = [| true; true |];
+      holders = [| Bitset.of_list 2 [ 0; 1 ]; Bitset.of_list 2 [ 0 ] |];
+      est = [| 3.0; 5.0 |];
+      speed = [| 1.0; 1.0 |];
+      load = [| 3.0; 0.0 |];
+      now = [| 0.0 |];
+      available = (fun _ -> true);
+      holders_stable = true;
+      topology;
+      size;
+    }
+  in
+  let plain = Dispatch.make Dispatch.Locality (mk None [||]) in
+  Alcotest.(check (option int))
+    "without a topology, locality defers like least-loaded" (Some 1)
+    (Dispatch.select plain ~time:0.0 ~machine:0);
+  let priced =
+    Dispatch.make Dispatch.Locality (mk (Some topo) [| 1.0; 1.0 |])
+  in
+  Alcotest.(check (option int))
+    "cross-zone staging outweighs the idle holder: m0 keeps t0" (Some 0)
+    (Dispatch.select priced ~time:0.0 ~machine:0);
+  (* The idle cross-zone machine still takes its best option when asked:
+     work conservation is untouched by the pricing. *)
+  Alcotest.(check (option int))
+    "m1 keeps serving what it holds" (Some 0)
+    (Dispatch.select priced ~time:0.0 ~machine:1)
 
 (* Every policy must refuse work the machine has no data for, and the
    faulty engine must respect availability under every policy. *)
@@ -691,6 +832,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_policy_reachability;
           QCheck_alcotest.to_alcotest prop_least_loaded_matches_reference;
           QCheck_alcotest.to_alcotest prop_list_priority_matches_reference;
+          QCheck_alcotest.to_alcotest prop_earliest_completion_matches_reference;
+          QCheck_alcotest.to_alcotest prop_locality_defaults_to_least_loaded;
         ] );
       ( "redispatch",
         [
@@ -705,6 +848,8 @@ let () =
             earliest_completion_is_spt;
           Alcotest.test_case "random tie-break: seeded, tie-only" `Quick
             random_tiebreak_behavior;
+          Alcotest.test_case "locality prices cross-zone staging" `Quick
+            locality_prices_staging;
           Alcotest.test_case "singleton placements pin every policy" `Quick
             policies_respect_eligibility;
         ] );

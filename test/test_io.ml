@@ -128,6 +128,112 @@ let speed_band_round_trip () =
     | Some g -> Speed_band.equal g b
     | None -> false)
 
+let topology_round_trip () =
+  let module Topology = Usched_model.Topology in
+  let topo =
+    Topology.make
+      ~zone_of:[| 0; 0; 1 |]
+      ~bandwidth:[| [| infinity; 1.0 /. 3.0 |]; [| 1.0 /. 3.0; infinity |] |]
+      ~latency:[| [| 0.0; Float.pi |]; [| Float.pi; 0.0 |] |]
+  in
+  let inst = Instance.with_topology (sample_instance ()) (Some topo) in
+  let back = Io.instance_of_string (Io.instance_to_string inst) in
+  checkb "tasks preserved" true (same_instance inst back);
+  (match Instance.topology back with
+  | Some g -> checkb "topology bit-exact" true (Topology.equal g topo)
+  | None -> Alcotest.fail "topology field lost");
+  (* Realization files carry the topology too. *)
+  let r = Realization.exact inst in
+  (match
+     Instance.topology
+       (Realization.instance (Io.realization_of_string (Io.realization_to_string r)))
+   with
+  | Some g -> checkb "realization keeps the topology" true (Topology.equal g topo)
+  | None -> Alcotest.fail "topology lost through realization io");
+  (* Pre-topology files (no topology field) still parse, with none. *)
+  let legacy = "# usched-instance m=2 alpha=1.5\nid,est,size\n0,4,1\n" in
+  checkb "old headers parse as no topology" true
+    (Instance.topology (Io.instance_of_string legacy) = None)
+
+(* Satellite coverage: all three optional header fields combined —
+   failp, speedband, and topology must coexist in one header and every
+   one survive the round trip bit-exactly, on random values. *)
+let prop_all_optional_fields_round_trip =
+  QCheck.Test.make
+    ~name:"failp + speedband + topology round trip together bit-exactly"
+    ~count:150
+    QCheck.(pair (int_range 1 5) (int_range 0 1_000_000))
+    (fun (m, seed) ->
+      let module Failure = Usched_model.Failure in
+      let module Speed_band = Usched_model.Speed_band in
+      let module Topology = Usched_model.Topology in
+      let rng = Rng.create ~seed () in
+      let f = Failure.make (Array.init m (fun _ -> Rng.float rng *. 0.9)) in
+      let b =
+        Speed_band.make
+          (Array.init m (fun _ ->
+               let lo = Rng.float_range rng ~lo:0.1 ~hi:1.0 in
+               (lo, lo +. Rng.float rng)))
+      in
+      let zones = 1 + Rng.int rng m in
+      let topo =
+        Topology.zoned ~m ~zones
+          ~bandwidth:(Rng.float_range rng ~lo:0.1 ~hi:10.0)
+          ~latency:(Rng.float rng)
+          ()
+      in
+      let inst =
+        Instance.of_ests ~failure:f ~speed_band:b ~topology:topo ~m
+          ~alpha:(Uncertainty.alpha 2.0)
+          (Array.init (1 + Rng.int rng 10) (fun _ ->
+               Rng.float_range rng ~lo:0.1 ~hi:9.0))
+      in
+      let back = Io.instance_of_string (Io.instance_to_string inst) in
+      same_instance inst back
+      && (match Instance.failure back with
+         | Some g -> Failure.equal g f
+         | None -> false)
+      && (match Instance.speed_band back with
+         | Some g -> Speed_band.equal g b
+         | None -> false)
+      &&
+      match Instance.topology back with
+      | Some g -> Topology.equal g topo
+      | None -> false)
+
+let rejects_bad_topology () =
+  List.iter
+    (fun (name, topo) ->
+      let bad =
+        Printf.sprintf
+          "# usched-instance m=2 alpha=1.5 topology=%s\nid,est,size\n0,4,1\n"
+          topo
+      in
+      checkb name true
+        (try
+           ignore (Io.instance_of_string bad);
+           false
+         with Failure _ -> true))
+    [
+      ("junk", "zebra");
+      ("missing matrices", "0,1");
+      ("asymmetric bandwidth", "0,1|inf,1:2,inf|0,0:0,0");
+      ("zero bandwidth", "0,1|inf,0:0,inf|0,0:0,0");
+      ("negative latency", "0,1|inf,1:1,inf|0,-1:-1,0");
+      ("non-contiguous zones", "0,2|inf,1:1,inf|0,0:0,0");
+    ];
+  (* A machine-count mismatch is caught by instance validation. *)
+  let mismatched =
+    "# usched-instance m=3 alpha=1.5 topology=0,1|inf,1:1,inf|0,0:0,0\n\
+     id,est,size\n\
+     0,4,1\n"
+  in
+  checkb "wrong machine count" true
+    (try
+       ignore (Io.instance_of_string mismatched);
+       false
+     with Invalid_argument _ -> true)
+
 let rejects_bad_speed_band () =
   List.iter
     (fun (name, band) ->
@@ -267,6 +373,7 @@ let () =
             generated_workloads_round_trip;
           Alcotest.test_case "failure profile" `Quick failure_profile_round_trip;
           Alcotest.test_case "speed band" `Quick speed_band_round_trip;
+          Alcotest.test_case "topology" `Quick topology_round_trip;
         ] );
       ( "validation",
         [
@@ -274,6 +381,7 @@ let () =
           Alcotest.test_case "bad failure profile" `Quick
             rejects_bad_failure_profile;
           Alcotest.test_case "bad speed band" `Quick rejects_bad_speed_band;
+          Alcotest.test_case "bad topology" `Quick rejects_bad_topology;
           Alcotest.test_case "malformed rows" `Quick rejects_malformed_rows;
           Alcotest.test_case "missing header" `Quick rejects_missing_header_field;
           Alcotest.test_case "inadmissible actuals" `Quick
@@ -281,5 +389,9 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_random_round_trip; prop_realization_round_trip ] );
+          [
+            prop_random_round_trip;
+            prop_realization_round_trip;
+            prop_all_optional_fields_round_trip;
+          ] );
     ]

@@ -352,6 +352,8 @@ let inline_build spec =
   | Strategy.Uniform { variant = Strategy.U_group k; speeds } ->
       Core.Uniform.ls_group ~speeds ~k
   | Strategy.Speed_robust { k } -> Core.Speed_robust.algorithm ~k
+  | Strategy.Zone_group k -> Core.Zone_placement.zone_group ~k
+  | Strategy.Local_budget budget -> Core.Zone_placement.local_budget ~budget
 
 let golden_gen =
   QCheck.Gen.(
